@@ -1,0 +1,22 @@
+"""Appendix A.4 — MEmCom multiplier uniqueness audit.
+
+Trains MEmCom near 40× input-embedding compression on Arcade and measures
+the fraction of same-bucket multiplier pairs differing by > 1e-5.
+Paper: > 99.98%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import a4_uniqueness
+
+
+def test_a4_uniqueness(benchmark, bench_config):
+    result = run_once(benchmark, lambda: a4_uniqueness.run(bench_config))
+    print()
+    print(a4_uniqueness.render(result))
+    benchmark.extra_info["embedding_compression"] = round(
+        result.input_embedding_compression, 1
+    )
+    benchmark.extra_info["fraction_distinct"] = round(result.report.fraction_distinct, 6)
+    benchmark.extra_info["total_pairs"] = result.report.total_pairs
+    assert result.report.fraction_distinct > 0.99

@@ -1,0 +1,41 @@
+"""Extension — batch scaling and all-technique on-device cost (§3 / §5.3).
+
+Two claims the paper makes but never measures:
+1. the table approach scales O(b·e) while the matrix approach scales O(b·v)
+   (§3's complexity table) — so the latency gap must widen with batch size;
+2. Table 3's results "are applicable" to every lookup-family technique
+   (§5.3) — so their costs must cluster far below the one-hot model's.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ext_ondevice_scaling
+
+
+def test_ext_ondevice_scaling(benchmark, bench_config):
+    scaling, costs = run_once(benchmark, lambda: ext_ondevice_scaling.run())
+    print()
+    print(ext_ondevice_scaling.render((scaling, costs)))
+
+    # Claim 1: the memcom-vs-onehot latency ratio widens with batch size.
+    def ratio(b):
+        mem = next(p for p in scaling if p.technique == "memcom_nobias" and p.batch_size == b)
+        one = next(p for p in scaling if p.technique == "hashed_onehot" and p.batch_size == b)
+        return one.latency_ms / mem.latency_ms
+
+    batches = sorted({p.batch_size for p in scaling})
+    benchmark.extra_info["latency_ratio_by_batch"] = {
+        b: round(ratio(b), 2) for b in batches
+    }
+    assert ratio(batches[0]) > 1.0
+
+    # Claim 2: every lookup-family technique is cheaper than one-hot on both
+    # axes at batch 1.
+    onehot = next(c for c in costs if c.technique == "hashed_onehot")
+    lookups = [c for c in costs if c.technique != "hashed_onehot"]
+    assert all(c.latency_ms < onehot.latency_ms for c in lookups)
+    assert all(c.footprint_mb < onehot.footprint_mb for c in lookups)
+    benchmark.extra_info["onehot_latency_ms"] = round(onehot.latency_ms, 3)
+    benchmark.extra_info["worst_lookup_latency_ms"] = round(
+        max(c.latency_ms for c in lookups), 3
+    )

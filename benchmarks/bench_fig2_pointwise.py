@@ -1,0 +1,26 @@
+"""Figure 2 — compression vs. nDCG loss (pointwise ranking).
+
+Regenerates the MovieLens / Million Songs / Google Local / Netflix panels.
+Paper headline: MEmCom ≈4% nDCG loss at 16×/12×/4×/40× input-embedding
+compression, beating all other techniques; the reduced-scale shape to check
+is MEmCom's curve sitting below naive/double hashing and truncate-rare.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig2_pointwise
+from repro.experiments.report import render_headline
+
+
+def test_fig2_pointwise(benchmark, bench_config):
+    results = run_once(benchmark, lambda: fig2_pointwise.run(bench_config))
+    print()
+    print(fig2_pointwise.render(results))
+    print()
+    print(render_headline(results.values(), min_ratio=2.5))
+    for name, sweep in results.items():
+        benchmark.extra_info[f"{name}_baseline_ndcg"] = round(sweep.baseline_metric, 4)
+        series = sweep.series()
+        for tech in ("memcom", "memcom_nobias", "hash", "qr_mult"):
+            _, losses = series[tech]
+            benchmark.extra_info[f"{name}_{tech}_worst_loss_pct"] = round(max(losses), 2)

@@ -1,0 +1,25 @@
+"""Figure 3 — compression vs. nDCG loss (pairwise RankNet, Arcade).
+
+Paper headline: < 1% nDCG loss at 32× compression; MEmCom with and without
+bias overlap.  The bench records both variants' losses so the overlap claim
+is visible in the series output.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig3_pairwise
+
+
+def test_fig3_pairwise(benchmark, bench_config):
+    result = run_once(benchmark, lambda: fig3_pairwise.run(bench_config))
+    print()
+    print(fig3_pairwise.render(result))
+    benchmark.extra_info["baseline_ndcg"] = round(result.baseline_metric, 4)
+    series = result.series()
+    for tech in ("memcom", "memcom_nobias"):
+        ratios, losses = series[tech]
+        benchmark.extra_info[f"{tech}_losses_pct"] = [round(l, 2) for l in losses]
+    bias_gap = max(
+        abs(a - b) for a, b in zip(series["memcom"][1], series["memcom_nobias"][1])
+    )
+    benchmark.extra_info["bias_vs_nobias_max_gap_pct"] = round(bias_gap, 2)

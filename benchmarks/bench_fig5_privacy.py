@@ -1,0 +1,27 @@
+"""Figure 5 (A.3) — DP noise multiplier vs. nDCG loss (Arcade).
+
+DP-SGD (global l2 clip + Gaussian noise) across four techniques; the
+reference is the uncompressed model trained without noise.  Paper shape:
+MEmCom degrades least as noise grows.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5_privacy
+
+
+def test_fig5_privacy(benchmark, bench_config):
+    points = run_once(
+        benchmark, lambda: fig5_privacy.run(bench_config, noise_sweep=(0.0, 0.5, 1.0, 2.0))
+    )
+    print()
+    print(fig5_privacy.render(points))
+    for tech in sorted({p.technique for p in points}):
+        per = {
+            p.noise_multiplier: round(p.relative_loss_pct, 2)
+            for p in points
+            if p.technique == tech
+        }
+        benchmark.extra_info[f"{tech}_loss_pct_by_sigma"] = per
+    eps = {p.noise_multiplier: round(p.epsilon, 2) for p in points if p.technique == "memcom"}
+    benchmark.extra_info["memcom_epsilon_by_sigma"] = eps

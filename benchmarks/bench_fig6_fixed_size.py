@@ -1,0 +1,24 @@
+"""Figure 6 (A.1) — tuning embedding size under a fixed model size.
+
+For each dataset: fix the parameter budget (half the uncompressed model),
+sweep the MEmCom hash count m = v/{2,5,10,20,50} and binary-search the
+embedding dim that exhausts the budget; train and report the metric.
+Paper shape: the optimum sits around m ≈ v/10 for skewed datasets, NOT for
+Google Local Reviews.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig6_fixed_size
+
+
+def test_fig6_fixed_size(benchmark, bench_config):
+    points = run_once(benchmark, lambda: fig6_fixed_size.run(bench_config))
+    print()
+    print(fig6_fixed_size.render(points))
+    best = fig6_fixed_size.optimal_divisors(points)
+    benchmark.extra_info["optimal_divisor_per_dataset"] = best
+    for p in points:
+        benchmark.extra_info[f"{p.dataset}_v{p.vocab_divisor}_dim{p.embedding_dim}"] = round(
+            p.metric, 4
+        )

@@ -1,0 +1,24 @@
+"""§4 properties table + collision-rate claims.
+
+Renders the paper's technique-properties summary and checks the collision
+formulas (naive: v/m−1+(1−1/m)^v, double: v/m²−1+(1−1/m²)^v) against
+empirical hash assignments over the paper's m grid at v = 100K.
+"""
+
+from conftest import run_once
+
+from repro.experiments import properties
+
+
+def test_properties_and_collisions(benchmark):
+    rows = run_once(benchmark, lambda: properties.run())
+    print()
+    print(properties.render(rows))
+    for r in rows:
+        benchmark.extra_info[f"m={r.hash_size}"] = {
+            "naive_rate": round(r.naive_expected_rate, 3),
+            "double_rate": round(r.double_expected_rate, 6),
+        }
+        # double hashing must reduce collisions by orders of magnitude
+        assert r.double_expected_rate < r.naive_expected_rate
+        assert r.double_empirical_fraction < max(r.naive_empirical_fraction, 0.05)

@@ -1,0 +1,53 @@
+"""Table 2 — dataset statistics.
+
+Verifies the generator presets reproduce the paper's published statistics at
+scale 1.0 and reports the benchmark-scale statistics the other benches use,
+plus generation throughput for one preset.
+"""
+
+from conftest import run_once
+
+from repro.data.datasets import load_dataset, table2_rows
+from repro.experiments.runner import BENCH_SCALES, bench_spec
+from repro.utils.tables import format_table
+
+PAPER_TABLE2 = {
+    "newsgroup": (11_300, 7_500, 105_000, 20),
+    "movielens": (655_000, 72_800, 10_000, 5_000),
+    "millionsongs": (4_500_000, 500_000, 50_000, 20_000),
+    "google_local": (246_000, 27_000, 200_000, 20_000),
+    "netflix": (2_100_000, 235_000, 17_000, 16_000),
+    "games": (78_000_000, 65_000, 480_000, 119_000),
+    "arcade": (7_500_000, 65_000, 300_000, 145),
+}
+
+
+def test_table2_statistics(benchmark, bench_config):
+    rows = table2_rows(1.0)
+    for name, train, eval_, in_v, out_v in rows:
+        assert (train, eval_, in_v, out_v) == PAPER_TABLE2[name], name
+
+    def generate():
+        return load_dataset("movielens", scale=BENCH_SCALES["movielens"], rng=0)
+
+    ds = run_once(benchmark, generate)
+    benchmark.extra_info["movielens_bench_train_examples"] = len(ds.x_train)
+
+    bench_rows = [
+        (
+            name,
+            bench_spec(name, bench_config).num_train,
+            bench_spec(name, bench_config).num_eval,
+            bench_spec(name, bench_config).input_vocab,
+            bench_spec(name, bench_config).output_vocab,
+        )
+        for name in PAPER_TABLE2
+    ]
+    print()
+    print(
+        format_table(
+            ["dataset", "train", "eval", "input vocab", "output vocab"],
+            bench_rows,
+            title="Table 2 at benchmark scale (paper sizes verified at scale 1.0)",
+        )
+    )

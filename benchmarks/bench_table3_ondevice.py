@@ -1,0 +1,42 @@
+"""Table 3 — on-device inference time and memory footprint.
+
+Runs the simulated iPhone 12 Pro (CoreML) and Pixel 2 (TF-Lite) over
+MEmCom-vs-Weinberger model pairs at the paper's *full* vocabulary sizes
+(no training needed — latency and footprint depend only on shapes).
+Checks the paper's qualitative outcome: MEmCom wins every cell.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3_ondevice
+
+
+def test_table3_ondevice(benchmark):
+    rows = run_once(benchmark, lambda: table3_ondevice.run())
+    print()
+    print(table3_ondevice.render(rows))
+
+    by_key = {(r.dataset, r.technique): r for r in rows}
+    wins = 0
+    cells = 0
+    for dataset in {r.dataset for r in rows}:
+        memcom = by_key[(dataset, "memcom_nobias")]
+        onehot = by_key[(dataset, "hashed_onehot")]
+        for rep_m in memcom.reports:
+            rep_o = onehot.cell(rep_m.framework, rep_m.compute_unit)
+            cells += 2
+            wins += rep_m.latency_ms < rep_o.latency_ms
+            wins += rep_m.footprint_mb < rep_o.footprint_mb
+    benchmark.extra_info["memcom_wins"] = f"{wins}/{cells}"
+    assert wins == cells, "paper shape: MEmCom outperforms Weinberger everywhere"
+
+    ml_m = by_key[("movielens", "memcom_nobias")].cell("TF-Lite", "CPU")
+    ml_o = by_key[("movielens", "hashed_onehot")].cell("TF-Lite", "CPU")
+    benchmark.extra_info["movielens_tflite_latency_ms"] = (
+        round(ml_m.latency_ms, 2),
+        round(ml_o.latency_ms, 2),
+    )
+    benchmark.extra_info["movielens_tflite_footprint_mb"] = (
+        round(ml_m.footprint_mb, 2),
+        round(ml_o.footprint_mb, 2),
+    )

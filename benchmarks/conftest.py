@@ -1,0 +1,44 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at a reduced
+scale (see DESIGN.md §3) and prints the same rows/series the paper reports.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the rendered
+tables; key numbers are also recorded in ``benchmark.extra_info`` so
+``--benchmark-json`` captures them.
+
+Crank ``REPRO_BENCH_SCALE`` (a float multiplier, default 1.0) to push the
+sweeps toward the paper's nominal dataset sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The sweep configuration all figure benchmarks share."""
+    return ExperimentConfig(
+        scale_multiplier=_scale(),
+        cap_train=int(2500 * _scale()),
+        cap_eval=800,
+        embedding_dim=32,
+        epochs=4,
+        batch_size=128,
+        lr=2e-3,
+        seed=0,
+        grid_points=2,
+    )
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,15 @@
+"""Repository-root pytest configuration.
+
+Makes the src-layout package importable from a bare checkout, so
+``pytest tests/`` and ``pytest benchmarks/`` work even in offline
+environments where an editable install is not possible (PEP 660 editable
+builds need the ``wheel`` package, which an air-gapped machine may lack —
+``python setup.py develop`` is the install fallback there).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,40 @@
+"""Sweep every compression technique on one dataset and chart the tradeoff.
+
+A miniature of the paper's Figure 2 workflow using the public sweep API:
+``run_sweep`` trains the full (technique × hash-size) grid on a
+MovieLens-shaped dataset, then the result renders three ways — the full
+point table, per-technique series, and an ASCII chart of the headline
+curves (compression ratio vs. % nDCG loss, log x-axis, as the paper draws).
+
+Run:  python examples/compression_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_sweep, render_sweep_plot
+from repro.experiments.runner import ExperimentConfig, run_sweep
+from repro.utils import set_verbose
+
+
+def main() -> None:
+    set_verbose(True)
+    config = ExperimentConfig(
+        embedding_dim=32,
+        epochs=4,
+        grid_points=3,
+        cap_train=3000,
+        cap_eval=800,
+    )
+    result = run_sweep("movielens", "pointwise", config, rng=0)
+
+    print()
+    print(render_sweep(result))
+    print()
+    print(render_sweep_plot(result, techniques=("memcom", "hash", "double_hash", "qr_mult")))
+    print()
+    best = result.best_technique_at(min_ratio=3.0)
+    print(f"lowest-loss technique at ≥3x compression: {best}")
+
+
+if __name__ == "__main__":
+    main()

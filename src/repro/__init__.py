@@ -1,0 +1,16 @@
+"""repro — reproduction of *Learning Compressed Embeddings for On-Device
+Inference* (MEmCom, Pansare et al., MLSys 2022).
+
+Public API tour
+---------------
+* :mod:`repro.core` — MEmCom and every baseline compression technique.
+* :mod:`repro.nn` — the NumPy autograd/layers/optimizers substrate.
+* :mod:`repro.data` — synthetic dataset generators matching Table 2.
+* :mod:`repro.models` — the paper's classifier / pointwise / RankNet models.
+* :mod:`repro.metrics` — accuracy and nDCG.
+* :mod:`repro.train` — trainers, DP-SGD, federated simulation.
+* :mod:`repro.device` — on-device export, quantization, latency/memory simulator.
+* :mod:`repro.experiments` — one harness per paper table/figure.
+"""
+
+__version__ = "1.0.0"

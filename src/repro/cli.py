@@ -1,0 +1,186 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+::
+
+    python -m repro list                     # experiments, datasets, techniques
+    python -m repro run fig2 --scale 1.0     # regenerate a figure/table
+    python -m repro dataset movielens        # show a (scaled) dataset spec
+    python -m repro train movielens memcom --hash-fraction 16
+
+Every experiment harness in :mod:`repro.experiments` exposes
+``run(config) -> results`` and ``render(results) -> str``; the CLI is a thin
+argparse layer over those plus the dataset registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+from dataclasses import replace
+
+from repro.core.registry import available_techniques, technique_spec
+from repro.data.datasets import DATASETS, get_spec
+from repro.experiments import EXPERIMENTS, ExperimentConfig
+from repro.utils.logging import set_verbose
+from repro.utils.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Learning Compressed Embeddings for On-Device "
+        "Inference' (MEmCom, MLSys 2022).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments, datasets and techniques")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate one paper table/figure")
+    p_run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    p_run.add_argument("--scale", type=float, default=1.0, help="dataset scale multiplier")
+    p_run.add_argument("--epochs", type=int, default=None, help="override training epochs")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--quiet", action="store_true", help="suppress progress logging")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_ds = sub.add_parser("dataset", help="show a dataset spec at a given scale")
+    p_ds.add_argument("name", choices=sorted(DATASETS))
+    p_ds.add_argument("--scale", type=float, default=1.0)
+    p_ds.set_defaults(func=_cmd_dataset)
+
+    p_train = sub.add_parser("train", help="train one (dataset, technique) model")
+    p_train.add_argument("dataset", choices=sorted(DATASETS))
+    p_train.add_argument("technique", choices=available_techniques())
+    p_train.add_argument("--scale", type=float, default=1.0, help="bench-scale multiplier")
+    p_train.add_argument("--epochs", type=int, default=8)
+    p_train.add_argument("--embedding-dim", type=int, default=32)
+    p_train.add_argument(
+        "--hash-fraction",
+        type=int,
+        default=16,
+        help="hash/keep size = vocab / fraction (hash-family techniques)",
+    )
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.set_defaults(func=_cmd_train)
+
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print(format_table(
+        ["experiment", "paper artifact"],
+        [(name, mod.__doc__.strip().splitlines()[0]) for name, mod in EXPERIMENTS.items()],
+        title="experiments (python -m repro run <id>)",
+    ))
+    print()
+    print(format_table(
+        ["dataset", "task", "input vocab", "output vocab", "train examples"],
+        [
+            (s.name, s.task, s.input_vocab, s.output_vocab, s.num_train)
+            for s in DATASETS.values()
+        ],
+        title="datasets (Table 2 presets)",
+    ))
+    print()
+    print(format_table(
+        ["technique", "summary"],
+        [(name, technique_spec(name).summary) for name in available_techniques()],
+        title="embedding-compression techniques",
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    set_verbose(not args.quiet)
+    overrides = {"scale_multiplier": args.scale, "seed": args.seed}
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+    config = replace(ExperimentConfig(), **overrides)
+    module = EXPERIMENTS[args.experiment]
+    start = time.perf_counter()
+    # Analytic harnesses (props, table3) take no sweep config.
+    first = next(iter(inspect.signature(module.run).parameters.values()), None)
+    results = module.run(config) if first is not None and first.name == "config" else module.run()
+    elapsed = time.perf_counter() - start
+    print()
+    print(module.render(results))
+    print(f"\n[{args.experiment}] completed in {elapsed:.1f}s")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    spec = get_spec(args.name, args.scale)
+    rows = [(field, getattr(spec, field)) for field in (
+        "name", "task", "num_train", "num_eval", "input_vocab", "output_vocab",
+        "input_length", "input_exponent", "output_exponent", "num_genres",
+        "num_countries", "examples_per_user", "label_source",
+    )]
+    print(format_table(["field", "value"], rows, title=f"{args.name} @ scale {args.scale}"))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    # Import lazily: training pulls in the full stack.
+    from repro.experiments.runner import (
+        ExperimentConfig as RunnerConfig,
+        load_bench_dataset,
+        train_point,
+    )
+
+    set_verbose(True)
+    config = RunnerConfig(
+        scale_multiplier=args.scale,
+        embedding_dim=args.embedding_dim,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    data = load_bench_dataset(args.dataset, config, rng=args.seed)
+    spec = data.spec
+    architecture = "classifier" if spec.task == "classification" else "pointwise"
+    hyper = _default_hyper(args.technique, spec.input_vocab, args.embedding_dim,
+                           args.hash_fraction)
+    metric, params = train_point(architecture, args.technique, hyper, data, config)
+    metric_name = "accuracy" if architecture == "classifier" else "ndcg"
+    print()
+    print(format_table(
+        ["dataset", "technique", "hyper", "params", metric_name],
+        [(args.dataset, args.technique, str(hyper), params, f"{metric:.4f}")],
+    ))
+    return 0
+
+
+def _default_hyper(technique: str, vocab: int, dim: int, hash_fraction: int) -> dict:
+    """A sensible mid-sweep hyperparameter for each technique family."""
+    m = max(2, vocab // hash_fraction)
+    family = {
+        "memcom": {"num_hash_embeddings": m},
+        "memcom_nobias": {"num_hash_embeddings": m},
+        "qr_mult": {"num_hash_embeddings": m},
+        "qr_concat": {"num_hash_embeddings": m},
+        "hash": {"num_hash_embeddings": m},
+        "double_hash": {"num_hash_embeddings": m},
+        "freq_double_hash": {"num_hash_embeddings": m},
+        "hashed_onehot": {"num_hash_embeddings": m},
+        "truncate_rare": {"keep": m},
+        "factorized": {"hidden_dim": max(2, dim // 4)},
+        "reduce_dim": {"reduced_dim": max(2, dim // 4)},
+        "tt_rec": {"tt_rank": max(2, dim // 8)},
+        "mixed_dim": {"num_blocks": 4},
+        "full": {},
+    }
+    return family[technique]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Collision analytics and the §4 properties table.
+
+The paper motivates MEmCom with collision-rate formulas:
+
+* naive hashing:   ``v/m − 1 + (1 − 1/m)^v``
+* double hashing:  ``v/m² − 1 + (1 − 1/m²)^v``
+
+Both are the expected number of *colliding entities per bucket*: with ``v``
+balls in ``m`` bins, the expected number of occupied bins is
+``m(1 − (1 − 1/m)^v)``, so ``v − m(1 − (1 − 1/m)^v)`` entities share a bin
+with an earlier one; dividing by ``m`` gives the paper's expression.  Double
+hashing behaves like hashing into ``m²`` composite bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "expected_occupied_buckets",
+    "expected_colliding_entities",
+    "naive_hash_collision_rate",
+    "double_hash_collision_rate",
+    "empirical_collision_stats",
+    "PROPERTIES_TABLE",
+    "TechniqueProperties",
+]
+
+
+def expected_occupied_buckets(v: int, m: int) -> float:
+    """E[# occupied bins] after throwing ``v`` balls into ``m`` bins."""
+    _check(v, m)
+    return m * (1.0 - (1.0 - 1.0 / m) ** v)
+
+
+def expected_colliding_entities(v: int, m: int) -> float:
+    """E[# entities that share a bin with an earlier entity]."""
+    _check(v, m)
+    return v - expected_occupied_buckets(v, m)
+
+
+def naive_hash_collision_rate(v: int, m: int) -> float:
+    """Per-bucket collision rate of naive hashing: ``v/m − 1 + (1 − 1/m)^v``."""
+    _check(v, m)
+    return v / m - 1.0 + (1.0 - 1.0 / m) ** v
+
+
+def double_hash_collision_rate(v: int, m: int) -> float:
+    """Per-bucket rate for double hashing: ``v/m² − 1 + (1 − 1/m²)^v``."""
+    _check(v, m)
+    m2 = float(m) * m
+    return v / m2 - 1.0 + (1.0 - 1.0 / m2) ** v
+
+
+@dataclass(frozen=True)
+class CollisionStats:
+    """Empirical collision measurement over one hashed representation.
+
+    ``num_colliding_entities`` counts entities that landed in a bucket
+    already claimed by an earlier entity (``v − occupied buckets``) — the
+    quantity the paper's rate formula describes.  ``num_shared_entities``
+    counts every entity whose bucket holds ≥ 2 entities (none of them has
+    a private representation).
+    """
+
+    num_entities: int
+    num_buckets_used: int
+    num_colliding_entities: int
+    num_shared_entities: int
+    max_bucket_load: int
+
+    @property
+    def collision_fraction(self) -> float:
+        """Fraction of entities without a private representation."""
+        return self.num_shared_entities / self.num_entities if self.num_entities else 0.0
+
+
+def empirical_collision_stats(hashed_ids: np.ndarray) -> CollisionStats:
+    """Measure collisions of a concrete hash assignment.
+
+    ``hashed_ids[i]`` is entity ``i``'s representation key.  For composed
+    schemes (double hashing), pass the composite key, e.g.
+    ``h1 * m + h2``.
+    """
+    hashed_ids = np.asarray(hashed_ids)
+    if hashed_ids.ndim != 1:
+        raise ValueError("hashed_ids must be a flat per-entity array")
+    v = hashed_ids.size
+    if v == 0:
+        return CollisionStats(0, 0, 0, 0, 0)
+    _, counts = np.unique(hashed_ids, return_counts=True)
+    used = counts.size
+    shared = int((counts[counts > 1]).sum())
+    return CollisionStats(v, used, v - used, shared, int(counts.max()))
+
+
+@dataclass(frozen=True)
+class TechniqueProperties:
+    """One row of the §4 properties table."""
+
+    technique: str
+    unique_vector: bool | None  # None = N/A in the paper's table
+    simple_operator: bool | None
+    handles_power_law: bool
+
+
+#: The paper's §4 summary table, as data the properties bench renders.
+PROPERTIES_TABLE: tuple[TechniqueProperties, ...] = (
+    TechniqueProperties("low_rank", True, None, False),
+    TechniqueProperties("quotient_remainder", True, False, True),
+    TechniqueProperties("hash", False, None, True),
+    TechniqueProperties("double_hash", False, True, True),
+    TechniqueProperties("memcom", True, True, True),
+)
+
+
+def _check(v: int, m: int) -> None:
+    if v <= 0 or m <= 0:
+        raise ValueError("v and m must be positive")

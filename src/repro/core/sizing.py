@@ -1,0 +1,153 @@
+"""Analytic parameter counting and the fixed-budget solver (Figure 6).
+
+The experiment harness needs parameter counts *before* building models —
+to pick sweep grids and, for the fixed-model-size experiment (Appendix A.1),
+to binary-search the embedding size that exactly exhausts a byte budget for
+a given number of hash embeddings.  Tests pin these formulas to the actual
+``num_parameters()`` of built modules so they can never drift.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = [
+    "embedding_param_count",
+    "bytes_for_params",
+    "params_for_bytes",
+    "solve_embedding_dim",
+    "compression_ratio",
+]
+
+
+def embedding_param_count(
+    technique: str,
+    vocab_size: int,
+    embedding_dim: int,
+    **hyper: int,
+) -> int:
+    """Parameters of ``technique``'s embedding representation.
+
+    Mirrors the constructors in :mod:`repro.core`; see
+    ``tests/core/test_sizing.py`` for the pinning tests.
+    """
+    v, e = vocab_size, embedding_dim
+    if v <= 0 or e <= 0:
+        raise ValueError("vocab_size and embedding_dim must be positive")
+    if technique == "full":
+        return v * e
+    if technique in ("memcom", "memcom_nobias"):
+        m = _require(hyper, "num_hash_embeddings")
+        per_entity = 2 if technique == "memcom" else 1
+        return m * e + per_entity * v
+    if technique == "qr_mult":
+        m = _require(hyper, "num_hash_embeddings")
+        return m * e + math.ceil(v / m) * e
+    if technique == "qr_concat":
+        m = _require(hyper, "num_hash_embeddings")
+        if e % 2:
+            raise ValueError("qr_concat needs an even embedding_dim")
+        return (m + math.ceil(v / m)) * (e // 2)
+    if technique == "hash":
+        m = _require(hyper, "num_hash_embeddings")
+        return m * e
+    if technique == "double_hash":
+        m = _require(hyper, "num_hash_embeddings")
+        if e % 2:
+            raise ValueError("double_hash needs an even embedding_dim")
+        return 2 * m * (e // 2)
+    if technique == "factorized":
+        h = _require(hyper, "hidden_dim")
+        return v * h + h * e
+    if technique == "reduce_dim":
+        d = _require(hyper, "reduced_dim")
+        return v * d
+    if technique == "truncate_rare":
+        keep = _require(hyper, "keep")
+        return (keep + 2) * e
+    if technique == "hashed_onehot":
+        m = _require(hyper, "num_hash_embeddings")
+        return m * e
+    if technique == "freq_double_hash":
+        m = _require(hyper, "num_hash_embeddings")
+        if e % 2:
+            raise ValueError("freq_double_hash needs an even embedding_dim")
+        keep = int(hyper.get("keep") or m)
+        return keep * e + 2 * m * (e // 2)
+    if technique == "tt_rec":
+        from repro.core.tt_rec import _vocab_shape, factor_three
+
+        r = _require(hyper, "tt_rank")
+        v1, v2, v3 = _vocab_shape(v)
+        e1, e2, e3 = factor_three(e)
+        return v1 * e1 * r + v2 * r * e2 * r + v3 * r * e3
+    if technique == "mixed_dim":
+        from repro.core.mixed_dim import block_dims, block_partition
+
+        blocks = block_partition(v, _require(hyper, "num_blocks"))
+        dims = block_dims(e, len(blocks), float(hyper.get("temperature", 0.63)))
+        return sum(
+            (stop - start) * d + (d * e if d != e else 0)
+            for (start, stop), d in zip(blocks, dims)
+        )
+    raise KeyError(f"unknown technique {technique!r}")
+
+
+def bytes_for_params(num_params: int, precision_bits: int = 32) -> int:
+    """On-disk bytes for ``num_params`` weights at ``precision_bits`` each."""
+    if precision_bits not in (32, 16, 8, 4, 2, 1):
+        raise ValueError(f"unsupported precision {precision_bits} bits")
+    return math.ceil(num_params * precision_bits / 8)
+
+
+def params_for_bytes(num_bytes: int, precision_bits: int = 32) -> int:
+    """Largest parameter count that fits in ``num_bytes``."""
+    if num_bytes < 0:
+        raise ValueError("num_bytes must be non-negative")
+    return num_bytes * 8 // precision_bits
+
+
+def solve_embedding_dim(
+    target_params: int,
+    params_for_dim: Callable[[int], int],
+    min_dim: int = 1,
+    max_dim: int = 4096,
+) -> int:
+    """Largest ``e`` with ``params_for_dim(e) <= target_params``.
+
+    This is the "simple binary search to find the embedding size for the
+    corresponding number of embeddings" of Appendix A.1.  ``params_for_dim``
+    must be non-decreasing in ``e`` (total model parameters always are).
+    Raises ``ValueError`` when even ``min_dim`` exceeds the budget.
+    """
+    if params_for_dim(min_dim) > target_params:
+        raise ValueError(
+            f"budget {target_params} too small: dim {min_dim} already needs "
+            f"{params_for_dim(min_dim)} parameters"
+        )
+    lo, hi = min_dim, max_dim
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if params_for_dim(mid) <= target_params:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def compression_ratio(baseline_params: int, compressed_params: int) -> float:
+    """The paper's x-axis: baseline params / technique params (all layers)."""
+    if baseline_params <= 0 or compressed_params <= 0:
+        raise ValueError("parameter counts must be positive")
+    return baseline_params / compressed_params
+
+
+def _require(hyper: dict[str, int], key: str) -> int:
+    try:
+        value = int(hyper[key])
+    except KeyError:
+        raise TypeError(f"missing hyperparameter {key!r}") from None
+    if value <= 0:
+        raise ValueError(f"{key} must be positive, got {value}")
+    return value

@@ -1,0 +1,60 @@
+"""`repro.data` — synthetic dataset substrate matching the paper's Table 2.
+
+Power-law vocabularies, latent-genre user/item affinity, frequency-sorted
+ids, fixed 128-slot input windows, pointwise and pairwise example builders.
+"""
+
+from repro.data.datasets import (
+    CLASSIFICATION_DATASETS,
+    DATASETS,
+    RANKING_DATASETS,
+    get_spec,
+    load_dataset,
+    load_pairwise,
+    table2_rows,
+)
+from repro.data.loader import iterate_batches, num_batches
+from repro.data.spec import DatasetSpec
+from repro.data.synthetic import (
+    Dataset,
+    UserPrefs,
+    PairwiseDataset,
+    SyntheticWorld,
+    generate_dataset,
+    generate_pairwise,
+)
+from repro.data.vocab import (
+    apply_mapping,
+    frequency_sorted_mapping,
+    id_frequencies,
+    random_id_mapping,
+    sortedness_violation,
+)
+from repro.data.zipf import ZipfSampler, empirical_exponent, zipf_probabilities
+
+__all__ = [
+    "CLASSIFICATION_DATASETS",
+    "DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "PairwiseDataset",
+    "RANKING_DATASETS",
+    "SyntheticWorld",
+    "UserPrefs",
+    "ZipfSampler",
+    "apply_mapping",
+    "empirical_exponent",
+    "frequency_sorted_mapping",
+    "generate_dataset",
+    "generate_pairwise",
+    "get_spec",
+    "id_frequencies",
+    "iterate_batches",
+    "load_dataset",
+    "load_pairwise",
+    "num_batches",
+    "random_id_mapping",
+    "sortedness_violation",
+    "table2_rows",
+    "zipf_probabilities",
+]

@@ -1,0 +1,52 @@
+"""Mini-batch iteration over aligned arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["iterate_batches", "num_batches"]
+
+
+def iterate_batches(
+    arrays: Sequence[np.ndarray],
+    batch_size: int,
+    rng: np.random.Generator | int | None = None,
+    shuffle: bool = True,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, ...]]:
+    """Yield aligned mini-batches from ``arrays``.
+
+    All arrays must share their first dimension.  With ``shuffle`` a fresh
+    permutation is drawn from ``rng`` (pass the trainer's generator so epochs
+    differ); ``drop_last`` discards a trailing partial batch, which keeps
+    BatchNorm statistics well-defined for batch sizes near 1.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if not arrays:
+        raise ValueError("need at least one array")
+    n = len(arrays[0])
+    for a in arrays[1:]:
+        if len(a) != n:
+            raise ValueError(f"array length mismatch: {len(a)} != {n}")
+    if shuffle:
+        order = ensure_rng(rng).permutation(n)
+    else:
+        order = np.arange(n)
+    end = (n // batch_size) * batch_size if drop_last else n
+    for start in range(0, end, batch_size):
+        sel = order[start : start + batch_size]
+        if sel.size == 0:
+            break
+        yield tuple(a[sel] for a in arrays)
+
+
+def num_batches(n: int, batch_size: int, drop_last: bool = False) -> int:
+    """Number of batches :func:`iterate_batches` will yield."""
+    if drop_last:
+        return n // batch_size
+    return -(-n // batch_size)

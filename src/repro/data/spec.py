@@ -1,0 +1,132 @@
+"""Dataset specifications mirroring the paper's Table 2.
+
+A :class:`DatasetSpec` fully parameterizes a synthetic dataset: how many
+examples, how large the input/output vocabularies are, how skewed the
+popularity distributions are, and what task shape the examples take.
+``scaled()`` shrinks a spec while preserving everything that drives the
+paper's phenomena (skew exponents, the 128-long input window, vocab/sample
+*ratios*), so that sweeps run on CPU in minutes at the default benchmark
+scale and at ``scale=1.0`` reproduce the paper's nominal sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["DatasetSpec", "TaskKind"]
+
+TaskKind = str  # "classification" | "ranking"
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Statistics and generator knobs for one dataset.
+
+    The first six fields are Table 2 columns; the rest shape the generative
+    process (documented in :mod:`repro.data.synthetic`).
+    """
+
+    name: str
+    num_train: int
+    num_eval: int
+    input_vocab: int
+    output_vocab: int
+    task: TaskKind
+    input_length: int = 128
+    #: Zipf exponent of input-entity popularity (≈1 for words/apps/movies).
+    input_exponent: float = 1.05
+    #: Zipf exponent of the label distribution.
+    output_exponent: float = 1.0
+    #: number of latent genres driving user-item affinity.  Recommendation
+    #: presets use *fine* genres (≈ vocab/25 micro-taste clusters) so that
+    #: item identity carries signal beyond any coarse mixture — the regime
+    #: where hash collisions genuinely destroy information.
+    num_genres: int = 16
+    #: how many genres one user cares about (sparse taste support); pickier
+    #: users (small support) concentrate the per-item signal compression
+    #: techniques compete over
+    user_genre_support: int = 3
+    #: Dirichlet concentration of user weights over their support
+    genre_concentration: float = 0.5
+    #: probability a draw comes from global popularity instead of user taste
+    popularity_mix: float = 0.15
+    #: number of country ids prepended to the app vocabulary (Games/Arcade)
+    num_countries: int = 0
+    #: up to how many (input, label) examples each user yields (§5.2: five)
+    examples_per_user: int = 1
+    #: "item" — labels are catalog items (recommendation datasets);
+    #: "genre" — labels are the latent genre itself (Newsgroup topics).
+    label_source: str = "item"
+
+    def __post_init__(self) -> None:
+        if self.label_source not in ("item", "genre"):
+            raise ValueError(f"unknown label_source {self.label_source!r}")
+        if self.label_source == "genre" and self.num_genres != self.output_vocab:
+            raise ValueError("genre-labelled specs need num_genres == output_vocab")
+        if self.user_genre_support < 1:
+            raise ValueError("user_genre_support must be >= 1")
+        if self.label_source == "item" and self.num_genres > self.num_items:
+            raise ValueError(
+                f"num_genres ({self.num_genres}) cannot exceed item count ({self.num_items})"
+            )
+        if self.num_train <= 0 or self.num_eval <= 0:
+            raise ValueError("sample counts must be positive")
+        if self.input_vocab <= 1 or self.output_vocab <= 1:
+            raise ValueError("vocabularies must have at least 2 entries")
+        if self.input_length <= 0:
+            raise ValueError("input_length must be positive")
+        if not 0.0 <= self.popularity_mix <= 1.0:
+            raise ValueError("popularity_mix must be in [0, 1]")
+        if self.task not in ("classification", "ranking"):
+            raise ValueError(f"unknown task {self.task!r}")
+        if self.examples_per_user < 1:
+            raise ValueError("examples_per_user must be >= 1")
+        if self.num_countries < 0 or self.num_countries >= self.input_vocab:
+            raise ValueError("num_countries must be in [0, input_vocab)")
+
+    @property
+    def num_items(self) -> int:
+        """Item (app/movie/song/word) count: input vocab minus countries and
+        the reserved padding id 0."""
+        return self.input_vocab - self.num_countries - 1
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """Shrink (or grow) the spec by ``scale`` with sensible floors.
+
+        Small output vocabularies (Newsgroup's 20 topics, Arcade's 145
+        games) are kept as-is — they are structural, not scale: shrinking
+        Newsgroup to 2 topics would change the task.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if scale == 1.0:
+            return self
+
+        def s(n: int, floor: int) -> int:
+            return max(floor, int(math.ceil(n * scale)))
+
+        out_vocab = self.output_vocab if self.output_vocab <= 512 else s(self.output_vocab, 64)
+        new_input = s(self.input_vocab, 256)
+        new_countries = (
+            0 if self.num_countries == 0 else max(8, int(self.num_countries * min(1.0, scale * 4)))
+        )
+        # Output catalog must fit inside the item space.
+        out_vocab = min(out_vocab, new_input - new_countries - 1)
+        new_items = new_input - new_countries - 1
+        if self.label_source == "genre":
+            new_genres = self.num_genres  # topics are structural
+        else:
+            # Fine genres scale with the item space (≥ 4 items per genre).
+            new_genres = max(16, min(s(self.num_genres, 16), new_items // 4))
+        return replace(
+            self,
+            num_train=s(self.num_train, 512),
+            # Eval floor 512: relative-loss curves quantize at 1/num_eval, so
+            # a tiny eval split would swamp technique differences in noise.
+            num_eval=s(self.num_eval, 512),
+            input_vocab=new_input,
+            output_vocab=out_vocab,
+            num_genres=new_genres,
+            num_countries=new_countries,
+        )

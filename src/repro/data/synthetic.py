@@ -1,0 +1,443 @@
+"""Latent-factor interaction simulator.
+
+The paper evaluates on five public recommendation datasets plus two
+proprietary ones; none are downloadable in this offline environment, so this
+module generates synthetic datasets whose *structure* matches what the
+paper's phenomena depend on (see DESIGN.md):
+
+* power-law entity popularity (Zipf with configurable exponent),
+* frequency-sorted ids (id 1 = most popular entity; id 0 = padding),
+* user-item affinity through latent genres, so that a model must learn
+  per-entity embeddings to predict well (hash collisions across genres hurt,
+  per-entity multipliers help — the mechanism MEmCom exploits),
+* Table 2's vocabulary sizes and example counts (scaled by ``spec.scaled``).
+
+Generative process
+------------------
+1. Each item (app/movie/song/word) has a global popularity rank; popularity
+   is Zipf(``input_exponent``).  Items are assigned to ``num_genres`` genres.
+2. Each user draws genre preferences from a Dirichlet with concentration
+   ``genre_concentration`` (small ⇒ picky users).
+3. Each interaction draws a genre from the user's preferences (or, with
+   probability ``popularity_mix``, ignores taste and samples global
+   popularity), then an item within the genre by within-genre popularity.
+4. Labels are drawn by the same process restricted to the *output catalog* —
+   the ``output_vocab`` most popular items — so the label is predictable
+   from the input's genre mixture.
+5. Newsgroup-style text datasets use the same machinery with
+   genre == topic == label (``label_source="genre"``).
+
+Everything is vectorized; generating the default benchmark scale
+(~10⁴ examples × 128 ids) takes well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.spec import DatasetSpec
+from repro.data.zipf import ZipfSampler, zipf_probabilities
+from repro.utils.rng import ensure_rng
+
+__all__ = ["SyntheticWorld", "UserPrefs", "Dataset", "PairwiseDataset", "generate_dataset", "generate_pairwise"]
+
+#: Zipf exponent for genre sizes — some genres are much bigger than others.
+_GENRE_EXPONENT = 0.8
+#: Zipf exponent over countries (Games/Arcade prepend a country id).
+_COUNTRY_EXPONENT = 1.2
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Fixed-length supervised examples for one dataset spec.
+
+    ``x_*`` are ``(N, input_length)`` int32 id matrices (0 = padding);
+    ``y_*`` are ``(N,)`` int32 labels in ``[0, output_vocab)``.
+    """
+
+    spec: DatasetSpec
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_eval: np.ndarray
+    y_eval: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in ("x_train", "x_eval"):
+            x = getattr(self, name)
+            if x.ndim != 2 or x.shape[1] != self.spec.input_length:
+                raise ValueError(f"{name} must be (N, {self.spec.input_length}), got {x.shape}")
+        if len(self.x_train) != len(self.y_train) or len(self.x_eval) != len(self.y_eval):
+            raise ValueError("feature/label lengths disagree")
+
+    @property
+    def num_classes(self) -> int:
+        return self.spec.output_vocab
+
+    @property
+    def vocab_size(self) -> int:
+        return self.spec.input_vocab
+
+
+@dataclass(frozen=True)
+class PairwiseDataset:
+    """RankNet training pairs: shared user features + (higher, lower) items.
+
+    ``pos``/``neg`` are catalog (output-vocab) ids; the network scores each
+    and maximizes the score difference (§5.2, Figure 3).
+    """
+
+    spec: DatasetSpec
+    x_train: np.ndarray
+    pos_train: np.ndarray
+    neg_train: np.ndarray
+    x_eval: np.ndarray
+    pos_eval: np.ndarray
+    neg_eval: np.ndarray
+
+
+@dataclass(frozen=True)
+class UserPrefs:
+    """Sparse user taste: a small support of genres plus mixture weights.
+
+    Users care about ``user_genre_support`` genres; with fine micro-genres
+    this makes item identity (not just a coarse category histogram) the
+    predictive signal, which is what gives hash collisions their cost.
+    """
+
+    support: np.ndarray  # (n, S) genre ids
+    weights: np.ndarray  # (n, S) rows sum to 1
+
+    def __post_init__(self) -> None:
+        if self.support.shape != self.weights.shape:
+            raise ValueError("support and weights must have matching shapes")
+
+    @property
+    def num_users(self) -> int:
+        return self.support.shape[0]
+
+
+@dataclass
+class SyntheticWorld:
+    """The frozen latent structure every example of a dataset shares."""
+
+    spec: DatasetSpec
+    item_genre: np.ndarray = field(repr=False)  # (num_items,) genre of item rank r
+    genre_members: list[np.ndarray] = field(repr=False)  # item ranks per genre, popularity order
+    genre_member_cdf: list[np.ndarray] = field(repr=False)
+    catalog_members: list[np.ndarray] = field(repr=False)  # catalog ranks per genre
+    catalog_member_cdf: list[np.ndarray] = field(repr=False)
+    genre_probs: np.ndarray = field(repr=False)  # popularity of each genre
+    global_sampler: ZipfSampler = field(repr=False)
+    catalog_sampler: ZipfSampler = field(repr=False)
+    #: world rank → public id offset, sorted by *expected* sampling
+    #: probability so emitted ids are frequency-sorted (§5.1) despite the
+    #: genre mixture reshaping raw Zipf popularity.
+    rank_to_public: np.ndarray = field(repr=False, default=None)
+    catalog_rank_to_label: np.ndarray = field(repr=False, default=None)
+    country_sampler: ZipfSampler | None = field(repr=False, default=None)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(cls, spec: DatasetSpec, rng: np.random.Generator | int | None = None) -> "SyntheticWorld":
+        rng = ensure_rng(rng)
+        n_items = spec.num_items
+        g = spec.num_genres
+        if spec.output_vocab > n_items and spec.label_source == "item":
+            raise ValueError(
+                f"output catalog ({spec.output_vocab}) larger than item space ({n_items})"
+            )
+
+        # Genre assignment: first g items round-robin (every genre non-empty),
+        # the rest by a skewed categorical so genre sizes are realistic.
+        genre_probs = zipf_probabilities(g, _GENRE_EXPONENT)
+        item_genre = np.empty(n_items, dtype=np.int64)
+        item_genre[:g] = np.arange(g)
+        if n_items > g:
+            item_genre[g:] = rng.choice(g, size=n_items - g, p=genre_probs)
+
+        genre_members: list[np.ndarray] = []
+        genre_member_cdf: list[np.ndarray] = []
+        catalog_members: list[np.ndarray] = []
+        catalog_member_cdf: list[np.ndarray] = []
+        out_v = spec.output_vocab
+        for genre in range(g):
+            members = np.flatnonzero(item_genre == genre)  # ascending rank = popularity order
+            genre_members.append(members)
+            genre_member_cdf.append(_zipf_cdf(members.size, spec.input_exponent))
+            in_catalog = members[members < out_v]
+            if in_catalog.size == 0:
+                # Guarantee every genre can emit a label: fall back to the
+                # genre's most popular item even if outside the catalog head.
+                in_catalog = members[:1] % out_v
+            catalog_members.append(in_catalog)
+            catalog_member_cdf.append(_zipf_cdf(in_catalog.size, spec.output_exponent))
+
+        # The sampling process mixes global popularity with genre-mass draws,
+        # so an item's realized frequency is NOT its raw Zipf rank.  Compute
+        # the expected per-item sampling probability analytically and relabel
+        # public ids in that order, making emitted ids frequency-sorted by
+        # construction (the paper's §5.1 id assignment).  A genre's expected
+        # user mass is approximately its popularity (users pick genres by
+        # popularity-weighted draws).
+        mix = spec.popularity_mix
+        item_expected = mix * zipf_probabilities(n_items, spec.input_exponent)
+        for genre in range(g):
+            members = genre_members[genre]
+            item_expected[members] += (
+                (1.0 - mix) * genre_probs[genre]
+            ) * zipf_probabilities(members.size, spec.input_exponent)
+        public_order = np.argsort(-item_expected, kind="stable")
+        rank_to_public = np.empty(n_items, dtype=np.int64)
+        rank_to_public[public_order] = np.arange(n_items)
+
+        catalog_expected = mix * zipf_probabilities(out_v, spec.output_exponent)
+        for genre in range(g):
+            members = catalog_members[genre]
+            catalog_expected[members] += (
+                (1.0 - mix) * genre_probs[genre]
+            ) * zipf_probabilities(members.size, spec.output_exponent)
+        label_order = np.argsort(-catalog_expected, kind="stable")
+        catalog_rank_to_label = np.empty(out_v, dtype=np.int64)
+        catalog_rank_to_label[label_order] = np.arange(out_v)
+
+        return cls(
+            spec=spec,
+            item_genre=item_genre,
+            genre_members=genre_members,
+            genre_member_cdf=genre_member_cdf,
+            catalog_members=catalog_members,
+            catalog_member_cdf=catalog_member_cdf,
+            genre_probs=genre_probs,
+            global_sampler=ZipfSampler(n_items, spec.input_exponent),
+            catalog_sampler=ZipfSampler(out_v, spec.output_exponent),
+            rank_to_public=rank_to_public,
+            catalog_rank_to_label=catalog_rank_to_label,
+            country_sampler=(
+                ZipfSampler(spec.num_countries, _COUNTRY_EXPONENT) if spec.num_countries else None
+            ),
+        )
+
+    # -- sampling ---------------------------------------------------------------
+
+    def sample_users(self, rng: np.random.Generator, n: int) -> UserPrefs:
+        """Sparse user tastes: a Gumbel-top-k support over genre popularity
+        plus Dirichlet weights on the support.
+
+        Processed in chunks so memory stays bounded for large genre counts.
+        """
+        g = self.spec.num_genres
+        s = min(self.spec.user_genre_support, g)
+        conc = np.full(s, max(self.spec.genre_concentration, 0.05))
+        log_p = np.log(self.genre_probs)
+        supports = np.empty((n, s), dtype=np.int64)
+        chunk = max(1, (1 << 22) // max(g, 1))
+        for start in range(0, n, chunk):
+            stop = min(n, start + chunk)
+            gumbel = -np.log(-np.log(rng.random((stop - start, g))))
+            scores = gumbel + log_p
+            supports[start:stop] = np.argpartition(-scores, s - 1, axis=1)[:, :s]
+        weights = rng.dirichlet(conc, size=n)
+        return UserPrefs(support=supports, weights=weights)
+
+    def sample_genres(self, rng: np.random.Generator, users: UserPrefs, k: int) -> np.ndarray:
+        """Per-user genre draws, shape (n, k), via inverse CDF on the sparse
+        support weights (support size is small, so the (n, k, S) compare is
+        cheap)."""
+        cum = np.cumsum(users.weights, axis=1)
+        cum[:, -1] = 1.0
+        u = rng.random((users.num_users, k))
+        pick = (u[:, :, None] < cum[:, None, :]).argmax(axis=2)
+        return np.take_along_axis(users.support, pick, axis=1)
+
+    def sample_items(self, rng: np.random.Generator, users: UserPrefs, k: int) -> np.ndarray:
+        """Sample item ranks (n, k): taste-driven with a popularity mixture."""
+        n = users.num_users
+        genres = self.sample_genres(rng, users, k)
+        items = self._items_within(rng, genres, self.genre_members, self.genre_member_cdf)
+        mix = rng.random((n, k)) < self.spec.popularity_mix
+        if mix.any():
+            items[mix] = self.global_sampler.sample(rng, int(mix.sum()))
+        return items
+
+    def sample_labels(self, rng: np.random.Generator, users: UserPrefs, k: int) -> np.ndarray:
+        """Sample labels (n, k): frequency-sorted output-vocab ids."""
+        n = users.num_users
+        genres = self.sample_genres(rng, users, k)
+        labels = self._items_within(rng, genres, self.catalog_members, self.catalog_member_cdf)
+        mix = rng.random((n, k)) < self.spec.popularity_mix
+        if mix.any():
+            labels[mix] = self.catalog_sampler.sample(rng, int(mix.sum()))
+        return self.catalog_rank_to_label[labels]
+
+    def _items_within(
+        self,
+        rng: np.random.Generator,
+        genres: np.ndarray,
+        members: list[np.ndarray],
+        cdfs: list[np.ndarray],
+    ) -> np.ndarray:
+        """Within-genre popularity draws for a (n, k) genre matrix.
+
+        Grouped by genre via one argsort so the per-genre inverse-CDF work
+        touches only genres actually drawn (fine-genre specs have thousands
+        of genres but each batch uses far fewer).
+        """
+        flat_genres = genres.ravel()
+        u = rng.random(flat_genres.shape)
+        out = np.empty(flat_genres.shape, dtype=np.int64)
+        order = np.argsort(flat_genres, kind="stable")
+        sorted_genres = flat_genres[order]
+        boundaries = np.flatnonzero(np.diff(sorted_genres)) + 1
+        for group in np.split(order, boundaries):
+            genre = int(flat_genres[group[0]])
+            pos = np.searchsorted(cdfs[genre], u[group], side="right")
+            out[group] = members[genre][pos]
+        return out.reshape(genres.shape)
+
+    # -- id-space mapping ---------------------------------------------------------
+
+    def item_rank_to_input_id(self, ranks: np.ndarray) -> np.ndarray:
+        """World item rank → frequency-sorted public input id.
+
+        Matches §5.1: countries occupy ids 1…n, apps ids n+1…n+m (most
+        frequently sampled app first), id 0 pads.
+        """
+        return self.rank_to_public[ranks] + 1 + self.spec.num_countries
+
+    def sample_country_ids(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.country_sampler is None:
+            raise ValueError(f"dataset {self.spec.name!r} has no country feature")
+        return self.country_sampler.sample(rng, n) + 1
+
+
+def _zipf_cdf(n: int, alpha: float) -> np.ndarray:
+    cdf = np.cumsum(zipf_probabilities(max(n, 1), alpha))
+    cdf[-1] = 1.0
+    return cdf
+
+
+# -- dataset generation -----------------------------------------------------------
+
+
+def generate_dataset(
+    spec: DatasetSpec, rng: np.random.Generator | int | None = None
+) -> Dataset:
+    """Generate the (train, eval) example matrices for ``spec``.
+
+    Ranking specs emit up to ``spec.examples_per_user`` overlapping windows
+    per user (§5.2); classification specs emit one example per user with the
+    country id in slot 0 when the spec has countries (§5.1).
+    """
+    rng = ensure_rng(rng)
+    world = SyntheticWorld.build(spec, rng)
+    x_train, y_train = _generate_split(world, rng, spec.num_train, train=True)
+    x_eval, y_eval = _generate_split(world, rng, spec.num_eval, train=False)
+    return Dataset(spec=spec, x_train=x_train, y_train=y_train, x_eval=x_eval, y_eval=y_eval)
+
+
+def _generate_split(
+    world: SyntheticWorld, rng: np.random.Generator, num_examples: int, train: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    spec = world.spec
+    k = spec.examples_per_user if train else 1
+    num_users = -(-num_examples // k)  # ceil
+    users = world.sample_users(rng, num_users)
+
+    if spec.label_source == "genre":
+        x, y = _generate_topic_documents(world, rng, users)
+    else:
+        x, y = _generate_interaction_windows(world, rng, users, k)
+    x, y = x[:num_examples], y[:num_examples]
+    return x.astype(np.int32), y.astype(np.int32)
+
+
+def _generate_interaction_windows(
+    world: SyntheticWorld, rng: np.random.Generator, users: UserPrefs, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """History of length L+k−1 → k overlapping 128-windows + k labels."""
+    spec = world.spec
+    n = users.num_users
+    slots = spec.input_length - (1 if spec.num_countries else 0)
+    hist_len = slots + k - 1
+    history = world.item_rank_to_input_id(world.sample_items(rng, users, hist_len))
+
+    # Users have varying activity; the earliest interactions of short-history
+    # users are padding (paper: "pad (with id 0) if the user has less than
+    # 127 purchases").
+    min_len = max(4, slots // 4)
+    lengths = rng.integers(min_len, slots + 1, size=n)
+    pad_mask = np.arange(hist_len) < (slots - lengths)[:, None]
+    history[pad_mask] = 0
+
+    labels = world.sample_labels(rng, users, k)
+
+    xs = []
+    ys = []
+    for j in range(k):
+        window = history[:, j : j + slots]
+        if spec.num_countries:
+            country = world.sample_country_ids(rng, n)[:, None]
+            window = np.concatenate([country, window], axis=1)
+        xs.append(window)
+        ys.append(labels[:, j])
+    # Interleave users so truncating to num_examples keeps user diversity.
+    x = np.stack(xs, axis=1).reshape(n * k, spec.input_length)
+    y = np.stack(ys, axis=1).reshape(n * k)
+    return x, y
+
+
+def _generate_topic_documents(
+    world: SyntheticWorld, rng: np.random.Generator, users: UserPrefs
+) -> tuple[np.ndarray, np.ndarray]:
+    """Newsgroup-style: one dominant topic per document; label = topic."""
+    spec = world.spec
+    n = users.num_users
+    # The document's topic is its strongest supported genre; sharpen the
+    # support so ~98% of content words come from the topic's vocabulary and
+    # the rest leak from the user's other interests (popularity_mix adds the
+    # globally common words on top).
+    strongest = users.weights.argmax(axis=1)
+    topic = np.take_along_axis(users.support, strongest[:, None], axis=1)[:, 0]
+    s = users.support.shape[1]
+    sharp = np.full_like(users.weights, 0.02 / max(s - 1, 1))
+    sharp[np.arange(n), strongest] = 0.98 if s > 1 else 1.0
+    doc_users = UserPrefs(support=users.support, weights=sharp)
+    words = world.sample_items(rng, doc_users, spec.input_length)
+    x = world.item_rank_to_input_id(words)
+    return x, topic.astype(np.int64)
+
+
+def generate_pairwise(
+    spec: DatasetSpec, rng: np.random.Generator | int | None = None
+) -> PairwiseDataset:
+    """Pairwise RankNet data (Figure 3): (user window, preferred, other).
+
+    The preferred item is the user's sampled label; the other is drawn from
+    catalog popularity and forced to differ, so the network must learn the
+    user-conditional ordering, not a global popularity prior.
+    """
+    rng = ensure_rng(rng)
+    base = generate_dataset(spec, rng)
+    world_rng = ensure_rng(int(rng.integers(0, 2**31)))
+
+    def negatives(pos: np.ndarray) -> np.ndarray:
+        sampler = ZipfSampler(spec.output_vocab, spec.output_exponent)
+        neg = sampler.sample(world_rng, pos.shape[0])
+        clash = neg == pos
+        while clash.any():
+            neg[clash] = sampler.sample(world_rng, int(clash.sum()))
+            clash = neg == pos
+        return neg.astype(np.int32)
+
+    return PairwiseDataset(
+        spec=spec,
+        x_train=base.x_train,
+        pos_train=base.y_train,
+        neg_train=negatives(base.y_train),
+        x_eval=base.x_eval,
+        pos_eval=base.y_eval,
+        neg_eval=negatives(base.y_eval),
+    )

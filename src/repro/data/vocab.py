@@ -1,0 +1,96 @@
+"""Frequency-sorted vocabulary mapping (§5.1).
+
+The paper assigns ids by frequency — "the most downloaded app is assigned
+the id n+1 and the country with most purchases is assigned the id 1" — and
+MEmCom's Algorithm 2 assumes it ("determine index i of category x (sorted by
+frequency)").  The synthetic generators emit frequency-sorted ids by
+construction; these utilities exist for (a) ingesting *external* id streams,
+(b) verifying sortedness in tests, and (c) the ablation bench that trains
+MEmCom with a *random* id assignment to quantify how much frequency sorting
+matters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "id_frequencies",
+    "frequency_sorted_mapping",
+    "random_id_mapping",
+    "apply_mapping",
+    "sortedness_violation",
+]
+
+
+def id_frequencies(ids: np.ndarray, vocab_size: int) -> np.ndarray:
+    """Occurrence count of every id in ``[0, vocab_size)``."""
+    ids = np.asarray(ids)
+    if ids.size and (ids.min() < 0 or ids.max() >= vocab_size):
+        raise IndexError(f"id out of range [0, {vocab_size})")
+    return np.bincount(ids.ravel(), minlength=vocab_size)
+
+
+def frequency_sorted_mapping(counts: np.ndarray, reserve_padding: bool = True) -> np.ndarray:
+    """Old-id → new-id permutation with the most frequent id first.
+
+    With ``reserve_padding`` (the paper's layout) id 0 maps to itself and
+    real entities occupy 1…v−1 in descending frequency; ties break by old
+    id for determinism.
+    """
+    counts = np.asarray(counts)
+    if counts.ndim != 1:
+        raise ValueError("counts must be 1-D (per-id occurrence counts)")
+    v = counts.size
+    mapping = np.empty(v, dtype=np.int64)
+    if reserve_padding:
+        # stable sort on -count; old id 0 stays pinned.
+        order = np.argsort(-counts[1:], kind="stable") + 1
+        mapping[0] = 0
+        mapping[order] = np.arange(1, v)
+    else:
+        order = np.argsort(-counts, kind="stable")
+        mapping[order] = np.arange(v)
+    return mapping
+
+
+def random_id_mapping(
+    vocab_size: int,
+    rng: np.random.Generator | int | None = None,
+    reserve_padding: bool = True,
+) -> np.ndarray:
+    """A random id permutation — the ablation's anti-frequency assignment."""
+    rng = ensure_rng(rng)
+    if reserve_padding:
+        mapping = np.empty(vocab_size, dtype=np.int64)
+        mapping[0] = 0
+        mapping[1:] = rng.permutation(np.arange(1, vocab_size))
+    else:
+        mapping = rng.permutation(vocab_size).astype(np.int64)
+    return mapping
+
+
+def apply_mapping(ids: np.ndarray, mapping: np.ndarray) -> np.ndarray:
+    """Re-map an id array through an old→new permutation."""
+    ids = np.asarray(ids)
+    if ids.size and (ids.min() < 0 or ids.max() >= mapping.size):
+        raise IndexError(f"id out of range [0, {mapping.size})")
+    return mapping[ids]
+
+
+def sortedness_violation(counts: np.ndarray, skip_padding: bool = True) -> float:
+    """Fraction of adjacent id pairs whose frequency *increases*.
+
+    0.0 means perfectly frequency-sorted.  The synthetic generators are
+    stochastic, so tests allow a small violation among the rare tail where
+    counts tie at 1 or 0.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if skip_padding:
+        counts = counts[1:]
+    if counts.size < 2:
+        return 0.0
+    increases = np.diff(counts) > 0
+    return float(increases.mean())

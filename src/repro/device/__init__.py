@@ -1,0 +1,70 @@
+"""`repro.device` — the on-device inference simulator (Table 3 substitute).
+
+Model export to a device IR, linear quantization (Figure 4), device and
+framework profiles (iPhone 12 Pro + CoreML, Pixel 2 + TF-Lite), and the
+analytic latency / memory-footprint cost model.
+"""
+
+from repro.device.cost_model import (
+    InferenceReport,
+    benchmark,
+    estimate_footprint_mb,
+    estimate_latency_ms,
+)
+from repro.device.export import ExportedModel, Op, WeightTensor, export_model
+from repro.device.profiles import (
+    DEVICES,
+    IPHONE_12_PRO_COREML,
+    PAGE_BYTES,
+    PIXEL_2_TFLITE,
+    ComputeUnitProfile,
+    DeviceProfile,
+    UnsupportedOpError,
+)
+from repro.device.pruning import (
+    PruningReport,
+    csr_bytes,
+    dense_bytes,
+    effective_bytes,
+    prune_array,
+    prune_module,
+    sparsity,
+)
+from repro.device.quantize import (
+    SUPPORTED_BITS,
+    QuantizationReport,
+    quantize_array,
+    quantize_module,
+)
+from repro.device.runtime import DeviceRuntime, benchmark_on_all_devices
+
+__all__ = [
+    "DEVICES",
+    "ComputeUnitProfile",
+    "DeviceProfile",
+    "DeviceRuntime",
+    "ExportedModel",
+    "IPHONE_12_PRO_COREML",
+    "InferenceReport",
+    "Op",
+    "PAGE_BYTES",
+    "PIXEL_2_TFLITE",
+    "PruningReport",
+    "QuantizationReport",
+    "SUPPORTED_BITS",
+    "UnsupportedOpError",
+    "WeightTensor",
+    "benchmark",
+    "benchmark_on_all_devices",
+    "csr_bytes",
+    "dense_bytes",
+    "effective_bytes",
+    "estimate_footprint_mb",
+    "estimate_latency_ms",
+    "export_model",
+    "prune_array",
+    "prune_module",
+    "quantize_array",
+    "quantize_module",
+    "sparsity",
+]

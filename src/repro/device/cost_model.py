@@ -1,0 +1,115 @@
+"""Analytic latency and memory-footprint model (Table 3's measurement).
+
+Given an :class:`~repro.device.export.ExportedModel` and a device profile,
+compute:
+
+* **inference latency** — roofline per op: the greater of compute time
+  (``flops / (gflops × efficiency)``) and memory time (``bytes moved /
+  bandwidth``), plus a fixed dispatch overhead per op;
+* **memory footprint** — framework base + peak activation buffers + dense
+  weights at the framework's residency factor + touched pages of mmap'd
+  lookup tables (clean untouched pages cost nothing — this is why the
+  paper's lookup models stay at a few MB while the one-hot model pays for
+  its whole matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.export import ExportedModel, Op
+from repro.device.profiles import PAGE_BYTES, DeviceProfile, UnsupportedOpError
+
+__all__ = ["InferenceReport", "estimate_latency_ms", "estimate_footprint_mb", "benchmark"]
+
+
+@dataclass(frozen=True)
+class InferenceReport:
+    """One Table 3 cell pair: latency (ms) and resident footprint (MB)."""
+
+    model: str
+    device: str
+    framework: str
+    compute_unit: str
+    latency_ms: float
+    footprint_mb: float
+    on_disk_mb: float
+
+
+def _op_bytes(model: ExportedModel, op: Op) -> int:
+    """Bytes an op moves: output activations + the weight bytes it reads.
+
+    Gathers read only the touched rows; matmuls stream the whole operand.
+    """
+    weight_bytes = 0
+    for wname in op.weights:
+        w = model.weights[wname]
+        if w.storage == "lookup" and op.kind == "gather":
+            weight_bytes += op.touched_bytes
+        else:
+            weight_bytes += w.bytes
+    return op.activation_bytes + weight_bytes
+
+
+def estimate_latency_ms(
+    model: ExportedModel, profile: DeviceProfile, compute_unit: str
+) -> float:
+    """Roofline latency of one inference on the given compute unit."""
+    unit = profile.unit(compute_unit)
+    total_us = 0.0
+    for op in model.ops:
+        if op.kind in unit.unsupported:
+            raise UnsupportedOpError(
+                f"{profile.framework} {unit.name} has no kernel for {op.kind!r} "
+                f"(op {op.name!r})"
+            )
+        eff = unit.efficiency(op.kind)
+        compute_us = op.flops / (unit.gflops * eff * 1e3) if op.flops else 0.0
+        memory_us = _op_bytes(model, op) / (unit.bandwidth_gbps * 1e3)
+        total_us += max(compute_us, memory_us) + unit.dispatch_us
+    return total_us / 1e3
+
+
+def _round_to_pages(nbytes: int) -> int:
+    pages = -(-nbytes // PAGE_BYTES)
+    return pages * PAGE_BYTES
+
+
+def estimate_footprint_mb(model: ExportedModel, profile: DeviceProfile) -> float:
+    """Resident memory of one warmed-up inference (§5.3's footprint)."""
+    dirty_bytes = 0.0
+    for w in model.weights.values():
+        if w.storage != "lookup":
+            dirty_bytes += w.bytes * profile.residency_of(w.storage)
+    touched = {}
+    for op in model.ops:
+        for wname in op.weights:
+            w = model.weights[wname]
+            if w.storage == "lookup":
+                prev = touched.get(wname, 0)
+                add = op.touched_bytes if op.kind == "gather" else w.bytes
+                # A table cannot have more resident bytes than it holds.
+                touched[wname] = min(w.bytes, prev + add)
+    touched_bytes = sum(_round_to_pages(b) for b in touched.values())
+    total = (
+        profile.base_footprint_mb * 1e6
+        + model.peak_activation_bytes()
+        + dirty_bytes
+        + touched_bytes
+    )
+    return total / 1e6
+
+
+def benchmark(
+    model: ExportedModel, profile: DeviceProfile, compute_unit: str
+) -> InferenceReport:
+    """Latency + footprint + shipped size for one (model, device, unit)."""
+    return InferenceReport(
+        model=model.name,
+        device=profile.device,
+        framework=profile.framework,
+        compute_unit=compute_unit,
+        latency_ms=estimate_latency_ms(model, profile, compute_unit),
+        footprint_mb=estimate_footprint_mb(model, profile),
+        on_disk_mb=model.on_disk_bytes() / 1e6,
+    )

@@ -1,0 +1,364 @@
+"""Model export: flatten a trained model into a device-level op graph.
+
+The on-device simulator does not re-execute Python modules; it walks an
+exported intermediate representation whose ops carry exactly what a mobile
+runtime's scheduler sees — FLOPs, activation bytes, and which weight tensors
+they touch and *how*:
+
+* ``lookup`` storage — embedding tables read row-wise through ``mmap``; only
+  the touched rows' pages become resident (§3's "table approach").
+* ``dense`` storage — weights consumed by matrix multiplies; frameworks
+  transform these into their own layouts at load, so they occupy anonymous
+  (dirty) memory per the profile's residency factors (§3's "matrix
+  approach" is charged this way, which is the whole Table 3 story).
+
+``export_model`` understands the three paper architectures and every
+embedding technique in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import CompressedEmbedding
+from repro.core.full import FullEmbedding
+from repro.core.hashing import (
+    DoubleHashEmbedding,
+    FrequencyDoubleHashEmbedding,
+    NaiveHashEmbedding,
+)
+from repro.core.low_rank import FactorizedEmbedding, ReducedDimEmbedding
+from repro.core.memcom import MEmComEmbedding
+from repro.core.mixed_dim import MixedDimEmbedding
+from repro.core.onehot import HashedOneHotEncoder
+from repro.core.quotient_remainder import QREmbedding
+from repro.core.truncate import TruncateRareEmbedding
+from repro.core.tt_rec import TTRecEmbedding
+from repro.models.classifier import EmbeddingClassifier
+from repro.models.pointwise import PointwiseRanker
+from repro.models.ranknet import RankNet
+
+__all__ = ["WeightTensor", "Op", "ExportedModel", "export_model"]
+
+_F32 = 4  # exported models are FP32 unless re-quantized (§5.3 setting)
+
+
+@dataclass(frozen=True)
+class WeightTensor:
+    """One serialized weight blob."""
+
+    name: str
+    shape: tuple[int, ...]
+    #: "lookup"       — mmap'd table read row-wise by gathers;
+    #: "dense"        — standard layer weights, consumed in stored layout
+    #:                  (mmap'd, mostly clean pages);
+    #: "onehot_dense" — matmul operand fed by a materialized one-hot
+    #:                  encoding; frameworks transform it into their own
+    #:                  anonymous buffers (the Table 3 memory mechanism).
+    storage: str
+    bits: int = 32
+
+    @property
+    def num_params(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def bytes(self) -> int:
+        return self.num_params * self.bits // 8
+
+
+@dataclass(frozen=True)
+class Op:
+    """One scheduled operator."""
+
+    kind: str  # gather | matmul | one_hot | mul | add | mean_pool | relu | batch_norm | softmax | concat
+    name: str
+    flops: int
+    #: activation bytes written (the op's output buffer)
+    activation_bytes: int
+    #: weight tensors this op reads
+    weights: tuple[str, ...] = ()
+    #: for gathers: bytes of table rows actually touched this inference
+    touched_bytes: int = 0
+
+
+@dataclass
+class ExportedModel:
+    """The unit the device simulator consumes."""
+
+    name: str
+    batch_size: int
+    ops: list[Op] = field(default_factory=list)
+    weights: dict[str, WeightTensor] = field(default_factory=dict)
+
+    def add_weight(self, name: str, shape: tuple[int, ...], storage: str, bits: int = 32) -> str:
+        if name in self.weights:
+            raise ValueError(f"duplicate weight {name!r}")
+        self.weights[name] = WeightTensor(name, tuple(int(s) for s in shape), storage, bits)
+        return name
+
+    def on_disk_bytes(self) -> int:
+        """Shipped model size: all weight blobs plus a small header."""
+        return sum(w.bytes for w in self.weights.values()) + 1024
+
+    def total_flops(self) -> int:
+        return sum(op.flops for op in self.ops)
+
+    def peak_activation_bytes(self) -> int:
+        """Peak of a simple two-buffer (ping-pong) activation allocator."""
+        sizes = [op.activation_bytes for op in self.ops]
+        if not sizes:
+            return 0
+        best = max(sizes)
+        pairwise = max(
+            (a + b for a, b in zip(sizes, sizes[1:])), default=best
+        )
+        return max(best, pairwise)
+
+    def quantized(self, bits: int) -> "ExportedModel":
+        """A re-quantized copy (weight payloads at ``bits`` per parameter)."""
+        out = ExportedModel(name=f"{self.name}@{bits}bit", batch_size=self.batch_size)
+        out.ops = list(self.ops)
+        out.weights = {
+            k: WeightTensor(w.name, w.shape, w.storage, bits) for k, w in self.weights.items()
+        }
+        return out
+
+
+# -- embedding exporters -----------------------------------------------------------
+
+
+def _export_embedding(
+    em: ExportedModel, emb: CompressedEmbedding, b: int, length: int
+) -> int:
+    """Emit the embedding stage's weights+ops; returns the output width."""
+    e = emb.output_dim
+    act = b * length * e * _F32
+
+    if isinstance(emb, (FullEmbedding, ReducedDimEmbedding)):
+        table = emb.table.data.shape
+        w = em.add_weight("embedding.table", table, "lookup")
+        em.ops.append(
+            Op("gather", "embedding", 0, act, (w,), touched_bytes=b * length * table[1] * _F32)
+        )
+    elif isinstance(emb, TruncateRareEmbedding):
+        table = emb.table.data.shape
+        w = em.add_weight("embedding.table", table, "lookup")
+        em.ops.append(
+            Op("gather", "embedding", 0, act, (w,), touched_bytes=b * length * table[1] * _F32)
+        )
+    elif isinstance(emb, NaiveHashEmbedding):
+        w = em.add_weight("embedding.table", emb.table.data.shape, "lookup")
+        em.ops.append(
+            Op("gather", "embedding", 0, act, (w,), touched_bytes=b * length * e * _F32)
+        )
+    elif isinstance(emb, DoubleHashEmbedding):
+        w1 = em.add_weight("embedding.table1", emb.table1.data.shape, "lookup")
+        w2 = em.add_weight("embedding.table2", emb.table2.data.shape, "lookup")
+        half_act = act // 2
+        touched = b * length * (e // 2) * _F32
+        em.ops.append(Op("gather", "embedding.h1", 0, half_act, (w1,), touched_bytes=touched))
+        em.ops.append(Op("gather", "embedding.h2", 0, half_act, (w2,), touched_bytes=touched))
+        em.ops.append(Op("concat", "embedding.concat", 0, act))
+    elif isinstance(emb, QREmbedding):
+        wr = em.add_weight("embedding.remainder", emb.remainder.data.shape, "lookup")
+        wq = em.add_weight("embedding.quotient", emb.quotient.data.shape, "lookup")
+        d = emb.remainder.data.shape[1]
+        touched = b * length * d * _F32
+        part = b * length * d * _F32
+        em.ops.append(Op("gather", "embedding.rem", 0, part, (wr,), touched_bytes=touched))
+        em.ops.append(Op("gather", "embedding.quo", 0, part, (wq,), touched_bytes=touched))
+        if emb.operation == "mult":
+            em.ops.append(Op("mul", "embedding.compose", b * length * e, act))
+        else:
+            em.ops.append(Op("concat", "embedding.compose", 0, act))
+    elif isinstance(emb, MEmComEmbedding):
+        wu = em.add_weight("embedding.shared", emb.shared.data.shape, "lookup")
+        wv = em.add_weight("embedding.multiplier", emb.multiplier.data.shape, "lookup")
+        em.ops.append(
+            Op("gather", "embedding.shared", 0, act, (wu,), touched_bytes=b * length * e * _F32)
+        )
+        em.ops.append(
+            Op(
+                "gather",
+                "embedding.mult",
+                0,
+                b * length * _F32,
+                (wv,),
+                touched_bytes=b * length * _F32,
+            )
+        )
+        em.ops.append(Op("mul", "embedding.broadcast_mul", b * length * e, act))
+        if emb.bias_table is not None:
+            wb = em.add_weight("embedding.bias", emb.bias_table.data.shape, "lookup")
+            em.ops.append(
+                Op(
+                    "gather",
+                    "embedding.biasrow",
+                    0,
+                    b * length * _F32,
+                    (wb,),
+                    touched_bytes=b * length * _F32,
+                )
+            )
+            em.ops.append(Op("add", "embedding.broadcast_add", b * length * e, act))
+    elif isinstance(emb, FactorizedEmbedding):
+        h = emb.hidden_dim
+        wt = em.add_weight("embedding.table", emb.table.data.shape, "lookup")
+        wp = em.add_weight("embedding.projection", emb.projection.weight.data.shape, "dense")
+        em.ops.append(
+            Op(
+                "gather",
+                "embedding.narrow",
+                0,
+                b * length * h * _F32,
+                (wt,),
+                touched_bytes=b * length * h * _F32,
+            )
+        )
+        em.ops.append(Op("matmul", "embedding.project", 2 * b * length * h * e, act, (wp,)))
+    elif isinstance(emb, FrequencyDoubleHashEmbedding):
+        # Both paths run batch-wide and are mask-combined, exactly as the
+        # layer computes: one head gather + the double-hashed tail + gating.
+        wh = em.add_weight("embedding.head", emb.head.data.shape, "lookup")
+        w1 = em.add_weight("embedding.tail1", emb.tail.table1.data.shape, "lookup")
+        w2 = em.add_weight("embedding.tail2", emb.tail.table2.data.shape, "lookup")
+        touched_half = b * length * (e // 2) * _F32
+        em.ops.append(Op("gather", "embedding.head", 0, act, (wh,), touched_bytes=b * length * e * _F32))
+        em.ops.append(Op("gather", "embedding.t1", 0, act // 2, (w1,), touched_bytes=touched_half))
+        em.ops.append(Op("gather", "embedding.t2", 0, act // 2, (w2,), touched_bytes=touched_half))
+        em.ops.append(Op("concat", "embedding.tail_concat", 0, act))
+        em.ops.append(Op("mul", "embedding.gate", 2 * b * length * e, act))
+        em.ops.append(Op("add", "embedding.combine", b * length * e, act))
+    elif isinstance(emb, TTRecEmbedding):
+        e1, e2, e3 = emb.dim_shape
+        r = emb.tt_rank
+        n = b * length
+        w1 = em.add_weight("embedding.core1", emb.core1.data.shape, "lookup")
+        w2 = em.add_weight("embedding.core2", emb.core2.data.shape, "lookup")
+        w3 = em.add_weight("embedding.core3", emb.core3.data.shape, "lookup")
+        for wname, wid, width in (("g1", w1, e1 * r), ("g2", w2, r * e2 * r), ("g3", w3, r * e3)):
+            em.ops.append(
+                Op(
+                    "gather",
+                    f"embedding.{wname}",
+                    0,
+                    n * width * _F32,
+                    (wid,),
+                    touched_bytes=n * width * _F32,
+                )
+            )
+        em.ops.append(Op("matmul", "embedding.contract1", 2 * n * e1 * r * e2 * r, n * e1 * e2 * r * _F32))
+        em.ops.append(Op("matmul", "embedding.contract2", 2 * n * e1 * e2 * r * e3, act))
+    elif isinstance(emb, MixedDimEmbedding):
+        # Exported as computed: every block is gathered, projected and
+        # mask-combined batch-wide (an index-partitioning runtime could do
+        # better; we charge what the reference layer does).
+        for k, ((table, proj), d) in enumerate(
+            zip(zip(emb.tables, emb.projections), emb.block_widths)
+        ):
+            wt = em.add_weight(f"embedding.block{k}", table.data.shape, "lookup")
+            em.ops.append(
+                Op(
+                    "gather",
+                    f"embedding.block{k}",
+                    0,
+                    b * length * d * _F32,
+                    (wt,),
+                    touched_bytes=b * length * d * _F32,
+                )
+            )
+            if proj is not None:
+                wp = em.add_weight(f"embedding.proj{k}", proj.weight.data.shape, "dense")
+                em.ops.append(
+                    Op("matmul", f"embedding.proj{k}", 2 * b * length * d * e, act, (wp,))
+                )
+            em.ops.append(Op("mul", f"embedding.gate{k}", b * length * e, act))
+            if k:
+                em.ops.append(Op("add", f"embedding.acc{k}", b * length * e, act))
+    elif isinstance(emb, HashedOneHotEncoder):
+        # The "matrix approach": materialize the (B, m) hashed one-hot
+        # encoding in anonymous memory, then a full dense matmul.  The
+        # encoding scan costs O(L·m) interpreter work (each feature is
+        # scattered across the m-wide buffer) — this is what makes the
+        # Weinberger model's latency dataset-independent in Table 3.
+        m = emb.num_hash_buckets
+        w = em.add_weight("embedding.hash_matrix", (m, e), "onehot_dense")
+        em.ops.append(Op("one_hot", "embedding.onehot", b * length * m, b * m * _F32))
+        em.ops.append(Op("matmul", "embedding.project", 2 * b * m * e, b * e * _F32, (w,)))
+        return e  # already pooled: (B, e)
+    else:  # pragma: no cover - future techniques must add an exporter
+        raise TypeError(f"no exporter for embedding type {type(emb).__name__}")
+    return e
+
+
+def _export_tower(em: ExportedModel, b: int, length: int, e: int, pooled: bool) -> None:
+    """Pool + ReLU + BatchNorm (inference folds dropout away)."""
+    if not pooled:
+        em.ops.append(Op("mean_pool", "pool", b * length * e, b * e * _F32))
+    em.ops.append(Op("relu", "relu", b * e, b * e * _F32))
+    bn = em.add_weight("norm.scale_shift", (2 * e,), "lookup")
+    em.ops.append(Op("batch_norm", "norm", 4 * b * e, b * e * _F32, (bn,)))
+
+
+def _export_dense(em: ExportedModel, name: str, b: int, d_in: int, d_out: int, bias: bool = True) -> None:
+    w = em.add_weight(f"{name}.weight", (d_in, d_out), "dense")
+    weights = [w]
+    if bias:
+        weights.append(em.add_weight(f"{name}.bias", (d_out,), "lookup"))
+    em.ops.append(
+        Op("matmul", name, 2 * b * d_in * d_out, b * d_out * _F32, tuple(weights))
+    )
+
+
+def export_model(model, batch_size: int = 1, name: str | None = None) -> ExportedModel:
+    """Export a paper model to the device IR.
+
+    Table 3 uses ``batch_size=1`` (the on-device setting); larger batches
+    scale activations and touched rows accordingly.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    b = batch_size
+
+    if isinstance(model, EmbeddingClassifier):
+        em = ExportedModel(name or "classifier", b)
+        length = model.input_length
+        e = _export_embedding(em, model.embedding, b, length)
+        pooled = isinstance(model.embedding, HashedOneHotEncoder)
+        _export_tower(em, b, length, e, pooled)
+        hidden = model.hidden.units
+        _export_dense(em, "hidden", b, e, hidden)
+        em.ops.append(Op("relu", "hidden.relu", b * hidden, b * hidden * _F32))
+        bn2 = em.add_weight("norm2.scale_shift", (2 * hidden,), "lookup")
+        em.ops.append(Op("batch_norm", "norm2", 4 * b * hidden, b * hidden * _F32, (bn2,)))
+        c = model.num_labels
+        _export_dense(em, "output", b, hidden, c)
+        em.ops.append(Op("softmax", "softmax", 5 * b * c, b * c * _F32))
+        return em
+
+    if isinstance(model, PointwiseRanker):
+        em = ExportedModel(name or "pointwise", b)
+        length = model.input_length
+        e = _export_embedding(em, model.embedding, b, length)
+        pooled = isinstance(model.embedding, HashedOneHotEncoder)
+        _export_tower(em, b, length, e, pooled)
+        c = model.num_items
+        _export_dense(em, "output", b, e, c)
+        em.ops.append(Op("softmax", "softmax", 5 * b * c, b * c * _F32))
+        return em
+
+    if isinstance(model, RankNet):
+        em = ExportedModel(name or "ranknet", b)
+        length = model.input_length
+        e = _export_embedding(em, model.embedding, b, length)
+        pooled = isinstance(model.embedding, HashedOneHotEncoder)
+        _export_tower(em, b, length, e, pooled)
+        c = model.num_items
+        # Catalog scoring matmul + per-item bias.
+        _export_dense(em, "item_scores", b, e, c)
+        return em
+
+    raise TypeError(f"no exporter for model type {type(model).__name__}")

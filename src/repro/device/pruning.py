@@ -1,0 +1,147 @@
+"""Post-training magnitude pruning (the sparsification of §2.5 / §A.2).
+
+Appendix A.2 reduces a MEmCom-compressed model further by lowering float
+precision and explicitly defers "sparsifying the weights" to future work.
+This module implements that future-work leg so the tradeoff can be measured:
+unstructured magnitude pruning (Han et al. 2015) — zero the
+smallest-magnitude fraction of each weight tensor — plus the storage
+accounting that says when sparsity actually pays on disk.
+
+A pruned dense tensor only shrinks the shipped model if it is stored in a
+sparse format; we account CSR-style storage (values + column indices +
+row pointers) and report the break-even density, which for 32-bit values
+with 32-bit indices is ≈50%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = [
+    "PruningReport",
+    "prune_array",
+    "prune_module",
+    "sparsity",
+    "csr_bytes",
+    "dense_bytes",
+    "effective_bytes",
+]
+
+
+@dataclass(frozen=True)
+class PruningReport:
+    """Outcome of one pruning pass over a module."""
+
+    fraction: float
+    num_params: int
+    num_zeros: int
+    dense_bytes: int
+    sparse_bytes: int
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of weights that are exactly zero after pruning."""
+        return self.num_zeros / max(self.num_params, 1)
+
+    @property
+    def on_disk_bytes(self) -> int:
+        """Bytes shipped: the cheaper of dense and CSR per the whole model."""
+        return min(self.dense_bytes, self.sparse_bytes)
+
+    @property
+    def size_reduction(self) -> float:
+        """dense / shipped — >1 when sparsity pays on disk."""
+        return self.dense_bytes / max(self.on_disk_bytes, 1)
+
+
+def prune_array(w: np.ndarray, fraction: float) -> np.ndarray:
+    """Zero the ``fraction`` smallest-magnitude entries of ``w``.
+
+    Exactly ``floor(fraction · size)`` entries are zeroed per tensor (ties
+    broken by position, via argpartition) — the standard "layerwise"
+    magnitude criterion.  Selecting exact indices rather than thresholding
+    matters for constant tensors (fresh BatchNorm gammas, MEmCom multipliers
+    at their all-ones init), where a ``|w| ≤ threshold`` rule would wipe the
+    whole tensor at any fraction.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    w = np.asarray(w)
+    if fraction == 0.0 or w.size == 0:
+        return w.astype(np.float32, copy=True)
+    k = int(np.floor(fraction * w.size))
+    if k == 0:
+        return w.astype(np.float32, copy=True)
+    out = w.astype(np.float32, copy=True)
+    flat = out.reshape(-1)
+    drop = np.argpartition(np.abs(flat), k - 1)[:k]
+    flat[drop] = 0.0
+    return out
+
+
+def sparsity(w: np.ndarray) -> float:
+    """Fraction of exactly-zero entries."""
+    w = np.asarray(w)
+    return float((w == 0).sum() / max(w.size, 1))
+
+
+def dense_bytes(num_params: int, value_bits: int = 32) -> int:
+    """On-disk bytes of a dense tensor at ``value_bits`` per weight."""
+    if num_params < 0:
+        raise ValueError("num_params must be non-negative")
+    return num_params * value_bits // 8
+
+
+def csr_bytes(
+    shape: tuple[int, ...], num_nonzero: int, value_bits: int = 32, index_bits: int = 32
+) -> int:
+    """CSR storage: nnz values + nnz column indices + (rows+1) row pointers.
+
+    N-D tensors are accounted as 2-D with the leading axis as rows, which is
+    how frameworks lay out embedding/dense weights.
+    """
+    if num_nonzero < 0:
+        raise ValueError("num_nonzero must be non-negative")
+    rows = int(shape[0]) if shape else 1
+    return (
+        num_nonzero * value_bits // 8
+        + num_nonzero * index_bits // 8
+        + (rows + 1) * index_bits // 8
+    )
+
+
+def effective_bytes(w: np.ndarray, value_bits: int = 32) -> int:
+    """Cheaper of dense vs. CSR storage for one tensor."""
+    w = np.asarray(w)
+    nnz = int((w != 0).sum())
+    return min(dense_bytes(w.size, value_bits), csr_bytes(w.shape, nnz, value_bits))
+
+
+def prune_module(module: Module, fraction: float, value_bits: int = 32) -> PruningReport:
+    """Magnitude-prune every parameter of ``module`` in place.
+
+    Returns storage accounting across the whole model: each tensor is
+    stored in whichever of dense / CSR is smaller, matching what a
+    size-conscious exporter would do.
+    """
+    total = 0
+    zeros = 0
+    dense_total = 0
+    sparse_total = 0
+    for p in module.parameters():
+        p.data = prune_array(p.data, fraction)
+        total += p.size
+        zeros += int((p.data == 0).sum())
+        dense_total += dense_bytes(p.size, value_bits)
+        sparse_total += effective_bytes(p.data, value_bits)
+    return PruningReport(
+        fraction=fraction,
+        num_params=total,
+        num_zeros=zeros,
+        dense_bytes=dense_total,
+        sparse_bytes=sparse_total,
+    )

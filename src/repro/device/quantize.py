@@ -1,0 +1,86 @@
+"""Post-training weight quantization (Appendix A.2 / Figure 4).
+
+Mirrors CoreML's ``linear`` quantization mode: per-tensor symmetric linear
+quantization of each weight to ``bits`` ∈ {16, 8, 4, 2}.  fp16 is a dtype
+cast; integer modes map ``w → round(w / scale)`` with
+``scale = max|w| / (2^(bits−1) − 1)`` and clamp to the signed range.
+
+The experiment evaluates the *dequantized* model — exactly what an on-device
+runtime computes when weights are stored quantized but arithmetic stays
+FP32 ("the models were not quantized during compilation" applies to Table 3;
+Figure 4 re-quantizes them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = ["QuantizationReport", "quantize_array", "quantize_module", "SUPPORTED_BITS"]
+
+SUPPORTED_BITS = (32, 16, 8, 4, 2)
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Round-trip error accounting of one quantization pass."""
+
+    bits: int
+    num_params: int
+    max_abs_error: float
+    mean_abs_error: float
+
+    @property
+    def bytes_per_param(self) -> float:
+        return self.bits / 8.0
+
+
+def quantize_array(w: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize-dequantize one tensor; returns the FP32 array the device
+    would effectively compute with."""
+    if bits not in SUPPORTED_BITS:
+        raise ValueError(f"bits must be one of {SUPPORTED_BITS}, got {bits}")
+    w = np.asarray(w)
+    if bits == 32:
+        return w.astype(np.float32, copy=True)
+    if bits == 16:
+        return w.astype(np.float16).astype(np.float32)
+    qmax = 2 ** (bits - 1) - 1
+    max_abs = float(np.abs(w).max()) if w.size else 0.0
+    if max_abs == 0.0:
+        return np.zeros_like(w, dtype=np.float32)
+    scale = max_abs / qmax
+    q = np.clip(np.round(w / scale), -qmax - 1, qmax)
+    return (q * scale).astype(np.float32)
+
+
+def quantize_module(module: Module, bits: int) -> QuantizationReport:
+    """Quantize every parameter of ``module`` in place (dequantized values).
+
+    BatchNorm running statistics are quantized too — they ship with the
+    model.  Returns round-trip error stats for reporting.
+    """
+    max_err = 0.0
+    abs_err_sum = 0.0
+    n = 0
+    for p in module.parameters():
+        original = p.data.copy()
+        p.data = quantize_array(p.data, bits)
+        err = np.abs(p.data.astype(np.float64) - original.astype(np.float64))
+        max_err = max(max_err, float(err.max()) if err.size else 0.0)
+        abs_err_sum += float(err.sum())
+        n += p.size
+    for m in module.modules():
+        rm = getattr(m, "running_mean", None)
+        if isinstance(rm, np.ndarray):
+            m.running_mean = quantize_array(m.running_mean, bits)
+            m.running_var = np.maximum(quantize_array(m.running_var, bits), 1e-12)
+    return QuantizationReport(
+        bits=bits,
+        num_params=n,
+        max_abs_error=max_err,
+        mean_abs_error=abs_err_sum / max(n, 1),
+    )

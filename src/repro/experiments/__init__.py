@@ -1,0 +1,86 @@
+"""`repro.experiments` — one harness per paper table/figure.
+
+========  =============================================  ==================
+exp id    paper artifact                                 module
+========  =============================================  ==================
+fig1      compression vs accuracy (classification)       fig1_classification
+fig2      compression vs nDCG (pointwise ranking)        fig2_pointwise
+fig3      compression vs nDCG (pairwise RankNet)         fig3_pairwise
+table3    on-device latency & memory footprint           table3_ondevice
+fig4      accuracy vs weight precision                   fig4_quantization
+fig5      DP noise multiplier vs nDCG                    fig5_privacy
+fig6      fixed model size: #embeddings vs dimension     fig6_fixed_size
+a4        MEmCom multiplier uniqueness audit             a4_uniqueness
+props     §4 properties + collision-rate table           properties
+ext       sparsity vs accuracy (the A.2 future work)     ext_pruning
+ext       batch scaling + all-technique device cost      ext_ondevice_scaling
+========  =============================================  ==================
+
+Each module exposes ``run(...)`` returning structured results and
+``render(results)`` producing the paper-shaped text table/series.
+"""
+
+from repro.experiments import (
+    a4_uniqueness,
+    ext_ondevice_scaling,
+    ext_pruning,
+    fig1_classification,
+    fig2_pointwise,
+    fig3_pairwise,
+    fig4_quantization,
+    fig5_privacy,
+    fig6_fixed_size,
+    properties,
+    table3_ondevice,
+)
+from repro.experiments.runner import (
+    BENCH_SCALES,
+    ExperimentConfig,
+    SweepPoint,
+    SweepResult,
+    bench_spec,
+    load_bench_dataset,
+    load_bench_pairwise,
+    run_sweep,
+    technique_grid,
+    train_point,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1_classification,
+    "fig2": fig2_pointwise,
+    "fig3": fig3_pairwise,
+    "table3": table3_ondevice,
+    "fig4": fig4_quantization,
+    "fig5": fig5_privacy,
+    "fig6": fig6_fixed_size,
+    "a4": a4_uniqueness,
+    "props": properties,
+    "ext_pruning": ext_pruning,
+    "ext_ondevice": ext_ondevice_scaling,
+}
+
+__all__ = [
+    "BENCH_SCALES",
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "SweepPoint",
+    "SweepResult",
+    "a4_uniqueness",
+    "bench_spec",
+    "ext_ondevice_scaling",
+    "ext_pruning",
+    "fig1_classification",
+    "fig2_pointwise",
+    "fig3_pairwise",
+    "fig4_quantization",
+    "fig5_privacy",
+    "fig6_fixed_size",
+    "load_bench_dataset",
+    "load_bench_pairwise",
+    "properties",
+    "run_sweep",
+    "table3_ondevice",
+    "technique_grid",
+    "train_point",
+]

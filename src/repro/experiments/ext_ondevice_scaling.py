@@ -1,0 +1,144 @@
+"""Extension — on-device cost beyond Table 3's batch-1 snapshot.
+
+Two sweeps the paper gestures at but doesn't run:
+
+1. **Batch scaling.** §3's complexity analysis says the table approach scales
+   as ``O(b·e)`` per batch while the matrix (one-hot) approach scales as
+   ``O(b·v)`` — Table 3 only shows the b=1 endpoint.  This harness sweeps
+   batch sizes and reports the latency ratio, which should *widen* with b.
+2. **Technique breadth.** §5.3 argues the results "are applicable" to every
+   lookup-family technique; this harness costs all of them (including the
+   TT-Rec and mixed-dim extensions) on the same dataset, verifying the claim
+   that on-device cost clusters by *mechanism* (lookup vs. one-hot), not by
+   technique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.datasets import DATASETS
+from repro.device.cost_model import benchmark
+from repro.device.export import export_model
+from repro.device.profiles import IPHONE_12_PRO_COREML
+from repro.experiments.table3_ondevice import TABLE3_HASH_SIZE
+from repro.models.builder import build_classifier, build_pointwise_ranker
+from repro.utils.logging import log
+from repro.utils.tables import format_table
+
+__all__ = ["ScalingPoint", "TechniqueCost", "run", "render", "LOOKUP_TECHNIQUES"]
+
+#: Lookup-family techniques §5.3 claims Table 3 generalizes to.
+LOOKUP_TECHNIQUES = (
+    "memcom_nobias",
+    "memcom",
+    "hash",
+    "double_hash",
+    "freq_double_hash",
+    "qr_mult",
+    "truncate_rare",
+    "tt_rec",
+    "mixed_dim",
+)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    technique: str
+    batch_size: int
+    latency_ms: float
+    footprint_mb: float
+
+
+@dataclass(frozen=True)
+class TechniqueCost:
+    technique: str
+    latency_ms: float
+    footprint_mb: float
+    on_disk_mb: float
+
+
+def _build(name: str, technique: str, embedding_dim: int):
+    spec = DATASETS[name]
+    hash_size = min(TABLE3_HASH_SIZE, spec.input_vocab)
+    hyper = {
+        "memcom_nobias": dict(num_hash_embeddings=hash_size),
+        "memcom": dict(num_hash_embeddings=hash_size),
+        "hash": dict(num_hash_embeddings=hash_size),
+        "double_hash": dict(num_hash_embeddings=hash_size),
+        "freq_double_hash": dict(num_hash_embeddings=hash_size),
+        "qr_mult": dict(num_hash_embeddings=hash_size),
+        "truncate_rare": dict(keep=hash_size),
+        "hashed_onehot": dict(num_hash_embeddings=hash_size),
+        "tt_rec": dict(tt_rank=max(2, embedding_dim // 8)),
+        "mixed_dim": dict(num_blocks=4),
+        "full": {},
+    }[technique]
+    kwargs = dict(
+        vocab_size=spec.input_vocab,
+        input_length=spec.input_length,
+        embedding_dim=embedding_dim,
+        rng=0,
+        **hyper,
+    )
+    if spec.task == "classification":
+        return build_classifier(technique, num_labels=spec.output_vocab, **kwargs)
+    return build_pointwise_ranker(technique, num_items=spec.output_vocab, **kwargs)
+
+
+def run(
+    dataset: str = "movielens",
+    batch_sizes: tuple[int, ...] = (1, 4, 16, 64),
+    embedding_dim: int = 256,
+    unit: str = "cpuOnly",
+) -> tuple[list[ScalingPoint], list[TechniqueCost]]:
+    """Both sweeps on one dataset (shape-only; no training needed)."""
+    profile = IPHONE_12_PRO_COREML
+    scaling: list[ScalingPoint] = []
+    for technique in ("memcom_nobias", "hashed_onehot"):
+        model = _build(dataset, technique, embedding_dim)
+        for b in batch_sizes:
+            report = benchmark(export_model(model, batch_size=b), profile, unit)
+            scaling.append(
+                ScalingPoint(technique, b, report.latency_ms, report.footprint_mb)
+            )
+            log(f"[ext-scaling] {technique} b={b}: {report.latency_ms:.2f} ms")
+
+    costs: list[TechniqueCost] = []
+    for technique in LOOKUP_TECHNIQUES + ("hashed_onehot",):
+        model = _build(dataset, technique, embedding_dim)
+        report = benchmark(export_model(model, batch_size=1), profile, unit)
+        costs.append(
+            TechniqueCost(technique, report.latency_ms, report.footprint_mb, report.on_disk_mb)
+        )
+    return scaling, costs
+
+
+def render(results: tuple[list[ScalingPoint], list[TechniqueCost]]) -> str:
+    scaling, costs = results
+    batches = sorted({p.batch_size for p in scaling})
+
+    def row(tech):
+        pts = {p.batch_size: p for p in scaling if p.technique == tech}
+        return [tech] + [f"{pts[b].latency_ms:.2f}" for b in batches]
+
+    ratio_row = ["onehot/memcom ratio"]
+    for b in batches:
+        mem = next(p for p in scaling if p.technique == "memcom_nobias" and p.batch_size == b)
+        one = next(p for p in scaling if p.technique == "hashed_onehot" and p.batch_size == b)
+        ratio_row.append(f"{one.latency_ms / mem.latency_ms:.1f}x")
+    batch_table = format_table(
+        ["model"] + [f"b={b} ms" for b in batches],
+        [row("memcom_nobias"), row("hashed_onehot"), ratio_row],
+        title="Extension — latency vs batch size (iPhone 12 Pro, cpuOnly)",
+    )
+
+    cost_table = format_table(
+        ["technique", "latency ms", "footprint MB", "on-disk MB"],
+        [
+            (c.technique, f"{c.latency_ms:.2f}", f"{c.footprint_mb:.2f}", f"{c.on_disk_mb:.2f}")
+            for c in sorted(costs, key=lambda c: c.latency_ms)
+        ],
+        title="Extension — all techniques, batch 1 (the §5.3 generalization claim)",
+    )
+    return f"{batch_table}\n\n{cost_table}"

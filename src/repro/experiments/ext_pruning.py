@@ -1,0 +1,115 @@
+"""Extension — accuracy vs. weight sparsity (the future work of §A.2).
+
+Appendix A.2 compresses MEmCom models further with lower float precision and
+explicitly leaves "sparsifying the weights" as future work.  This harness
+runs that experiment with the same protocol as Figure 4: train one MEmCom
+model per dataset, magnitude-prune to each sparsity level, and report metric
+loss vs. the dense model — plus the on-disk size (CSR-aware) so the
+accuracy/size tradeoff is directly comparable to quantization's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.pruning import prune_module
+from repro.experiments.runner import ExperimentConfig, load_bench_dataset
+from repro.metrics.accuracy import relative_loss_percent
+from repro.metrics.evaluator import evaluate_classification, evaluate_ranking
+from repro.models.builder import build_classifier, build_pointwise_ranker
+from repro.train.trainer import Trainer
+from repro.utils.logging import log
+from repro.utils.tables import format_table
+
+__all__ = ["SparsityPoint", "run", "render", "DEFAULT_DATASETS", "DEFAULT_FRACTIONS"]
+
+DEFAULT_DATASETS = ("newsgroup", "movielens", "netflix", "arcade")
+DEFAULT_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 0.9)
+
+
+@dataclass(frozen=True)
+class SparsityPoint:
+    dataset: str
+    fraction: float
+    metric: float
+    relative_loss_pct: float
+    on_disk_mb: float
+    size_reduction: float
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    hash_fraction: int = 16,
+) -> list[SparsityPoint]:
+    """Train one MEmCom model per dataset, prune at each fraction, re-eval."""
+    config = config or ExperimentConfig()
+    points: list[SparsityPoint] = []
+    for name in datasets:
+        data = load_bench_dataset(name, config, rng=config.seed)
+        spec = data.spec
+        kwargs = dict(
+            vocab_size=spec.input_vocab,
+            input_length=spec.input_length,
+            embedding_dim=config.embedding_dim,
+            dropout=config.dropout,
+            rng=config.seed,
+            num_hash_embeddings=max(2, spec.input_vocab // hash_fraction),
+        )
+        if spec.task == "classification":
+            model = build_classifier("memcom", num_labels=spec.output_vocab, **kwargs)
+            Trainer(config.train_config()).fit(model, data.x_train, data.y_train)
+            evaluate = lambda mdl: evaluate_classification(mdl, data.x_eval, data.y_eval)[
+                "accuracy"
+            ]
+        else:
+            model = build_pointwise_ranker("memcom", num_items=spec.output_vocab, **kwargs)
+            Trainer(config.train_config()).fit(model, data.x_train, data.y_train, task="ranking")
+            evaluate = lambda mdl: evaluate_ranking(
+                mdl, data.x_eval, data.y_eval, k=config.ndcg_k
+            )["ndcg"]
+
+        dense_state = model.state_dict()
+        baseline = evaluate(model)
+        for fraction in fractions:
+            model.load_state_dict(dense_state)
+            report = prune_module(model, fraction)
+            metric = evaluate(model)
+            points.append(
+                SparsityPoint(
+                    dataset=name,
+                    fraction=fraction,
+                    metric=metric,
+                    relative_loss_pct=relative_loss_percent(baseline, metric),
+                    on_disk_mb=report.on_disk_bytes / 2**20,
+                    size_reduction=report.size_reduction,
+                )
+            )
+            log(
+                f"[ext-prune] {name} @{fraction:.0%}: {metric:.4f} "
+                f"({points[-1].relative_loss_pct:+.2f}%), {report.on_disk_bytes / 2**20:.3f} MB"
+            )
+        model.load_state_dict(dense_state)
+    return points
+
+
+def render(points: list[SparsityPoint]) -> str:
+    datasets = sorted({p.dataset for p in points})
+    fractions = sorted({p.fraction for p in points})
+    rows = []
+    for name in datasets:
+        row = [name]
+        for f in fractions:
+            match = [p for p in points if p.dataset == name and p.fraction == f]
+            row.append(
+                f"{match[0].relative_loss_pct:+.1f}% ({match[0].size_reduction:.1f}x)"
+                if match
+                else "-"
+            )
+        rows.append(row)
+    return format_table(
+        ["dataset"] + [f"{f:.0%} pruned" for f in fractions],
+        rows,
+        title="Extension — metric loss (and disk shrink) vs. magnitude-pruning sparsity",
+    )

@@ -1,0 +1,30 @@
+"""Figure 3 — compression vs. nDCG (pairwise RankNet on Arcade).
+
+Paper setup (§5.2): a siamese RankNet scores (preferred, other) item pairs
+sharing one user tower; the y-axis is % nDCG loss vs. the uncompressed
+pairwise model.  Headlines: MEmCom loses < 1% nDCG at 32× compression, and
+the bias / no-bias variants "perform exactly the same" (overlapping lines).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_sweep_plot, render_sweep_series
+from repro.experiments.runner import ExperimentConfig, SweepResult, run_sweep
+
+__all__ = ["run", "render"]
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    dataset: str = "arcade",
+) -> SweepResult:
+    """Train the technique grid with the pairwise RankNet on Arcade."""
+    config = config or ExperimentConfig()
+    return run_sweep(dataset, "ranknet", config, rng=config.seed)
+
+
+def render(result: SweepResult) -> str:
+    chart = render_sweep_plot(
+        result, techniques=("memcom", "memcom_nobias", "hash", "double_hash")
+    )
+    return f"{render_sweep_series(result)}\n\n{chart}"

@@ -1,0 +1,119 @@
+"""Figure 4 (Appendix A.2) — accuracy vs. floating-point precision.
+
+Paper setup: MEmCom-compressed models (the fixed-size models of A.1),
+post-training ``linear`` quantization to 16/8/4/2 bits; y-axis is the
+metric loss vs. the FP32 model.  Shapes to reproduce: no loss at fp16,
+≈0.1% at int8 (none for MovieLens), a cliff below 8 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.quantize import SUPPORTED_BITS, quantize_module
+from repro.experiments.runner import (
+    ExperimentConfig,
+    load_bench_dataset,
+    train_point,
+)
+from repro.metrics.accuracy import relative_loss_percent
+from repro.metrics.evaluator import evaluate_classification, evaluate_ranking
+from repro.models.builder import build_classifier, build_pointwise_ranker
+from repro.train.trainer import Trainer
+from repro.utils.logging import log
+from repro.utils.tables import format_table
+
+__all__ = ["PrecisionPoint", "run", "render", "DEFAULT_DATASETS"]
+
+DEFAULT_DATASETS = (
+    "newsgroup",
+    "movielens",
+    "millionsongs",
+    "google_local",
+    "netflix",
+    "games",
+    "arcade",
+)
+
+
+@dataclass(frozen=True)
+class PrecisionPoint:
+    dataset: str
+    bits: int
+    metric: float
+    relative_loss_pct: float
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    bits_sweep: tuple[int, ...] = SUPPORTED_BITS,
+    hash_fraction: int = 16,
+) -> list[PrecisionPoint]:
+    """Train one MEmCom model per dataset, quantize, re-evaluate.
+
+    ``hash_fraction`` sets the MEmCom hash size to ``vocab / fraction``
+    (a mid-sweep compression point).
+    """
+    config = config or ExperimentConfig()
+    points: list[PrecisionPoint] = []
+    for name in datasets:
+        data = load_bench_dataset(name, config, rng=config.seed)
+        spec = data.spec
+        m = max(2, spec.input_vocab // hash_fraction)
+        kwargs = dict(
+            vocab_size=spec.input_vocab,
+            input_length=spec.input_length,
+            embedding_dim=config.embedding_dim,
+            dropout=config.dropout,
+            rng=config.seed,
+            num_hash_embeddings=m,
+        )
+        if spec.task == "classification":
+            model = build_classifier("memcom", num_labels=spec.output_vocab, **kwargs)
+            Trainer(config.train_config()).fit(model, data.x_train, data.y_train)
+            evaluate = lambda mdl: evaluate_classification(mdl, data.x_eval, data.y_eval)[
+                "accuracy"
+            ]
+        else:
+            model = build_pointwise_ranker("memcom", num_items=spec.output_vocab, **kwargs)
+            Trainer(config.train_config()).fit(model, data.x_train, data.y_train, task="ranking")
+            evaluate = lambda mdl: evaluate_ranking(
+                mdl, data.x_eval, data.y_eval, k=config.ndcg_k
+            )["ndcg"]
+
+        fp32_state = model.state_dict()
+        baseline = evaluate(model)
+        for bits in sorted(bits_sweep, reverse=True):
+            model.load_state_dict(fp32_state)
+            if bits < 32:
+                quantize_module(model, bits)
+            metric = evaluate(model)
+            points.append(
+                PrecisionPoint(
+                    dataset=name,
+                    bits=bits,
+                    metric=metric,
+                    relative_loss_pct=relative_loss_percent(baseline, metric),
+                )
+            )
+            log(f"[fig4] {name} @{bits}bit: {metric:.4f} ({points[-1].relative_loss_pct:+.2f}%)")
+        model.load_state_dict(fp32_state)
+    return points
+
+
+def render(points: list[PrecisionPoint]) -> str:
+    datasets = sorted({p.dataset for p in points})
+    bits = sorted({p.bits for p in points}, reverse=True)
+    rows = []
+    for name in datasets:
+        row = [name]
+        for b in bits:
+            match = [p for p in points if p.dataset == name and p.bits == b]
+            row.append(f"{match[0].relative_loss_pct:+.2f}%" if match else "-")
+        rows.append(row)
+    return format_table(
+        ["dataset"] + [f"{b}-bit loss" for b in bits],
+        rows,
+        title="Figure 4 — metric loss vs. weight precision (vs. FP32)",
+    )

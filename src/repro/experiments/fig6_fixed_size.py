@@ -1,0 +1,145 @@
+"""Figure 6 (Appendix A.1) — tuning embedding size under a fixed model size.
+
+Paper setup: fix the total model size (half the baseline for public
+datasets; 20 MB for Games/Arcade), sweep the number of MEmCom hash
+embeddings ``m``, and binary-search the embedding size ``e`` that exhausts
+the budget for each ``m``.  Shape to reproduce: the optimum lands around
+``m ≈ vocab/10`` for the skewed datasets, but NOT for Google Local Reviews
+(whose flat popularity favours more, narrower embeddings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sizing import solve_embedding_dim
+from repro.experiments.runner import ExperimentConfig, load_bench_dataset
+from repro.metrics.evaluator import evaluate_classification, evaluate_ranking
+from repro.models.builder import build_classifier, build_pointwise_ranker, model_param_count
+from repro.train.trainer import Trainer
+from repro.utils.logging import log
+from repro.utils.tables import format_table
+
+__all__ = ["FixedSizePoint", "run", "render", "DEFAULT_DATASETS"]
+
+DEFAULT_DATASETS = (
+    "movielens",
+    "millionsongs",
+    "netflix",
+    "google_local",
+    "games",
+    "arcade",
+)
+
+#: m = vocab / divisor sweep (the paper annotates each point with its m)
+DEFAULT_DIVISORS = (2, 5, 10, 20, 50)
+
+
+@dataclass(frozen=True)
+class FixedSizePoint:
+    dataset: str
+    num_embeddings: int
+    vocab_divisor: int
+    embedding_dim: int
+    params: int
+    metric: float
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    divisors: tuple[int, ...] = DEFAULT_DIVISORS,
+    budget_fraction: float = 0.5,
+) -> list[FixedSizePoint]:
+    """Sweep (m, e) pairs at a fixed parameter budget per dataset.
+
+    The budget is ``budget_fraction`` of the uncompressed baseline's
+    parameter count (the paper's public-dataset setting; its 20 MB
+    Games/Arcade budget is the same idea at their scale).
+    """
+    config = config or ExperimentConfig()
+    points: list[FixedSizePoint] = []
+    for name in datasets:
+        data = load_bench_dataset(name, config, rng=config.seed)
+        spec = data.spec
+        v, c = spec.input_vocab, spec.output_vocab
+        arch = "classifier" if spec.task == "classification" else "pointwise"
+        baseline_params = model_param_count(arch, "full", v, c, config.embedding_dim)
+        budget = int(baseline_params * budget_fraction)
+
+        for divisor in divisors:
+            m = max(2, v // divisor)
+
+            def params_for_dim(e: int, m=m) -> int:
+                return model_param_count(
+                    arch, "memcom", v, c, e, num_hash_embeddings=m
+                )
+
+            try:
+                e = solve_embedding_dim(budget, params_for_dim, min_dim=2, max_dim=512)
+            except ValueError:
+                log(f"[fig6] {name} m={m}: budget too small, skipped")
+                continue
+            kwargs = dict(
+                vocab_size=v,
+                input_length=spec.input_length,
+                embedding_dim=e,
+                dropout=config.dropout,
+                rng=config.seed,
+                num_hash_embeddings=m,
+            )
+            if arch == "classifier":
+                model = build_classifier("memcom", num_labels=c, **kwargs)
+                Trainer(config.train_config()).fit(model, data.x_train, data.y_train)
+                metric = evaluate_classification(model, data.x_eval, data.y_eval)["accuracy"]
+            else:
+                model = build_pointwise_ranker("memcom", num_items=c, **kwargs)
+                Trainer(config.train_config()).fit(
+                    model, data.x_train, data.y_train, task="ranking"
+                )
+                metric = evaluate_ranking(model, data.x_eval, data.y_eval, k=config.ndcg_k)[
+                    "ndcg"
+                ]
+            points.append(
+                FixedSizePoint(
+                    dataset=name,
+                    num_embeddings=m,
+                    vocab_divisor=divisor,
+                    embedding_dim=e,
+                    params=model.num_parameters(),
+                    metric=metric,
+                )
+            )
+            log(f"[fig6] {name} m=v/{divisor}={m} → e={e}: metric={metric:.4f}")
+    return points
+
+
+def optimal_divisors(points: list[FixedSizePoint]) -> dict[str, int]:
+    """Per dataset, the vocab divisor whose point scored best."""
+    best: dict[str, FixedSizePoint] = {}
+    for p in points:
+        if p.dataset not in best or p.metric > best[p.dataset].metric:
+            best[p.dataset] = p
+    return {name: p.vocab_divisor for name, p in best.items()}
+
+
+def render(points: list[FixedSizePoint]) -> str:
+    rows = [
+        (
+            p.dataset,
+            f"v/{p.vocab_divisor}",
+            p.num_embeddings,
+            p.embedding_dim,
+            p.params,
+            f"{p.metric:.4f}",
+        )
+        for p in points
+    ]
+    table = format_table(
+        ["dataset", "m", "#embeddings", "emb dim", "params", "metric"],
+        rows,
+        title="Figure 6 — fixed model size: embedding count vs. dimension",
+    )
+    best = optimal_divisors(points)
+    summary = ", ".join(f"{k}: v/{v}" for k, v in best.items())
+    return f"{table}\n\noptimal m per dataset: {summary}"

@@ -1,0 +1,25 @@
+"""`repro.metrics` — accuracy and nDCG (the paper's two y-axes) + MRR/hit-rate."""
+
+from repro.metrics.accuracy import accuracy, relative_loss_percent, top_k_accuracy
+from repro.metrics.evaluator import (
+    evaluate_classification,
+    evaluate_ranking,
+    predict_scores,
+)
+from repro.metrics.ndcg import dcg, label_ranks, ndcg, ndcg_single_relevant
+from repro.metrics.ranking_extra import hit_rate, mrr
+
+__all__ = [
+    "accuracy",
+    "dcg",
+    "evaluate_classification",
+    "evaluate_ranking",
+    "hit_rate",
+    "label_ranks",
+    "mrr",
+    "ndcg",
+    "ndcg_single_relevant",
+    "predict_scores",
+    "relative_loss_percent",
+    "top_k_accuracy",
+]

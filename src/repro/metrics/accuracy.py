@@ -1,0 +1,42 @@
+"""Classification accuracy metrics (Figure 1's y-axis is accuracy loss)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "top_k_accuracy", "relative_loss_percent"]
+
+
+def accuracy(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy given per-class ``scores`` (N, C) and labels (N,)."""
+    scores = np.asarray(scores)
+    labels = np.asarray(labels)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be (N, C), got {scores.shape}")
+    if labels.shape != (scores.shape[0],):
+        raise ValueError(f"labels shape {labels.shape} != ({scores.shape[0]},)")
+    if scores.shape[0] == 0:
+        raise ValueError("empty evaluation set")
+    return float((scores.argmax(axis=1) == labels).mean())
+
+
+def top_k_accuracy(scores: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Fraction of examples whose label is among the k highest scores."""
+    scores = np.asarray(scores)
+    labels = np.asarray(labels)
+    if not 1 <= k <= scores.shape[1]:
+        raise ValueError(f"k must be in [1, {scores.shape[1]}], got {k}")
+    # argpartition: O(C) per row; ties broken arbitrarily like frameworks do.
+    topk = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    return float((topk == labels[:, None]).any(axis=1).mean())
+
+
+def relative_loss_percent(baseline: float, value: float) -> float:
+    """The paper's y-axis: percentage loss vs. the uncompressed baseline.
+
+    Positive = worse than baseline.  ``baseline`` must be positive (an
+    accuracy/nDCG of 0 makes 'relative loss' meaningless).
+    """
+    if baseline <= 0:
+        raise ValueError(f"baseline metric must be positive, got {baseline}")
+    return 100.0 * (baseline - value) / baseline

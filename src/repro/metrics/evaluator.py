@@ -1,0 +1,78 @@
+"""Batched model evaluation: accuracy for §5.1, nDCG for §5.2.
+
+Ranking models are trained with softmax loss and evaluated by ranking the
+output vocabulary with "the softmax scores as the basis for ranking"
+(§5.2).  Softmax is monotonic in the logits, so ranking metrics are computed
+directly on logits; the raw scores are still available for callers that want
+calibrated probabilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.accuracy import accuracy, top_k_accuracy
+from repro.metrics.ndcg import ndcg_single_relevant
+from repro.metrics.ranking_extra import hit_rate, mrr
+from repro.nn.layers import Module
+from repro.nn.tensor import no_grad
+
+__all__ = ["predict_scores", "evaluate_classification", "evaluate_ranking"]
+
+
+def predict_scores(model: Module, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
+    """Run ``model`` over ``x`` in eval mode; returns (N, C) logits.
+
+    The model's train/eval mode is restored afterwards, so this is safe to
+    call from inside a training loop for validation.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    was_training = model.training
+    model.eval()
+    try:
+        outs = []
+        with no_grad():
+            for start in range(0, len(x), batch_size):
+                out = model(x[start : start + batch_size])
+                outs.append(out.numpy())
+        return np.concatenate(outs, axis=0)
+    finally:
+        model.train(was_training)
+
+
+def evaluate_classification(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int = 512,
+    top_k: int = 5,
+) -> dict[str, float]:
+    """Accuracy metrics for the Figure 1 experiments."""
+    scores = predict_scores(model, x, batch_size)
+    k = min(top_k, scores.shape[1])
+    return {
+        "accuracy": accuracy(scores, y),
+        f"top{k}_accuracy": top_k_accuracy(scores, y, k),
+    }
+
+
+def evaluate_ranking(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int = 512,
+    k: int | None = 10,
+) -> dict[str, float]:
+    """Ranking metrics for the Figure 2/3 experiments.
+
+    ``ndcg`` (the paper's metric, cutoff ``k``) plus untruncated nDCG, MRR
+    and hit-rate@k for dashboard parity with production recommenders.
+    """
+    scores = predict_scores(model, x, batch_size)
+    return {
+        "ndcg": ndcg_single_relevant(scores, y, k=k),
+        "ndcg_full": ndcg_single_relevant(scores, y, k=None),
+        "mrr": mrr(scores, y, k=k),
+        f"hit_rate@{k or scores.shape[1]}": hit_rate(scores, y, k=k or scores.shape[1]),
+    }

@@ -1,0 +1,86 @@
+"""Normalized discounted cumulative gain (Valizadegan et al. 2009).
+
+The ranking experiments (§5.2) score every item in the output vocabulary
+with the model's softmax and rank by score; each evaluation example has one
+relevant item (the held-out most recent interaction), so
+
+    nDCG = 1 / log2(1 + rank(label))        (ideal DCG is 1)
+
+truncated at ``k`` when given.  A graded-relevance variant is provided for
+completeness and for property tests (permutation invariance, perfect-ranking
+= 1, swap monotonicity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dcg", "ndcg", "ndcg_single_relevant", "label_ranks"]
+
+
+def dcg(relevance_in_rank_order: np.ndarray, k: int | None = None) -> float:
+    """DCG of a relevance list already sorted by predicted score."""
+    rel = np.asarray(relevance_in_rank_order, dtype=np.float64)
+    if rel.ndim != 1:
+        raise ValueError("relevance must be 1-D")
+    if k is not None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        rel = rel[:k]
+    if rel.size == 0:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(2, rel.size + 2))
+    return float((rel * discounts).sum())
+
+
+def ndcg(
+    scores: np.ndarray, relevance: np.ndarray, k: int | None = None
+) -> float:
+    """Graded nDCG: rank ``relevance`` by ``scores`` and normalize by the
+    ideal ordering.  Returns 1.0 when all relevance is zero (nothing to
+    rank), matching common library behaviour."""
+    scores = np.asarray(scores)
+    relevance = np.asarray(relevance, dtype=np.float64)
+    if scores.shape != relevance.shape or scores.ndim != 1:
+        raise ValueError("scores and relevance must be matching 1-D arrays")
+    ideal = dcg(np.sort(relevance)[::-1], k)
+    if ideal == 0.0:
+        return 1.0
+    order = np.argsort(-scores, kind="stable")
+    return dcg(relevance[order], k) / ideal
+
+
+def label_ranks(scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """1-based rank of each example's label among its scores.
+
+    Competition ranking with pessimistic tie handling: items scoring
+    strictly higher than the label all outrank it, and ties ahead of it do
+    too (a model must *strictly* separate the label to get credit) — this
+    avoids rewarding constant scorers.
+    """
+    scores = np.asarray(scores)
+    labels = np.asarray(labels)
+    if scores.ndim != 2 or labels.shape != (scores.shape[0],):
+        raise ValueError("scores must be (N, C) and labels (N,)")
+    label_scores = scores[np.arange(scores.shape[0]), labels]
+    higher = (scores > label_scores[:, None]).sum(axis=1)
+    ties = (scores == label_scores[:, None]).sum(axis=1) - 1  # exclude label itself
+    return higher + ties + 1
+
+
+def ndcg_single_relevant(
+    scores: np.ndarray, labels: np.ndarray, k: int | None = None
+) -> float:
+    """Mean nDCG over examples with exactly one relevant item each.
+
+    ``scores``: (N, C) model scores over the output vocabulary;
+    ``labels``: (N,) the relevant item per example.  Items ranked beyond
+    ``k`` contribute zero.
+    """
+    ranks = label_ranks(scores, labels)
+    gains = 1.0 / np.log2(1.0 + ranks)
+    if k is not None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        gains = np.where(ranks <= k, gains, 0.0)
+    return float(gains.mean())

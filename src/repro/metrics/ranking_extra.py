@@ -1,0 +1,38 @@
+"""Additional ranking metrics: MRR and hit-rate@k.
+
+The paper evaluates with nDCG only; downstream users of a recommendation
+library almost always also want mean reciprocal rank and hit rate, and they
+share the rank computation with :mod:`repro.metrics.ndcg`, so they come
+nearly free and let the examples report industry-standard dashboards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.ndcg import label_ranks
+
+__all__ = ["mrr", "hit_rate"]
+
+
+def mrr(scores: np.ndarray, labels: np.ndarray, k: int | None = None) -> float:
+    """Mean reciprocal rank of each example's single relevant item.
+
+    Items ranked beyond ``k`` contribute zero (MRR@k); ``k=None`` is the
+    untruncated metric.
+    """
+    ranks = label_ranks(scores, labels)
+    recip = 1.0 / ranks
+    if k is not None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        recip = np.where(ranks <= k, recip, 0.0)
+    return float(recip.mean())
+
+
+def hit_rate(scores: np.ndarray, labels: np.ndarray, k: int = 10) -> float:
+    """Fraction of examples whose relevant item ranks within the top ``k``."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    ranks = label_ranks(scores, labels)
+    return float((ranks <= k).mean())

@@ -1,0 +1,27 @@
+"""`repro.models` — the paper's three architectures with pluggable
+compression: Code 1 classifier, pointwise ranker, pairwise RankNet."""
+
+from repro.models.builder import (
+    DEFAULT_EMBEDDING_DIM,
+    build_classifier,
+    build_pointwise_ranker,
+    build_ranknet,
+    model_param_count,
+)
+from repro.models.classifier import EmbeddingClassifier, classifier_head_params
+from repro.models.pointwise import PointwiseRanker, pointwise_head_params
+from repro.models.ranknet import RankNet, ranknet_head_params
+
+__all__ = [
+    "DEFAULT_EMBEDDING_DIM",
+    "EmbeddingClassifier",
+    "PointwiseRanker",
+    "RankNet",
+    "build_classifier",
+    "build_pointwise_ranker",
+    "build_ranknet",
+    "classifier_head_params",
+    "model_param_count",
+    "pointwise_head_params",
+    "ranknet_head_params",
+]

@@ -1,0 +1,75 @@
+"""Composite differentiable functions and ndarray helpers.
+
+These compose :mod:`repro.nn.ops` primitives (dropout, pooling) or provide
+plain-NumPy counterparts used at evaluation time (softmax over logits for
+ranking scores).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import ops
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "dropout",
+    "average_pool1d",
+    "softmax_np",
+    "log_softmax_np",
+]
+
+relu = ops.relu
+sigmoid = ops.sigmoid
+tanh = ops.tanh
+
+
+def dropout(
+    x: Tensor,
+    rate: float,
+    rng: np.random.Generator,
+    training: bool,
+) -> Tensor:
+    """Inverted dropout: zero each unit with prob ``rate``, scale by 1/(1-rate).
+
+    Identity when not training or when ``rate`` is 0, so eval passes are free.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    if not training or rate == 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(x.data.dtype) / keep
+    return ops.mul(x, Tensor(mask))
+
+
+def average_pool1d(x: Tensor, pool_size: int) -> Tensor:
+    """Average pooling over the sequence axis of a (B, L, E) tensor.
+
+    Matches Keras ``AveragePooling1D``: non-overlapping windows of
+    ``pool_size``; the paper pools with ``pool_size = input_length`` so the
+    output has a single time step.
+    """
+    if x.ndim != 3:
+        raise ValueError(f"average_pool1d expects (B, L, E), got shape {x.shape}")
+    b, length, e = x.shape
+    if length % pool_size != 0:
+        raise ValueError(f"sequence length {length} not divisible by pool_size {pool_size}")
+    windows = ops.reshape(x, (b, length // pool_size, pool_size, e))
+    return ops.mean(windows, axis=2)
+
+
+def softmax_np(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax on a raw ndarray (evaluation path)."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax_np(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax on a raw ndarray."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

@@ -1,0 +1,302 @@
+"""Module system and the layer vocabulary of the paper's Code 1 network.
+
+The paper builds every model from: ``Embedding → AveragePooling1D → Flatten →
+ReLU → Dropout → BatchNormalization → Dense → Dropout → BatchNormalization →
+Dense(softmax)``.  This module provides exactly those layers (plus
+``Sequential``) on top of the autograd engine; embedding variants live in
+:mod:`repro.nn.embedding` and :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn import functional, init, ops
+from repro.nn.tensor import Parameter, Tensor
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "Module",
+    "Dense",
+    "ReLU",
+    "Dropout",
+    "BatchNorm",
+    "AveragePooling1D",
+    "Flatten",
+    "Sequential",
+]
+
+
+class Module:
+    """Base class: parameter discovery, train/eval mode, state dicts.
+
+    Subclasses assign :class:`Parameter` and sub-``Module`` instances (or
+    lists thereof) as attributes; discovery walks ``vars(self)`` in
+    definition order, so state-dict keys are deterministic.
+
+    Non-trainable state that must survive serialization — BatchNorm running
+    statistics, hash salts — is declared via the class attribute
+    ``buffer_names``: each named attribute must be a ``numpy.ndarray`` and is
+    included in :meth:`state_dict` / restored by :meth:`load_state_dict`.
+    """
+
+    #: attribute names of non-trainable ndarrays serialized with the module
+    buffer_names: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.training: bool = True
+
+    # -- forward ---------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def _children(self) -> Iterator[tuple[str, "Module"]]:
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{name}.{i}", item
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield self and all descendant modules, depth-first."""
+        yield self
+        for _, child in self._children():
+            yield from child.modules()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total trainable parameter count (the paper's 'model size' unit)."""
+        return sum(p.size for p in self.parameters())
+
+    # -- modes / grads -----------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            m.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state -------------------------------------------------------------------
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Non-trainable serialized state: (name, ndarray) pairs, recursive."""
+        for name in type(self).buffer_names:
+            yield f"{prefix}{name}", np.asarray(getattr(self, name))
+        for child_name, child in self._children():
+            yield from child.named_buffers(f"{prefix}{child_name}.")
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Parameters plus buffers — everything a checkpoint must carry.
+
+        Buffers matter for fidelity: without BatchNorm running statistics an
+        eval-mode model normalizes wrongly, and without hash salts a
+        double-hashed embedding addresses different rows entirely.
+        """
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, b in self.named_buffers():
+            state[name] = b.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        own = own_params.keys() | own_buffers.keys()
+        missing = own - state.keys()
+        unexpected = state.keys() - own
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, p in own_params.items():
+            value = np.asarray(state[name])
+            if value.shape != p.data.shape:
+                raise ValueError(
+                    f"parameter {name!r}: shape {value.shape} != expected {p.data.shape}"
+                )
+            p.data = value.astype(p.data.dtype)
+        for name, current in own_buffers.items():
+            value = np.asarray(state[name])
+            if value.shape != current.shape:
+                raise ValueError(
+                    f"buffer {name!r}: shape {value.shape} != expected {current.shape}"
+                )
+            # Walk to the owning module so the attribute itself is replaced
+            # (path segments are attribute names or list indices).
+            *path, attr = name.split(".")
+            target = self
+            for part in path:
+                target = target[int(part)] if isinstance(target, (list, tuple)) else vars(target)[part]
+            setattr(target, attr, value.astype(current.dtype))
+
+
+class Dense(Module):
+    """Fully connected layer ``y = activation(x @ W + b)``.
+
+    Accepts 2-D inputs (B, in) or N-D inputs whose last axis is ``in_features``
+    (needed by factorized embeddings projecting (B, L, h) → (B, L, e)).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        units: int,
+        use_bias: bool = True,
+        activation: str | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or units <= 0:
+            raise ValueError(f"Dense dims must be positive, got {in_features}x{units}")
+        if activation not in (None, "relu", "sigmoid", "tanh"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        rng = ensure_rng(rng)
+        self.in_features = in_features
+        self.units = units
+        self.activation = activation
+        self.weight = Parameter(init.glorot_uniform((in_features, units), rng), name="weight")
+        self.bias = Parameter(init.zeros((units,)), name="bias") if use_bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        if self.activation == "relu":
+            out = ops.relu(out)
+        elif self.activation == "sigmoid":
+            out = ops.sigmoid(out)
+        elif self.activation == "tanh":
+            out = ops.tanh(out)
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator | int | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = ensure_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return functional.dropout(x, self.rate, self.rng, self.training)
+
+
+class BatchNorm(Module):
+    """Batch normalization over all axes except the last (feature) axis.
+
+    Defaults follow Keras ``BatchNormalization``: momentum 0.99, eps 1e-3.
+    Training uses batch statistics and updates exponential running averages;
+    eval normalizes with the running statistics.
+    """
+
+    buffer_names = ("running_mean", "running_var")
+
+    def __init__(self, num_features: int, momentum: float = 0.99, eps: float = 1e-3) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_features,)), name="gamma")
+        self.beta = Parameter(init.zeros((num_features,)), name="beta")
+        # Running statistics are buffers, not Parameters: they are state, not
+        # trainable weights, but they do count toward on-disk model size.
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.num_features:
+            raise ValueError(
+                f"BatchNorm expected last dim {self.num_features}, got {x.shape[-1]}"
+            )
+        if self.training:
+            out, mu, var = ops.batch_norm(x, self.gamma, self.beta, self.eps)
+            m = self.momentum
+            self.running_mean = m * self.running_mean + (1.0 - m) * mu.astype(np.float32)
+            self.running_var = m * self.running_var + (1.0 - m) * var.astype(np.float32)
+            return out
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        x_hat = ops.mul(ops.sub(x, Tensor(self.running_mean)), Tensor(inv_std))
+        return ops.add(ops.mul(x_hat, self.gamma), self.beta)
+
+
+class AveragePooling1D(Module):
+    """Non-overlapping average pooling along the sequence axis (B, L, E)."""
+
+    def __init__(self, pool_size: int) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return functional.average_pool1d(x, self.pool_size)
+
+
+class Flatten(Module):
+    """Collapse all axes after the batch axis."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        b = x.shape[0]
+        return ops.reshape(x, (b, int(np.prod(x.shape[1:]))))
+
+
+class Sequential(Module):
+    """Apply layers in order; indexable like a list."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def __len__(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,206 @@
+"""Optimizers: SGD (+momentum), Adam, Adagrad, and gradient clipping.
+
+Adam with Keras-default hyperparameters is what the experiments use; DP-SGD
+(for the Figure 5 privacy experiment) lives in :mod:`repro.train.dp` and
+composes :func:`clip_global_norm` with Gaussian noise before calling any of
+these optimizers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Adagrad",
+    "RMSProp",
+    "clip_global_norm",
+    "global_grad_norm",
+]
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = params
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum, Nesterov lookahead and weight decay."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v -= self.lr * g
+                if self.nesterov:
+                    p.data += self.momentum * v - self.lr * g
+                else:
+                    p.data += v
+            else:
+                p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction; Keras-default eps."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-7,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * (g * g)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class Adagrad(Optimizer):
+    """Adagrad — per-coordinate adaptive rates; effective for sparse
+    embedding gradients where rare ids need larger steps."""
+
+    def __init__(self, params: list[Parameter], lr: float = 0.01, eps: float = 1e-10) -> None:
+        super().__init__(params, lr)
+        self.eps = eps
+        self._acc = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, acc in zip(self.params, self._acc):
+            if p.grad is None:
+                continue
+            acc += p.grad * p.grad
+            p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp (Hinton) — exponentially decayed squared-gradient scaling,
+    with optional momentum on the scaled update (TensorFlow semantics)."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        rho: float = 0.9,
+        momentum: float = 0.0,
+        eps: float = 1e-7,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= rho < 1.0:
+            raise ValueError("rho must be in [0, 1)")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.rho = rho
+        self.momentum = momentum
+        self.eps = eps
+        self._sq = [np.zeros_like(p.data) for p in self.params]
+        self._vel = [np.zeros_like(p.data) for p in self.params] if momentum else None
+
+    def step(self) -> None:
+        for i, (p, sq) in enumerate(zip(self.params, self._sq)):
+            if p.grad is None:
+                continue
+            sq *= self.rho
+            sq += (1.0 - self.rho) * (p.grad * p.grad)
+            update = self.lr * p.grad / (np.sqrt(sq) + self.eps)
+            if self._vel is not None:
+                vel = self._vel[i]
+                vel *= self.momentum
+                vel += update
+                update = vel
+            p.data -= update
+
+
+def global_grad_norm(params: list[Parameter]) -> float:
+    """L2 norm of the concatenated gradients of ``params`` (None = zero)."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(p.grad.astype(np.float64) ** 2))
+    return float(np.sqrt(total))
+
+
+def clip_global_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.  This is the constant-l2-clip the paper's
+    DP setup uses (Appendix A.3).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = global_grad_norm(params)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm

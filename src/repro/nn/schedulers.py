@@ -1,0 +1,190 @@
+"""Learning-rate schedules for the training loop.
+
+The paper trains with a fixed rate; schedulers are part of making the
+substrate complete enough for downstream use (and the fixed-size experiment
+benefits from a short warmup at small batch counts).  A scheduler wraps an
+:class:`repro.nn.optim.Optimizer` and mutates its ``lr`` in place when
+``step()`` is called once per epoch (or per batch — the unit is whatever the
+caller picks; ``t`` counts calls).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+__all__ = [
+    "Scheduler",
+    "ConstantLR",
+    "StepDecay",
+    "ExponentialDecay",
+    "CosineAnnealing",
+    "LinearWarmup",
+    "ReduceOnPlateau",
+    "build_scheduler",
+]
+
+
+class Scheduler:
+    """Base: owns the optimizer and the step counter."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.t = 0
+
+    def step(self, metric: float | None = None) -> float:
+        """Advance one unit and apply the new rate; returns it."""
+        self.t += 1
+        self.optimizer.lr = self.lr_at(self.t)
+        return self.optimizer.lr
+
+    def lr_at(self, t: int) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class ConstantLR(Scheduler):
+    """No-op schedule (keeps the configured rate)."""
+
+    def lr_at(self, t: int) -> float:
+        return self.base_lr
+
+
+class StepDecay(Scheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, t: int) -> float:
+        return self.base_lr * self.gamma ** (t // self.step_size)
+
+
+class ExponentialDecay(Scheduler):
+    """``lr_t = lr₀ · gamma^t``."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.gamma = gamma
+
+    def lr_at(self, t: int) -> float:
+        return self.base_lr * self.gamma**t
+
+
+class CosineAnnealing(Scheduler):
+    """Cosine decay from ``lr₀`` to ``min_lr`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        self.t_max = t_max
+        self.min_lr = min_lr
+
+    def lr_at(self, t: int) -> float:
+        frac = min(t, self.t_max) / self.t_max
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + math.cos(math.pi * frac))
+
+
+class LinearWarmup(Scheduler):
+    """Ramp 0 → lr₀ over ``warmup`` steps, then delegate to ``after``.
+
+    ``after`` is an already-constructed scheduler on the same optimizer; its
+    clock starts when the warmup ends.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup: int, after: Scheduler | None = None) -> None:
+        super().__init__(optimizer)
+        if warmup <= 0:
+            raise ValueError("warmup must be positive")
+        if after is not None and after.optimizer is not optimizer:
+            raise ValueError("after-scheduler must wrap the same optimizer")
+        self.warmup = warmup
+        self.after = after
+
+    def lr_at(self, t: int) -> float:
+        if t <= self.warmup:
+            return self.base_lr * t / self.warmup
+        if self.after is None:
+            return self.base_lr
+        return self.after.lr_at(t - self.warmup)
+
+
+class ReduceOnPlateau(Scheduler):
+    """Multiply the rate by ``factor`` when the metric stalls.
+
+    ``step(metric)`` must receive the validation metric (higher = better,
+    matching the trainer's accuracy/nDCG).  After ``patience`` steps without
+    improvement the rate is cut, bounded below by ``min_lr``.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 2,
+        min_lr: float = 1e-6,
+    ) -> None:
+        super().__init__(optimizer)
+        if not 0.0 < factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self._best = -math.inf
+        self._stale = 0
+
+    def step(self, metric: float | None = None) -> float:
+        if metric is None:
+            raise ValueError("ReduceOnPlateau.step requires the validation metric")
+        self.t += 1
+        if metric > self._best:
+            self._best = metric
+            self._stale = 0
+        else:
+            self._stale += 1
+            if self._stale >= self.patience:
+                self.optimizer.lr = max(self.min_lr, self.optimizer.lr * self.factor)
+                self._stale = 0
+        return self.optimizer.lr
+
+    def lr_at(self, t: int) -> float:  # plateau decisions are stateful
+        return self.optimizer.lr
+
+
+def build_scheduler(name: str, optimizer: Optimizer, total_steps: int) -> Scheduler:
+    """Construct a schedule by name (the trainer's ``lr_schedule`` knob).
+
+    ``total_steps`` sizes the horizon-dependent schedules (cosine's period,
+    step decay's interval).
+    """
+    if name == "constant":
+        return ConstantLR(optimizer)
+    if name == "cosine":
+        return CosineAnnealing(optimizer, t_max=max(total_steps, 1))
+    if name == "step":
+        return StepDecay(optimizer, step_size=max(total_steps // 3, 1), gamma=0.3)
+    if name == "exponential":
+        return ExponentialDecay(optimizer, gamma=0.05 ** (1.0 / max(total_steps, 1)))
+    if name == "plateau":
+        return ReduceOnPlateau(optimizer)
+    raise KeyError(
+        f"unknown lr schedule {name!r}; available: constant, cosine, step, exponential, plateau"
+    )

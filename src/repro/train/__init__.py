@@ -1,0 +1,32 @@
+"""`repro.train` — training loops: standard, differentially private
+(Appendix A.3), and simulated federated averaging; epoch callbacks."""
+
+from repro.train.callbacks import (
+    Callback,
+    CheckpointBest,
+    CSVLogger,
+    EpochEvent,
+    LambdaCallback,
+    StopOnMetric,
+)
+from repro.train.dp import DPConfig, DPTrainer, rdp_epsilon
+from repro.train.federated import FederatedConfig, federated_train, split_clients
+from repro.train.trainer import History, TrainConfig, Trainer
+
+__all__ = [
+    "CSVLogger",
+    "Callback",
+    "CheckpointBest",
+    "DPConfig",
+    "DPTrainer",
+    "EpochEvent",
+    "FederatedConfig",
+    "History",
+    "LambdaCallback",
+    "StopOnMetric",
+    "TrainConfig",
+    "Trainer",
+    "federated_train",
+    "rdp_epsilon",
+    "split_clients",
+]

@@ -1,0 +1,141 @@
+"""Trainer callbacks: observation hooks that run at epoch boundaries.
+
+The :class:`repro.train.trainer.Trainer` owns the optimization loop; these
+callbacks let users attach side effects — checkpointing the best model,
+logging a CSV learning curve, early custom stopping — without subclassing.
+Each callback receives an :class:`EpochEvent` after every epoch and may
+request a stop by returning ``True``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.serialization import save_npz
+from repro.utils.logging import log
+
+__all__ = [
+    "EpochEvent",
+    "Callback",
+    "CheckpointBest",
+    "CSVLogger",
+    "StopOnMetric",
+    "LambdaCallback",
+]
+
+
+@dataclass(frozen=True)
+class EpochEvent:
+    """What a callback sees at the end of one epoch."""
+
+    epoch: int  # 0-based
+    total_epochs: int
+    train_loss: float
+    val_metric: float  # NaN when no validation data was given
+    metric_name: str
+    model: Module
+
+    @property
+    def has_validation(self) -> bool:
+        return not np.isnan(self.val_metric)
+
+
+class Callback:
+    """Base callback; override :meth:`on_epoch_end`."""
+
+    def on_train_begin(self, model: Module) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def on_epoch_end(self, event: EpochEvent) -> bool:
+        """Return ``True`` to request stopping after this epoch."""
+        return False
+
+    def on_train_end(self, model: Module) -> None:  # noqa: B027 - optional hook
+        pass
+
+
+class CheckpointBest(Callback):
+    """Save the model whenever the validation metric improves.
+
+    Writes npz checkpoints via :func:`repro.nn.serialization.save_npz`
+    (parameters *and* buffers, so BatchNorm statistics and hash salts
+    restore).  Falls back to (negated) train loss when no validation data is
+    provided.
+    """
+
+    def __init__(self, path: str, verbose: bool = True) -> None:
+        self.path = path
+        self.verbose = verbose
+        self.best = -np.inf
+        self.saves = 0
+
+    def on_epoch_end(self, event: EpochEvent) -> bool:
+        signal = event.val_metric if event.has_validation else -event.train_loss
+        if signal > self.best:
+            self.best = signal
+            save_npz(event.model, self.path)
+            self.saves += 1
+            if self.verbose:
+                log(f"checkpoint: epoch {event.epoch + 1} ({signal:.4f}) -> {self.path}")
+        return False
+
+
+class CSVLogger(Callback):
+    """Append one row per epoch to a CSV learning-curve file."""
+
+    FIELDS = ("epoch", "train_loss", "val_metric", "metric_name")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._started = False
+
+    def on_train_begin(self, model: Module) -> None:
+        # Truncate on each fit so a re-used logger starts a fresh curve.
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        with open(self.path, "w", newline="") as f:
+            csv.writer(f).writerow(self.FIELDS)
+        self._started = True
+
+    def on_epoch_end(self, event: EpochEvent) -> bool:
+        if not self._started:  # fit() without on_train_begin (defensive)
+            self.on_train_begin(event.model)
+        with open(self.path, "a", newline="") as f:
+            csv.writer(f).writerow(
+                [event.epoch + 1, f"{event.train_loss:.6f}",
+                 f"{event.val_metric:.6f}", event.metric_name]
+            )
+        return False
+
+
+class StopOnMetric(Callback):
+    """Stop as soon as the validation metric reaches ``target``.
+
+    Useful for time-boxed sweeps: "train until nDCG 0.25 or the epoch budget
+    runs out".
+    """
+
+    def __init__(self, target: float) -> None:
+        self.target = target
+        self.triggered_epoch: int | None = None
+
+    def on_epoch_end(self, event: EpochEvent) -> bool:
+        if event.has_validation and event.val_metric >= self.target:
+            self.triggered_epoch = event.epoch
+            log(f"target {self.target} reached at epoch {event.epoch + 1}; stopping")
+            return True
+        return False
+
+
+class LambdaCallback(Callback):
+    """Wrap a plain function ``(EpochEvent) -> bool | None``."""
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+
+    def on_epoch_end(self, event: EpochEvent) -> bool:
+        return bool(self.fn(event))

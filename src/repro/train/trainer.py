@@ -1,0 +1,259 @@
+"""Mini-batch training loops for the paper's three model families.
+
+One :class:`Trainer` covers classification (§5.1) and pointwise ranking
+(§5.2) — both train with softmax cross-entropy — plus the pairwise RankNet
+loop (Figure 3).  Early stopping monitors the validation metric and restores
+the best weights, mirroring the paper's train-to-convergence setup at a CPU
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.loader import iterate_batches
+from repro.metrics.evaluator import evaluate_classification, evaluate_ranking
+from repro.nn.layers import Module
+from repro.nn.losses import ranknet_loss, softmax_cross_entropy
+from repro.nn.optim import SGD, Adagrad, Adam, Optimizer, RMSProp, clip_global_norm
+from repro.nn.schedulers import Scheduler, build_scheduler
+from repro.utils.logging import log
+from repro.utils.rng import ensure_rng
+
+__all__ = ["TrainConfig", "History", "Trainer"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters shared by every experiment sweep."""
+
+    epochs: int = 5
+    batch_size: int = 128
+    lr: float = 1e-3
+    optimizer: str = "adam"  # adam | sgd | adagrad | rmsprop
+    momentum: float = 0.9  # used by sgd
+    shuffle: bool = True
+    #: drop trailing partial batches — keeps BatchNorm statistics sane
+    drop_last: bool = True
+    #: stop after this many epochs without val-metric improvement (None = off)
+    early_stopping_patience: int | None = None
+    #: cap batches per epoch — lets sweeps subsample huge datasets
+    max_batches_per_epoch: int | None = None
+    #: per-epoch LR schedule: constant | cosine | step | exponential | plateau
+    lr_schedule: str = "constant"
+    #: clip the global gradient norm each step (None = off)
+    grad_clip_norm: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.optimizer not in ("adam", "sgd", "adagrad", "rmsprop"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.early_stopping_patience is not None and self.early_stopping_patience <= 0:
+            raise ValueError("early_stopping_patience must be positive or None")
+        if self.lr_schedule not in ("constant", "cosine", "step", "exponential", "plateau"):
+            raise ValueError(f"unknown lr_schedule {self.lr_schedule!r}")
+        if self.grad_clip_norm is not None and self.grad_clip_norm <= 0:
+            raise ValueError("grad_clip_norm must be positive or None")
+
+
+@dataclass
+class History:
+    """Per-epoch training record returned by the trainer."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_metric: list[float] = field(default_factory=list)
+    metric_name: str = ""
+    best_epoch: int = -1
+
+    @property
+    def best_metric(self) -> float:
+        if not self.val_metric:
+            raise ValueError("no validation metric recorded")
+        return max(self.val_metric)
+
+
+class Trainer:
+    """Runs the optimization loop; one instance per model fit.
+
+    ``callbacks`` (see :mod:`repro.train.callbacks`) observe epoch
+    boundaries and may request early stopping.
+    """
+
+    def __init__(self, config: TrainConfig | None = None, callbacks: list | None = None) -> None:
+        self.config = config or TrainConfig()
+        self.callbacks = list(callbacks or [])
+
+    # -- public API -----------------------------------------------------------
+
+    def fit(
+        self,
+        model: Module,
+        x: np.ndarray,
+        y: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+        task: str = "classification",
+    ) -> History:
+        """Train with softmax cross-entropy; validate with the task metric.
+
+        ``task`` selects the validation metric: ``accuracy`` for
+        classification, nDCG@10 for ranking (the softmax scores are the
+        ranking scores, §5.2).
+        """
+        if task not in ("classification", "ranking"):
+            raise ValueError(f"unknown task {task!r}")
+        metric = "accuracy" if task == "classification" else "ndcg"
+
+        def eval_metric() -> float:
+            if x_val is None or y_val is None:
+                return float("nan")
+            if task == "classification":
+                return evaluate_classification(model, x_val, y_val)["accuracy"]
+            return evaluate_ranking(model, x_val, y_val)["ndcg"]
+
+        def batch_loss(batch: tuple[np.ndarray, ...]) -> "Tensor":
+            xb, yb = batch
+            return softmax_cross_entropy(model(xb), yb)
+
+        return self._loop(model, (x, y), batch_loss, eval_metric, metric)
+
+    def fit_pairwise(
+        self,
+        model: "Module",
+        x: np.ndarray,
+        pos: np.ndarray,
+        neg: np.ndarray,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+    ) -> History:
+        """Train a RankNet with the pairwise logistic loss (Figure 3)."""
+
+        def eval_metric() -> float:
+            if x_val is None or y_val is None:
+                return float("nan")
+            return evaluate_ranking(model, x_val, y_val)["ndcg"]
+
+        def batch_loss(batch: tuple[np.ndarray, ...]) -> "Tensor":
+            xb, pb, nb = batch
+            s_pos, s_neg = model.score_pair(xb, pb, nb)
+            return ranknet_loss(s_pos, s_neg)
+
+        return self._loop(model, (x, pos, neg), batch_loss, eval_metric, "ndcg")
+
+    # -- internals --------------------------------------------------------------
+
+    def _make_optimizer(self, model: Module) -> Optimizer:
+        cfg = self.config
+        params = model.parameters()
+        if cfg.optimizer == "adam":
+            return Adam(params, lr=cfg.lr)
+        if cfg.optimizer == "sgd":
+            return SGD(params, lr=cfg.lr, momentum=cfg.momentum)
+        if cfg.optimizer == "rmsprop":
+            return RMSProp(params, lr=cfg.lr)
+        return Adagrad(params, lr=cfg.lr)
+
+    def _loop(self, model, arrays, batch_loss, eval_metric, metric_name) -> History:
+        from repro.train.callbacks import EpochEvent
+
+        cfg = self.config
+        rng = ensure_rng(cfg.seed)
+        opt = self._make_optimizer(model)
+        scheduler: Scheduler | None = None
+        if cfg.lr_schedule != "constant":
+            scheduler = build_scheduler(cfg.lr_schedule, opt, total_steps=cfg.epochs)
+        history = History(metric_name=metric_name)
+        best_metric = -np.inf
+        best_state: dict[str, np.ndarray] | None = None
+        stale_epochs = 0
+
+        for cb in self.callbacks:
+            cb.on_train_begin(model)
+        model.train()
+        for epoch in range(cfg.epochs):
+            epoch_loss = 0.0
+            n_batches = 0
+            for batch in iterate_batches(
+                arrays,
+                cfg.batch_size,
+                rng=rng,
+                shuffle=cfg.shuffle,
+                drop_last=cfg.drop_last,
+            ):
+                opt.zero_grad()
+                loss = batch_loss(batch)
+                if not np.isfinite(loss.item()):
+                    raise FloatingPointError(
+                        f"non-finite training loss at epoch {epoch + 1}, "
+                        f"batch {n_batches + 1} (lr={opt.lr:g}) — lower the "
+                        "learning rate or enable grad_clip_norm"
+                    )
+                loss.backward()
+                if cfg.grad_clip_norm is not None:
+                    clip_global_norm(opt.params, cfg.grad_clip_norm)
+                opt.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+                if cfg.max_batches_per_epoch and n_batches >= cfg.max_batches_per_epoch:
+                    break
+            if n_batches == 0:
+                raise ValueError(
+                    f"no batches: {len(arrays[0])} examples < batch_size {cfg.batch_size} "
+                    "with drop_last"
+                )
+            history.train_loss.append(epoch_loss / n_batches)
+
+            val = eval_metric()
+            history.val_metric.append(val)
+            val_part = "" if np.isnan(val) else f" {metric_name}={val:.4f}"
+            log(f"epoch {epoch + 1}/{cfg.epochs}: loss={history.train_loss[-1]:.4f}{val_part}")
+            if scheduler is not None:
+                # Plateau schedules need the metric; when no validation data
+                # was provided, fall back to (negated) train loss so "no
+                # improvement" still means something.
+                signal = val if not np.isnan(val) else -history.train_loss[-1]
+                scheduler.step(signal)
+
+            stop = False
+            if not np.isnan(val) and val > best_metric:
+                best_metric = val
+                history.best_epoch = epoch
+                stale_epochs = 0
+                if cfg.early_stopping_patience is not None:
+                    best_state = model.state_dict()
+            else:
+                stale_epochs += 1
+                if (
+                    cfg.early_stopping_patience is not None
+                    and stale_epochs >= cfg.early_stopping_patience
+                ):
+                    log(f"early stop at epoch {epoch + 1} (best epoch {history.best_epoch + 1})")
+                    stop = True
+
+            event = EpochEvent(
+                epoch=epoch,
+                total_epochs=cfg.epochs,
+                train_loss=history.train_loss[-1],
+                val_metric=val,
+                metric_name=metric_name,
+                model=model,
+            )
+            # Every callback observes every epoch (no short-circuit), then
+            # any single stop request ends training.
+            requests = [cb.on_epoch_end(event) for cb in self.callbacks]
+            if any(requests):
+                log(f"callback requested stop at epoch {epoch + 1}")
+                stop = True
+            if stop:
+                break
+
+        if best_state is not None:
+            model.load_state_dict(best_state)
+        model.eval()
+        for cb in self.callbacks:
+            cb.on_train_end(model)
+        return history

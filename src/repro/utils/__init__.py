@@ -1,0 +1,19 @@
+"""Shared utilities: RNG plumbing, text tables, ASCII charts, logging."""
+
+from repro.utils.logging import Timer, log, set_verbose
+from repro.utils.plot import ascii_plot
+from repro.utils.rng import DEFAULT_SEED, ensure_rng, spawn
+from repro.utils.tables import format_csv, format_series, format_table
+
+__all__ = [
+    "DEFAULT_SEED",
+    "Timer",
+    "ascii_plot",
+    "ensure_rng",
+    "format_csv",
+    "format_series",
+    "format_table",
+    "log",
+    "set_verbose",
+    "spawn",
+]

@@ -1,0 +1,44 @@
+"""Tiny opt-in progress logging.
+
+Experiments emit progress through :func:`log`; it is silenced by default so
+test runs stay quiet, and enabled by the example scripts and benchmark
+harness via :func:`set_verbose`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["set_verbose", "log", "Timer"]
+
+_VERBOSE = False
+
+
+def set_verbose(flag: bool) -> None:
+    """Globally enable or disable :func:`log` output."""
+    global _VERBOSE
+    _VERBOSE = bool(flag)
+
+
+def log(msg: str) -> None:
+    """Print ``msg`` to stderr when verbose mode is on."""
+    if _VERBOSE:
+        print(msg, file=sys.stderr, flush=True)
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds into ``self.elapsed``."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        if self.label:
+            log(f"{self.label}: {self.elapsed:.3f}s")

@@ -1,0 +1,112 @@
+"""ASCII line plots for rendering the paper's figures in a terminal.
+
+The benchmark harness regenerates every figure as (x, y) series; this module
+draws them on a character grid so the *shape* of each curve — who wins,
+where the cliffs are, where lines cross — is visible without matplotlib
+(which is not installed in the offline environment).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_plot", "MARKERS"]
+
+#: Series markers, assigned in order; a legend maps them back to names.
+MARKERS = "ox+*#@%&sdvt"
+
+
+def _ticks(lo: float, hi: float, count: int) -> list[float]:
+    if count < 2:
+        raise ValueError("need at least 2 ticks")
+    if math.isclose(lo, hi):
+        hi = lo + 1.0
+    return [lo + (hi - lo) * i / (count - 1) for i in range(count)]
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+    logx: bool = False,
+) -> str:
+    """Render named (xs, ys) series on one character grid.
+
+    Each series gets a marker from :data:`MARKERS`; collisions show the
+    marker of the later series.  ``logx`` plots x on a log axis, which is
+    how the paper draws compression ratios.
+    """
+    series = {name: (list(xs), list(ys)) for name, (xs, ys) in series.items()}
+    if not series:
+        raise ValueError("no series to plot")
+    if len(series) > len(MARKERS):
+        raise ValueError(f"too many series ({len(series)}) for {len(MARKERS)} markers")
+    if width < 16 or height < 6:
+        raise ValueError("plot area too small")
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: x/y length mismatch")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+        if logx and min(xs) <= 0:
+            raise ValueError(f"series {name!r}: log x-axis needs positive x")
+
+    def tx(x: float) -> float:
+        return math.log10(x) if logx else x
+
+    all_x = [tx(x) for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if math.isclose(x_lo, x_hi):
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+    if math.isclose(y_lo, y_hi):
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = round((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return (height - 1 - row), col
+
+    for marker, (name, (xs, ys)) in zip(MARKERS, series.items()):
+        # Connect consecutive points with interpolated dots, then overdraw
+        # the data points with the series marker.
+        for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+            r0, c0 = cell(x0, y0)
+            r1, c1 = cell(x1, y1)
+            steps = max(abs(r1 - r0), abs(c1 - c0))
+            for s in range(1, steps):
+                rr = r0 + (r1 - r0) * s // max(steps, 1)
+                cc = c0 + (c1 - c0) * s // max(steps, 1)
+                if grid[rr][cc] == " ":
+                    grid[rr][cc] = "."
+        for x, y in zip(xs, ys):
+            r, c = cell(x, y)
+            grid[r][c] = marker
+
+    y_ticks = _ticks(y_lo, y_hi, 4)
+    label_width = max(len(f"{t:.4g}") for t in y_ticks)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"{y_label}")
+    tick_rows = {height - 1 - round((t - y_lo) / (y_hi - y_lo) * (height - 1)): t for t in y_ticks}
+    for r, row in enumerate(grid):
+        label = f"{tick_rows[r]:.4g}" if r in tick_rows else ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}")
+    lines.append(f"{'':>{label_width}} +{'-' * width}")
+    x_ticks = _ticks(x_lo, x_hi, 4)
+    shown = [(10.0**t if logx else t) for t in x_ticks]
+    tick_text = "  ".join(f"{v:.4g}" for v in shown)
+    suffix = f"  [{x_label}{', log' if logx else ''}]" if x_label or logx else ""
+    lines.append(f"{'':>{label_width}}  {tick_text}{suffix}")
+    legend = "  ".join(f"{m}={name}" for m, name in zip(MARKERS, series))
+    lines.append(f"{'':>{label_width}}  {legend}")
+    return "\n".join(lines)

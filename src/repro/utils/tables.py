@@ -1,0 +1,61 @@
+"""Minimal text-table rendering for experiment reports.
+
+The experiment harness prints the same rows the paper reports; this module
+renders them as aligned monospace tables (and optionally CSV) without any
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_table", "format_csv", "format_series"]
+
+
+def _cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    float_fmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    str_rows = [[_cell(v, float_fmt) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render rows as CSV (no quoting — experiment values never contain commas)."""
+    out = [",".join(headers)]
+    for row in rows:
+        out.append(",".join(str(v) for v in row))
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any], float_fmt: str = ".4g") -> str:
+    """Render an (x, y) series — one figure line — as ``name: x→y`` pairs."""
+    pairs = ", ".join(
+        f"{_cell(x, float_fmt)}→{_cell(y, float_fmt)}" for x, y in zip(xs, ys)
+    )
+    return f"{name}: {pairs}"

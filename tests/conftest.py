@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.spec import DatasetSpec
+from repro.data.synthetic import generate_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> DatasetSpec:
+    """A minimal ranking-style dataset spec used across integration tests."""
+    return DatasetSpec(
+        name="tiny",
+        num_train=512,
+        num_eval=128,
+        input_vocab=200,
+        output_vocab=30,
+        task="ranking",
+        input_length=16,
+        examples_per_user=2,
+        num_genres=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_spec):
+    return generate_dataset(tiny_spec, np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def tiny_classification_spec() -> DatasetSpec:
+    return DatasetSpec(
+        name="tinycls",
+        num_train=512,
+        num_eval=128,
+        input_vocab=300,
+        output_vocab=25,
+        task="classification",
+        input_length=16,
+        num_countries=10,
+        num_genres=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_classification_dataset(tiny_classification_spec):
+    return generate_dataset(tiny_classification_spec, np.random.default_rng(11))

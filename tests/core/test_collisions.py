@@ -1,0 +1,102 @@
+"""Collision analytics and the §4 properties table."""
+
+import numpy as np
+import pytest
+
+from repro.core.collisions import (
+    PROPERTIES_TABLE,
+    double_hash_collision_rate,
+    empirical_collision_stats,
+    expected_colliding_entities,
+    expected_occupied_buckets,
+    naive_hash_collision_rate,
+)
+
+
+class TestFormulas:
+    def test_paper_formula_naive(self):
+        # v/m − 1 + (1 − 1/m)^v, literally
+        v, m = 1000, 100
+        expected = v / m - 1 + (1 - 1 / m) ** v
+        assert naive_hash_collision_rate(v, m) == pytest.approx(expected)
+
+    def test_paper_formula_double(self):
+        v, m = 1000, 100
+        expected = v / m**2 - 1 + (1 - 1 / m**2) ** v
+        assert double_hash_collision_rate(v, m) == pytest.approx(expected)
+
+    def test_double_hash_far_fewer_collisions(self):
+        v, m = 100_000, 10_000
+        assert double_hash_collision_rate(v, m) < naive_hash_collision_rate(v, m) / 100
+
+    def test_identity_occupied_plus_colliding(self):
+        v, m = 5000, 700
+        occ = expected_occupied_buckets(v, m)
+        col = expected_colliding_entities(v, m)
+        assert occ + col == pytest.approx(v)
+
+    def test_no_collisions_when_m_huge(self):
+        assert naive_hash_collision_rate(100, 10**9) == pytest.approx(0.0, abs=1e-6)
+
+    def test_consistency_with_empirical_uniform_hash(self):
+        """E[colliding entities] matches a simulated uniform hash."""
+        rng = np.random.default_rng(0)
+        v, m = 20_000, 3_000
+        trials = [
+            empirical_collision_stats(rng.integers(0, m, size=v)).num_colliding_entities
+            for _ in range(5)
+        ]
+        expected = expected_colliding_entities(v, m)
+        assert abs(np.mean(trials) - expected) < 0.05 * expected
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            naive_hash_collision_rate(0, 10)
+        with pytest.raises(ValueError):
+            double_hash_collision_rate(10, 0)
+
+
+class TestEmpiricalStats:
+    def test_counts_on_known_assignment(self):
+        stats = empirical_collision_stats(np.array([0, 0, 1, 2, 2, 2]))
+        assert stats.num_entities == 6
+        assert stats.num_buckets_used == 3
+        assert stats.num_colliding_entities == 3  # v − occupied buckets
+        assert stats.num_shared_entities == 5  # 2 in bucket 0 + 3 in bucket 2
+        assert stats.max_bucket_load == 3
+        assert stats.collision_fraction == pytest.approx(5 / 6)
+
+    def test_no_collisions(self):
+        stats = empirical_collision_stats(np.arange(10))
+        assert stats.num_colliding_entities == 0
+        assert stats.collision_fraction == 0.0
+
+    def test_empty(self):
+        stats = empirical_collision_stats(np.array([], dtype=int))
+        assert stats.num_entities == 0
+        assert stats.collision_fraction == 0.0
+
+    def test_requires_flat_array(self):
+        with pytest.raises(ValueError):
+            empirical_collision_stats(np.zeros((2, 2)))
+
+
+class TestPropertiesTable:
+    def test_matches_paper_table(self):
+        rows = {p.technique: p for p in PROPERTIES_TABLE}
+        assert rows["memcom"].unique_vector is True
+        assert rows["memcom"].simple_operator is True
+        assert rows["memcom"].handles_power_law is True
+        assert rows["hash"].unique_vector is False
+        assert rows["low_rank"].handles_power_law is False
+        assert rows["low_rank"].simple_operator is None  # N/A in the paper
+        assert rows["quotient_remainder"].simple_operator is False
+        assert rows["double_hash"].unique_vector is False
+
+    def test_memcom_is_the_only_all_yes_row(self):
+        all_yes = [
+            p.technique
+            for p in PROPERTIES_TABLE
+            if p.unique_vector and p.simple_operator and p.handles_power_law
+        ]
+        assert all_yes == ["memcom"]

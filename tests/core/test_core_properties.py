@@ -1,0 +1,79 @@
+"""Hypothesis property tests for the core package."""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import HASH_PRIME, universal_hash
+from repro.core.collisions import naive_hash_collision_rate
+from repro.core.sizing import embedding_param_count, solve_embedding_dim
+from repro.core.uniqueness import count_close_pairs
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(1, 10**6),
+    st.integers(1, 1000),
+    st.integers(1, (1 << 31) - 1),
+    st.integers(0, (1 << 31) - 1),
+)
+def test_universal_hash_in_range_and_deterministic(n_ids, m, a, b):
+    ids = np.arange(min(n_ids, 64))
+    h = universal_hash(ids, m, a, b)
+    assert (h >= 0).all() and (h < m).all()
+    np.testing.assert_array_equal(h, universal_hash(ids, m, a, b))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 100_000), st.integers(1, 10_000))
+def test_naive_collision_rate_nonnegative_and_bounded(v, m):
+    rate = naive_hash_collision_rate(v, m)
+    assert rate >= -1e-9
+    assert rate <= v / m  # cannot exceed mean load
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 5000), st.integers(2, 64), st.integers(1, 4999))
+def test_memcom_params_less_than_full_when_m_smaller(v, e, m):
+    m = min(m, v - 1)
+    full = embedding_param_count("full", v, e)
+    memcom = embedding_param_count("memcom", v, e, num_hash_embeddings=m)
+    # memcom wins whenever the saved rows outweigh the two scalar columns
+    if (v - m) * e > 2 * v:
+        assert memcom < full
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 100), st.integers(0, 10_000), st.integers(1, 10**7))
+def test_solver_result_is_maximal(slope, intercept, budget):
+    max_dim = 10**6
+    f = lambda e: slope * e + intercept
+    if f(1) > budget:
+        return  # solver correctly refuses; covered by unit test
+    got = solve_embedding_dim(budget, f, max_dim=max_dim)
+    assert f(got) <= budget
+    if got < max_dim:  # not clamped → maximal
+        assert f(got + 1) > budget
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(-1, 1, allow_nan=False, width=32), min_size=2, max_size=25),
+    st.floats(0, 0.5, allow_nan=False),
+)
+def test_count_close_pairs_matches_brute_force(values, tol):
+    vals = np.asarray(values, dtype=np.float64)
+    brute = sum(1 for a, b in itertools.combinations(vals, 2) if abs(a - b) <= tol)
+    assert count_close_pairs(vals, tol) == brute
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 300), st.integers(1, 50))
+def test_qr_partition_is_complementary(v, m):
+    """Every id gets a unique (remainder, quotient) pair — Shi et al.'s
+    complementary-partition property that QREmbedding relies on."""
+    ids = np.arange(v)
+    pairs = set(zip(ids % m, ids // m))
+    assert len(pairs) == v

@@ -1,0 +1,62 @@
+"""Frequency-based double hashing (Zhang et al. 2020, deployed variant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import FrequencyDoubleHashEmbedding
+from repro.core.sizing import embedding_param_count
+
+
+class TestFrequencyDoubleHash:
+    def test_output_shape(self, rng):
+        emb = FrequencyDoubleHashEmbedding(1000, 16, num_hash_embeddings=32, rng=0)
+        ids = rng.integers(0, 1000, size=(4, 6))
+        assert emb(ids).shape == (4, 6, 16)
+
+    def test_head_ids_get_dedicated_rows(self):
+        emb = FrequencyDoubleHashEmbedding(1000, 16, num_hash_embeddings=32, keep=10, rng=0)
+        out = emb(np.arange(10)).data
+        np.testing.assert_allclose(out, emb.head.data[:10], rtol=1e-6)
+
+    def test_tail_ids_use_double_hash(self):
+        emb = FrequencyDoubleHashEmbedding(1000, 16, num_hash_embeddings=32, keep=10, rng=0)
+        tail_ids = np.array([500, 999])
+        np.testing.assert_allclose(emb(tail_ids).data, emb.tail(tail_ids).data, rtol=1e-6)
+
+    def test_keep_defaults_to_hash_size(self):
+        emb = FrequencyDoubleHashEmbedding(1000, 16, num_hash_embeddings=64, rng=0)
+        assert emb.keep == 64
+
+    def test_param_count_matches_sizing(self):
+        emb = FrequencyDoubleHashEmbedding(1000, 16, num_hash_embeddings=32, keep=50, rng=0)
+        assert emb.num_parameters() == embedding_param_count(
+            "freq_double_hash", 1000, 16, num_hash_embeddings=32, keep=50
+        )
+
+    def test_head_never_collides(self):
+        emb = FrequencyDoubleHashEmbedding(500, 8, num_hash_embeddings=4, keep=100, rng=0)
+        out = emb(np.arange(100)).data
+        assert len(np.unique(out.round(7), axis=0)) == 100
+
+    def test_gradients_split_by_popularity(self, rng):
+        emb = FrequencyDoubleHashEmbedding(100, 8, num_hash_embeddings=16, keep=20, rng=0)
+        emb(np.arange(0, 20)).sum().backward()
+        assert np.abs(emb.head.grad).sum() > 0
+        tail_grad = emb.tail.table1.grad
+        assert tail_grad is None or np.abs(tail_grad).sum() == 0
+
+        emb.zero_grad()
+        emb(np.arange(20, 100)).sum().backward()
+        assert np.abs(emb.tail.table1.grad).sum() > 0
+        head_grad = emb.head.grad
+        assert head_grad is None or np.abs(head_grad).sum() == 0
+
+    def test_rejects_bad_keep(self):
+        with pytest.raises(ValueError):
+            FrequencyDoubleHashEmbedding(100, 8, num_hash_embeddings=16, keep=0)
+        with pytest.raises(ValueError):
+            FrequencyDoubleHashEmbedding(100, 8, num_hash_embeddings=16, keep=101)
+
+    def test_rejects_odd_dim(self):
+        with pytest.raises(ValueError):
+            FrequencyDoubleHashEmbedding(100, 7, num_hash_embeddings=16)

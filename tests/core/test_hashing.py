@@ -1,0 +1,108 @@
+"""Naive and double hashing embeddings + the universal hash family."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import HASH_PRIME, universal_hash
+from repro.core.hashing import DoubleHashEmbedding, NaiveHashEmbedding
+
+
+class TestUniversalHash:
+    def test_range(self, rng):
+        ids = rng.integers(0, 1 << 30, size=1000)
+        h = universal_hash(ids, 37, a=12345, b=678)
+        assert h.min() >= 0 and h.max() < 37
+
+    def test_deterministic(self):
+        ids = np.arange(100)
+        h1 = universal_hash(ids, 10, a=999, b=7)
+        h2 = universal_hash(ids, 10, a=999, b=7)
+        np.testing.assert_array_equal(h1, h2)
+
+    def test_different_coefficients_differ(self):
+        ids = np.arange(1000)
+        h1 = universal_hash(ids, 100, a=999, b=7)
+        h2 = universal_hash(ids, 100, a=1001, b=7)
+        assert (h1 != h2).any()
+
+    def test_roughly_uniform(self):
+        ids = np.arange(100_000)
+        h = universal_hash(ids, 10, a=48271, b=11)
+        counts = np.bincount(h, minlength=10)
+        assert counts.min() > 8000 and counts.max() < 12000
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            universal_hash(np.arange(3), 0, a=1, b=0)
+        with pytest.raises(ValueError):
+            universal_hash(np.arange(3), 10, a=0, b=0)
+        with pytest.raises(ValueError):
+            universal_hash(np.arange(3), 10, a=1, b=HASH_PRIME)
+
+
+class TestNaiveHash:
+    def test_mod_family_matches_modulo(self, rng):
+        emb = NaiveHashEmbedding(100, 4, num_hash_embeddings=7, rng=0)
+        ids = rng.integers(0, 100, size=20)
+        np.testing.assert_array_equal(emb.hash_indices(ids), ids % 7)
+
+    def test_colliding_ids_share_embedding_exactly(self):
+        emb = NaiveHashEmbedding(100, 4, num_hash_embeddings=7, rng=0)
+        out = emb(np.array([3, 10, 17])).data  # all ≡ 3 mod 7
+        np.testing.assert_array_equal(out[0], out[1])
+        np.testing.assert_array_equal(out[0], out[2])
+
+    def test_universal_family_differs_from_mod(self):
+        mod = NaiveHashEmbedding(1000, 4, 13, hash_family="mod", rng=0)
+        uni = NaiveHashEmbedding(1000, 4, 13, hash_family="universal", rng=0)
+        ids = np.arange(1000)
+        assert (mod.hash_indices(ids) != uni.hash_indices(ids)).any()
+
+    def test_param_count(self):
+        assert NaiveHashEmbedding(1000, 8, 50, rng=0).num_parameters() == 400
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveHashEmbedding(10, 4, 2, hash_family="md5")
+
+
+class TestDoubleHash:
+    def test_output_is_concat_of_two_lookups(self):
+        emb = DoubleHashEmbedding(100, 8, num_hash_embeddings=11, rng=0)
+        ids = np.array([42])
+        h1, h2 = emb.hash_indices(ids)
+        out = emb(ids).data[0]
+        np.testing.assert_allclose(out[:4], emb.table1.data[h1[0]], rtol=1e-6)
+        np.testing.assert_allclose(out[4:], emb.table2.data[h2[0]], rtol=1e-6)
+
+    def test_hashes_are_independent(self):
+        emb = DoubleHashEmbedding(10_000, 8, num_hash_embeddings=100, rng=0)
+        h1, h2 = emb.hash_indices(np.arange(10_000))
+        # agreeing on h1 should say ~nothing about agreeing on h2
+        same1 = h1[:-1] == h1[1:]
+        agree2 = (h2[:-1] == h2[1:])[same1].mean() if same1.any() else 0.0
+        assert agree2 < 0.05
+
+    def test_fewer_composed_collisions_than_naive(self):
+        v, m = 5000, 70
+        emb = DoubleHashEmbedding(v, 8, num_hash_embeddings=m, rng=0)
+        h1, h2 = emb.hash_indices(np.arange(v))
+        composed = h1 * m + h2
+        naive_unique = np.unique(np.arange(v) % m).size
+        composed_unique = np.unique(composed).size
+        assert composed_unique > naive_unique * 10
+
+    def test_param_count_matches_naive_at_same_m(self):
+        # two half-width tables == one full-width table
+        double = DoubleHashEmbedding(1000, 8, 50, rng=0)
+        naive = NaiveHashEmbedding(1000, 8, 50, rng=0)
+        assert double.num_parameters() == naive.num_parameters()
+
+    def test_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            DoubleHashEmbedding(10, 5, 2)
+
+    def test_gradients_flow_to_both_tables(self, rng):
+        emb = DoubleHashEmbedding(50, 6, num_hash_embeddings=5, rng=0)
+        emb(rng.integers(0, 50, (2, 3))).sum().backward()
+        assert emb.table1.grad is not None and emb.table2.grad is not None

@@ -1,0 +1,125 @@
+"""MEmCom embedding (Algorithms 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.memcom import MEmComEmbedding
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        emb = MEmComEmbedding(100, 8, num_hash_embeddings=10, rng=0)
+        out = emb(rng.integers(0, 100, size=(4, 6)))
+        assert out.shape == (4, 6, 8)
+
+    def test_composition_is_row_times_scalar(self):
+        emb = MEmComEmbedding(50, 4, num_hash_embeddings=7, bias=False, rng=0)
+        idx = np.array([23])
+        expected = emb.shared.data[23 % 7] * emb.multiplier.data[23, 0]
+        np.testing.assert_allclose(emb(idx).data[0], expected, rtol=1e-6)
+
+    def test_bias_added_per_entity(self):
+        emb = MEmComEmbedding(50, 4, num_hash_embeddings=7, bias=True, rng=0)
+        emb.bias_table.data[:] = 3.0
+        idx = np.array([10])
+        no_bias = emb.shared.data[10 % 7] * emb.multiplier.data[10, 0]
+        np.testing.assert_allclose(emb(idx).data[0], no_bias + 3.0, rtol=1e-6)
+
+    def test_same_bucket_entities_differ_via_multiplier(self):
+        emb = MEmComEmbedding(20, 4, num_hash_embeddings=5, bias=False, rng=0)
+        emb.multiplier.data[3, 0] = 1.0
+        emb.multiplier.data[8, 0] = 2.0  # 3 and 8 share bucket 3
+        out = emb(np.array([3, 8])).data
+        np.testing.assert_allclose(out[1], 2.0 * out[0], rtol=1e-6)
+
+    def test_unique_embeddings_despite_collisions(self, rng):
+        emb = MEmComEmbedding(30, 4, num_hash_embeddings=3, multiplier_init="uniform", rng=0)
+        out = emb(np.arange(30)).data
+        # all 30 vectors pairwise distinct even with only 3 shared rows
+        flat = {tuple(np.round(v, 7)) for v in out}
+        assert len(flat) == 30
+
+
+class TestParameters:
+    def test_param_count_no_bias(self):
+        emb = MEmComEmbedding(100, 8, num_hash_embeddings=10, bias=False, rng=0)
+        assert emb.num_parameters() == 10 * 8 + 100
+
+    def test_param_count_with_bias(self):
+        emb = MEmComEmbedding(100, 8, num_hash_embeddings=10, bias=True, rng=0)
+        assert emb.num_parameters() == 10 * 8 + 2 * 100
+
+    def test_ones_init(self):
+        emb = MEmComEmbedding(50, 4, num_hash_embeddings=5, multiplier_init="ones", rng=0)
+        np.testing.assert_allclose(emb.multipliers(), 1.0)
+
+    def test_uniform_init_near_identity(self):
+        emb = MEmComEmbedding(500, 4, num_hash_embeddings=5, multiplier_init="uniform", rng=0)
+        mults = emb.multipliers()
+        assert (mults >= 0.95).all() and (mults <= 1.05).all()
+        assert np.unique(mults).size > 400  # actually random
+
+    def test_bias_starts_at_zero(self):
+        emb = MEmComEmbedding(50, 4, num_hash_embeddings=5, bias=True, rng=0)
+        np.testing.assert_allclose(emb.bias_table.data, 0.0)
+
+
+class TestGradients:
+    def test_all_tables_receive_gradients(self, rng):
+        emb = MEmComEmbedding(40, 4, num_hash_embeddings=8, bias=True, rng=0)
+        emb(rng.integers(0, 40, size=(3, 5))).sum().backward()
+        assert emb.shared.grad is not None
+        assert emb.multiplier.grad is not None
+        assert emb.bias_table.grad is not None
+
+    def test_multiplier_grad_only_for_seen_ids(self):
+        emb = MEmComEmbedding(40, 4, num_hash_embeddings=8, bias=False, rng=0)
+        emb(np.array([5, 7])).sum().backward()
+        seen = np.flatnonzero(np.abs(emb.multiplier.grad[:, 0]))
+        np.testing.assert_array_equal(seen, [5, 7])
+
+    def test_joint_training_differentiates_colliding_ids(self):
+        """The paper's core claim: ids sharing a bucket learn distinct
+        embeddings because V is trained jointly with U."""
+        from repro.nn.losses import mse_loss
+        from repro.nn.optim import Adam
+
+        emb = MEmComEmbedding(10, 4, num_hash_embeddings=1, bias=False, rng=0)
+        opt = Adam(emb.parameters(), lr=0.05)
+        idx = np.array([0, 5])  # same bucket (m=1)
+        targets = np.array([[1.0, 1, 1, 1], [-1.0, -1, -1, -1]], dtype=np.float32)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = mse_loss(emb(idx), targets)
+            loss.backward()
+            opt.step()
+        out = emb(idx).data
+        assert np.abs(out[0] - out[1]).max() > 1.0  # clearly separated
+
+
+class TestHelpers:
+    def test_bucket_of(self):
+        emb = MEmComEmbedding(100, 4, num_hash_embeddings=7, rng=0)
+        ids = np.array([0, 7, 13, 99])
+        np.testing.assert_array_equal(emb.bucket_of(ids), ids % 7)
+
+    def test_multipliers_returns_copy(self):
+        emb = MEmComEmbedding(10, 4, num_hash_embeddings=2, rng=0)
+        m = emb.multipliers()
+        m[:] = 99.0
+        assert not (emb.multiplier.data == 99.0).any()
+
+
+class TestValidation:
+    def test_bad_hash_size(self):
+        with pytest.raises(ValueError):
+            MEmComEmbedding(10, 4, num_hash_embeddings=0)
+
+    def test_bad_init_name(self):
+        with pytest.raises(ValueError):
+            MEmComEmbedding(10, 4, num_hash_embeddings=2, multiplier_init="xavier")
+
+    def test_out_of_range_ids(self):
+        emb = MEmComEmbedding(10, 4, num_hash_embeddings=2, rng=0)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))

@@ -1,0 +1,114 @@
+"""Mixed-dimension blocked embeddings (Ginart et al. 2019)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mixed_dim import MixedDimEmbedding, block_dims, block_partition
+from repro.core.sizing import embedding_param_count
+
+
+class TestBlockPartition:
+    @given(
+        v=st.integers(min_value=1, max_value=100_000),
+        b=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=80)
+    def test_covers_vocab_exactly(self, v, b):
+        blocks = block_partition(v, b)
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == v
+        for (_, stop), (start, _) in zip(blocks, blocks[1:]):
+            assert stop == start  # contiguous
+        assert all(stop > start for start, stop in blocks)  # non-empty
+
+    def test_sizes_grow_geometrically(self):
+        blocks = block_partition(15_000, 4)
+        sizes = [stop - start for start, stop in blocks]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 4 * sizes[0]
+
+    def test_block_count_clipped_to_vocab(self):
+        assert len(block_partition(3, 8)) == 3
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            block_partition(0, 4)
+        with pytest.raises(ValueError):
+            block_partition(10, 0)
+
+
+class TestBlockDims:
+    def test_head_block_is_widest(self):
+        dims = block_dims(64, 4, temperature=0.63)
+        assert dims[0] == 64
+        assert dims == sorted(dims, reverse=True)
+
+    def test_zero_temperature_keeps_full_width(self):
+        assert block_dims(32, 5, temperature=0.0) == [32] * 5
+
+    def test_floor_at_one(self):
+        assert min(block_dims(4, 10, temperature=2.0)) == 1
+
+    def test_rejects_negative_temperature(self):
+        with pytest.raises(ValueError):
+            block_dims(32, 4, temperature=-1.0)
+
+
+class TestMixedDimEmbedding:
+    def test_output_shape(self, rng):
+        emb = MixedDimEmbedding(1000, 32, num_blocks=4, rng=0)
+        ids = rng.integers(0, 1000, size=(5, 9))
+        assert emb(ids).shape == (5, 9, 32)
+
+    def test_param_count_matches_sizing(self):
+        emb = MixedDimEmbedding(5000, 32, num_blocks=4, rng=0)
+        assert emb.num_parameters() == embedding_param_count(
+            "mixed_dim", 5000, 32, num_blocks=4
+        )
+
+    def test_compresses_versus_full_table(self):
+        assert embedding_param_count("mixed_dim", 100_000, 64, num_blocks=6) < 100_000 * 64 / 2
+
+    def test_block_of_respects_boundaries(self):
+        emb = MixedDimEmbedding(100, 8, num_blocks=3, rng=0)
+        for k, (start, stop) in enumerate(emb.blocks):
+            assert emb.block_of(np.array([start]))[0] == k
+            assert emb.block_of(np.array([stop - 1]))[0] == k
+
+    def test_embedding_comes_from_own_block_only(self):
+        # Zero one block's table: only that block's ids go to zero output.
+        emb = MixedDimEmbedding(60, 8, num_blocks=3, temperature=0.0, rng=0)
+        emb.tables[1].data[:] = 0.0
+        start, stop = emb.blocks[1]
+        out = emb(np.arange(60)).data
+        np.testing.assert_allclose(out[start:stop], 0.0)
+        assert np.abs(out[:start]).sum() > 0
+        assert np.abs(out[stop:]).sum() > 0
+
+    def test_head_ids_are_full_width_no_projection(self):
+        emb = MixedDimEmbedding(1000, 32, num_blocks=4, rng=0)
+        assert emb.block_widths[0] == 32
+        assert emb.projections[0] is None
+
+    def test_gradient_flows_to_correct_block(self, rng):
+        emb = MixedDimEmbedding(60, 8, num_blocks=3, rng=0)
+        start, stop = emb.blocks[2]
+        loss = emb(np.arange(start, stop)).sum()
+        loss.backward()
+        assert np.abs(emb.tables[2].grad).sum() > 0
+        # Untouched blocks receive an (all-zero) or no gradient.
+        for k in (0, 1):
+            grad = emb.tables[k].grad
+            assert grad is None or np.abs(grad).sum() == 0
+
+    def test_unique_embeddings_within_and_across_blocks(self):
+        emb = MixedDimEmbedding(80, 16, num_blocks=3, rng=0)
+        out = emb(np.arange(80)).data
+        assert len(np.unique(out.round(7), axis=0)) == 80
+
+    def test_single_block_collapses_to_factorized_shape(self):
+        emb = MixedDimEmbedding(100, 32, num_blocks=1, rng=0)
+        assert len(emb.blocks) == 1
+        assert emb.block_widths == [32]

@@ -1,0 +1,121 @@
+"""Factorized, reduced-dim, truncate-rare, Weinberger one-hot, full table."""
+
+import numpy as np
+import pytest
+
+from repro.core.full import FullEmbedding
+from repro.core.low_rank import FactorizedEmbedding, ReducedDimEmbedding
+from repro.core.onehot import HashedOneHotEncoder
+from repro.core.truncate import TruncateRareEmbedding
+
+
+class TestFullEmbedding:
+    def test_identity_compression(self, rng):
+        emb = FullEmbedding(50, 8, rng=0)
+        assert emb.num_parameters() == 400
+        ids = rng.integers(0, 50, (2, 3))
+        np.testing.assert_array_equal(emb(ids).data, emb.table.data[ids])
+
+
+class TestFactorized:
+    def test_low_rank_structure(self):
+        emb = FactorizedEmbedding(100, 16, hidden_dim=4, rng=0)
+        out = emb(np.arange(100)).data  # (100, 16)
+        assert np.linalg.matrix_rank(out) <= 4
+
+    def test_unique_vectors(self):
+        emb = FactorizedEmbedding(50, 8, hidden_dim=4, rng=0)
+        out = emb(np.arange(50)).data
+        assert len({tuple(np.round(v, 7)) for v in out}) == 50
+
+    def test_param_count(self):
+        emb = FactorizedEmbedding(100, 16, hidden_dim=4, rng=0)
+        assert emb.num_parameters() == 100 * 4 + 4 * 16
+
+    def test_projection_has_no_bias(self):
+        assert FactorizedEmbedding(10, 8, 2, rng=0).projection.bias is None
+
+    def test_gradients_flow(self, rng):
+        emb = FactorizedEmbedding(30, 8, hidden_dim=3, rng=0)
+        emb(rng.integers(0, 30, (2, 4))).sum().backward()
+        assert emb.table.grad is not None
+        assert emb.projection.weight.grad is not None
+
+    def test_bad_hidden_dim(self):
+        with pytest.raises(ValueError):
+            FactorizedEmbedding(10, 8, hidden_dim=0)
+
+
+class TestReducedDim:
+    def test_output_dim_is_reduced(self, rng):
+        emb = ReducedDimEmbedding(40, reduced_dim=6, rng=0)
+        assert emb.output_dim == 6
+        assert emb(rng.integers(0, 40, (2, 3))).shape == (2, 3, 6)
+
+    def test_param_count(self):
+        assert ReducedDimEmbedding(40, 6, rng=0).num_parameters() == 240
+
+
+class TestTruncateRare:
+    def test_popular_ids_keep_own_rows(self):
+        emb = TruncateRareEmbedding(100, 4, keep=10, rng=0)
+        ids = np.array([0, 1, 10])
+        np.testing.assert_array_equal(emb.truncated_indices(ids), ids)
+
+    def test_rare_ids_share_oov_row(self):
+        emb = TruncateRareEmbedding(100, 4, keep=10, rng=0)
+        out = emb(np.array([50, 99])).data
+        np.testing.assert_array_equal(out[0], out[1])
+        np.testing.assert_array_equal(emb.truncated_indices(np.array([50, 99])), [11, 11])
+
+    def test_param_count(self):
+        # keep + padding row + OOV row
+        assert TruncateRareEmbedding(100, 4, keep=10, rng=0).num_parameters() == 12 * 4
+
+    def test_keep_bounds(self):
+        with pytest.raises(ValueError):
+            TruncateRareEmbedding(100, 4, keep=0)
+        with pytest.raises(ValueError):
+            TruncateRareEmbedding(100, 4, keep=101)
+        TruncateRareEmbedding(100, 4, keep=100, rng=0)  # boundary OK
+
+
+class TestHashedOneHot:
+    def test_output_is_pooled(self, rng):
+        emb = HashedOneHotEncoder(100, 8, num_hash_buckets=16, rng=0)
+        out = emb(rng.integers(0, 100, (3, 5)))
+        assert out.shape == (3, 8)  # no sequence axis
+
+    def test_encode_counts_hash_buckets(self):
+        emb = HashedOneHotEncoder(100, 8, num_hash_buckets=16, signed=False, average=False, rng=0)
+        ids = np.array([[7, 7, 9]])
+        enc = emb.encode(ids)
+        assert enc.sum() == 3.0
+        from repro.core.base import universal_hash
+
+        b7 = universal_hash(np.array([7]), 16, int(emb.hash_salt[0]), int(emb.hash_salt[1]))[0]
+        assert enc[0, b7] >= 2.0
+
+    def test_signed_encoding_uses_plus_minus_one(self):
+        emb = HashedOneHotEncoder(1000, 8, num_hash_buckets=512, signed=True, average=False, rng=0)
+        enc = emb.encode(np.arange(40).reshape(1, 40))
+        vals = np.unique(enc[enc != 0])
+        assert set(vals).issubset({-2.0, -1.0, 1.0, 2.0})
+        assert (vals < 0).any() and (vals > 0).any()
+
+    def test_average_divides_by_length(self):
+        emb_avg = HashedOneHotEncoder(100, 8, 16, signed=False, average=True, rng=0)
+        emb_raw = HashedOneHotEncoder(100, 8, 16, signed=False, average=False, rng=0)
+        ids = np.array([[1, 2, 3, 4]])
+        np.testing.assert_allclose(emb_avg.encode(ids) * 4, emb_raw.encode(ids), rtol=1e-6)
+
+    def test_only_projection_is_trainable(self, rng):
+        emb = HashedOneHotEncoder(100, 8, 16, rng=0)
+        assert emb.num_parameters() == 16 * 8
+        emb(rng.integers(0, 100, (2, 4))).sum().backward()
+        assert emb.weight.grad is not None
+
+    def test_requires_2d_ids(self):
+        emb = HashedOneHotEncoder(100, 8, 16, rng=0)
+        with pytest.raises(ValueError):
+            emb.encode(np.array([1, 2, 3]))

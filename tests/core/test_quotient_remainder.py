@@ -1,0 +1,75 @@
+"""Quotient-remainder trick (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quotient_remainder import QREmbedding
+
+
+class TestIndexMath:
+    def test_remainder_quotient_pair_unique_per_id(self):
+        v, m = 97, 10
+        pairs = {(i % m, i // m) for i in range(v)}
+        assert len(pairs) == v  # complementary partition: no two ids collide
+
+    def test_quotient_table_size(self):
+        emb = QREmbedding(100, 8, num_remainder_embeddings=7, rng=0)
+        assert emb.num_quotient_embeddings == 15  # ceil(100/7)
+
+    def test_mult_composition_value(self):
+        emb = QREmbedding(50, 4, num_remainder_embeddings=6, operation="mult", rng=0)
+        i = 23
+        expected = emb.remainder.data[i % 6] * emb.quotient.data[i // 6]
+        np.testing.assert_allclose(emb(np.array([i])).data[0], expected, rtol=1e-6)
+
+    def test_concat_composition_value(self):
+        emb = QREmbedding(50, 8, num_remainder_embeddings=6, operation="concat", rng=0)
+        i = 31
+        out = emb(np.array([i])).data[0]
+        np.testing.assert_allclose(out[:4], emb.remainder.data[i % 6], rtol=1e-6)
+        np.testing.assert_allclose(out[4:], emb.quotient.data[i // 6], rtol=1e-6)
+
+
+class TestShapesAndParams:
+    def test_mult_output_dim(self, rng):
+        emb = QREmbedding(100, 16, num_remainder_embeddings=10, operation="mult", rng=0)
+        assert emb(rng.integers(0, 100, (2, 3))).shape == (2, 3, 16)
+        assert emb.num_parameters() == (10 + 10) * 16
+
+    def test_concat_tables_are_half_width(self, rng):
+        emb = QREmbedding(100, 16, num_remainder_embeddings=10, operation="concat", rng=0)
+        assert emb(rng.integers(0, 100, (2, 3))).shape == (2, 3, 16)
+        assert emb.remainder.data.shape == (10, 8)
+        assert emb.num_parameters() == (10 + 10) * 8
+
+    def test_technique_name_tracks_operation(self):
+        assert QREmbedding(10, 4, 2, operation="mult", rng=0).technique == "qr_mult"
+        assert QREmbedding(10, 4, 2, operation="concat", rng=0).technique == "qr_concat"
+
+
+class TestGradients:
+    def test_both_tables_updated(self, rng):
+        emb = QREmbedding(60, 6, num_remainder_embeddings=8, rng=0)
+        emb(rng.integers(0, 60, (4, 4))).sum().backward()
+        assert emb.remainder.grad is not None
+        assert emb.quotient.grad is not None
+
+    def test_distinct_ids_same_remainder_update_different_quotients(self):
+        emb = QREmbedding(40, 4, num_remainder_embeddings=10, rng=0)
+        emb(np.array([3, 13])).sum().backward()  # same remainder 3, quotients 0 and 1
+        touched = np.flatnonzero(np.abs(emb.quotient.grad).sum(axis=1))
+        np.testing.assert_array_equal(touched, [0, 1])
+
+
+class TestValidation:
+    def test_odd_dim_concat_rejected(self):
+        with pytest.raises(ValueError):
+            QREmbedding(10, 5, num_remainder_embeddings=2, operation="concat")
+
+    def test_unknown_operation(self):
+        with pytest.raises(ValueError):
+            QREmbedding(10, 4, num_remainder_embeddings=2, operation="add")
+
+    def test_bad_m(self):
+        with pytest.raises(ValueError):
+            QREmbedding(10, 4, num_remainder_embeddings=0)

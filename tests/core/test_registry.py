@@ -1,0 +1,65 @@
+"""Technique registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import available_techniques, build_embedding, technique_spec
+
+HYPER = {
+    "full": {},
+    "memcom": dict(num_hash_embeddings=10),
+    "memcom_nobias": dict(num_hash_embeddings=10),
+    "qr_mult": dict(num_hash_embeddings=10),
+    "qr_concat": dict(num_hash_embeddings=10),
+    "hash": dict(num_hash_embeddings=10),
+    "double_hash": dict(num_hash_embeddings=10),
+    "factorized": dict(hidden_dim=4),
+    "reduce_dim": dict(reduced_dim=4),
+    "truncate_rare": dict(keep=20),
+    "hashed_onehot": dict(num_hash_embeddings=10),
+    "freq_double_hash": dict(num_hash_embeddings=10),
+    "tt_rec": dict(tt_rank=2),
+    "mixed_dim": dict(num_blocks=3),
+}
+
+
+class TestRegistry:
+    def test_all_expected_techniques_present(self):
+        assert set(available_techniques()) == set(HYPER)
+
+    @pytest.mark.parametrize("name", sorted(HYPER))
+    def test_build_and_forward_every_technique(self, name, rng):
+        emb = build_embedding(name, 100, 8, rng=0, **HYPER[name])
+        ids = rng.integers(0, 100, size=(2, 4))
+        out = emb(ids)
+        assert out.shape[-1] == emb.output_dim
+        assert np.isfinite(out.data).all()
+
+    def test_missing_hyper_raises(self):
+        with pytest.raises(TypeError, match="requires hyperparameters"):
+            build_embedding("memcom", 100, 8)
+
+    def test_unknown_hyper_raises(self):
+        with pytest.raises(TypeError, match="unknown hyperparameters"):
+            build_embedding("hash", 100, 8, num_hash_embeddings=10, banana=1)
+
+    def test_unknown_technique_raises(self):
+        with pytest.raises(KeyError, match="available:"):
+            build_embedding("quantum", 100, 8)
+
+    def test_spec_metadata(self):
+        spec = technique_spec("memcom")
+        assert spec.requires == ("num_hash_embeddings",)
+        assert "Algorithm 3" in spec.summary
+
+    def test_memcom_variants_differ_in_bias(self):
+        with_bias = build_embedding("memcom", 50, 4, rng=0, num_hash_embeddings=5)
+        without = build_embedding("memcom_nobias", 50, 4, rng=0, num_hash_embeddings=5)
+        assert with_bias.bias_table is not None
+        assert without.bias_table is None
+
+    def test_multiplier_init_passthrough(self):
+        emb = build_embedding(
+            "memcom", 50, 4, rng=0, num_hash_embeddings=5, multiplier_init="uniform"
+        )
+        assert np.unique(emb.multipliers()).size > 10

@@ -1,0 +1,115 @@
+"""Analytic sizing math pinned against real modules; fixed-budget solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import build_embedding
+from repro.core.sizing import (
+    bytes_for_params,
+    compression_ratio,
+    embedding_param_count,
+    params_for_bytes,
+    solve_embedding_dim,
+)
+
+CASES = [
+    ("full", {}),
+    ("memcom", dict(num_hash_embeddings=13)),
+    ("memcom_nobias", dict(num_hash_embeddings=13)),
+    ("qr_mult", dict(num_hash_embeddings=13)),
+    ("qr_concat", dict(num_hash_embeddings=13)),
+    ("hash", dict(num_hash_embeddings=13)),
+    ("double_hash", dict(num_hash_embeddings=13)),
+    ("factorized", dict(hidden_dim=6)),
+    ("reduce_dim", dict(reduced_dim=6)),
+    ("truncate_rare", dict(keep=17)),
+    ("hashed_onehot", dict(num_hash_embeddings=13)),
+]
+
+
+class TestAnalyticCounts:
+    @pytest.mark.parametrize("technique,hyper", CASES)
+    @pytest.mark.parametrize("v,e", [(101, 16), (500, 32)])
+    def test_formula_matches_built_module(self, technique, hyper, v, e):
+        analytic = embedding_param_count(technique, v, e, **hyper)
+        actual = build_embedding(technique, v, e, rng=0, **hyper).num_parameters()
+        assert analytic == actual, f"{technique}: {analytic} != {actual}"
+
+    def test_unknown_technique(self):
+        with pytest.raises(KeyError):
+            embedding_param_count("nope", 10, 4)
+
+    def test_missing_hyper(self):
+        with pytest.raises(TypeError):
+            embedding_param_count("memcom", 10, 4)
+
+    def test_nonpositive_hyper(self):
+        with pytest.raises(ValueError):
+            embedding_param_count("hash", 10, 4, num_hash_embeddings=0)
+
+    def test_odd_dim_rejected_for_split_tables(self):
+        with pytest.raises(ValueError):
+            embedding_param_count("qr_concat", 10, 5, num_hash_embeddings=2)
+        with pytest.raises(ValueError):
+            embedding_param_count("double_hash", 10, 5, num_hash_embeddings=2)
+
+
+class TestBytes:
+    def test_fp32(self):
+        assert bytes_for_params(100, 32) == 400
+
+    def test_sub_byte_precisions_round_up(self):
+        assert bytes_for_params(3, 4) == 2  # 12 bits -> 2 bytes
+        assert bytes_for_params(100, 2) == 25
+
+    def test_roundtrip_with_params_for_bytes(self):
+        for bits in (32, 16, 8):
+            n = 1000
+            assert params_for_bytes(bytes_for_params(n, bits), bits) == n
+
+    def test_unsupported_precision(self):
+        with pytest.raises(ValueError):
+            bytes_for_params(10, 12)
+
+
+class TestSolver:
+    def test_finds_largest_dim_within_budget(self):
+        f = lambda e: 100 * e + 7
+        assert solve_embedding_dim(1007, f) == 10
+        assert solve_embedding_dim(1050, f) == 10
+        assert solve_embedding_dim(1107, f) == 11
+
+    def test_exact_budget_boundary(self):
+        f = lambda e: e * e
+        assert solve_embedding_dim(49, f) == 7
+
+    def test_budget_too_small_raises(self):
+        with pytest.raises(ValueError, match="budget"):
+            solve_embedding_dim(5, lambda e: 100 * e)
+
+    def test_respects_max_dim(self):
+        assert solve_embedding_dim(10**9, lambda e: e, max_dim=64) == 64
+
+    def test_solution_is_tight(self):
+        """Property: f(result) <= budget < f(result+1) for monotonic f
+        (unless clamped by max_dim)."""
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            slope = int(rng.integers(1, 500))
+            inter = int(rng.integers(0, 1000))
+            budget = int(rng.integers(inter + slope, 10**6))
+            f = lambda e, s=slope, i=inter: s * e + i
+            got = solve_embedding_dim(budget, f, max_dim=10**7)
+            assert f(got) <= budget
+            assert f(got + 1) > budget
+
+
+class TestRatio:
+    def test_basic(self):
+        assert compression_ratio(1000, 100) == 10.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            compression_ratio(0, 10)
+        with pytest.raises(ValueError):
+            compression_ratio(10, 0)

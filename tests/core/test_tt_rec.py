@@ -1,0 +1,119 @@
+"""TT-Rec tensor-train embeddings (Yin et al. 2021)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sizing import embedding_param_count
+from repro.core.tt_rec import TTRecEmbedding, _vocab_shape, factor_three
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.optim import Adam
+
+
+class TestFactorThree:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(32, (2, 4, 4)), (64, (4, 4, 4)), (256, (4, 8, 8)), (8, (2, 2, 2)), (1, (1, 1, 1))],
+    )
+    def test_balanced_factors(self, n, expected):
+        assert factor_three(n) == expected
+
+    def test_prime_degenerates(self):
+        assert factor_three(7) == (1, 1, 7)
+
+    @given(st.integers(min_value=1, max_value=2048))
+    def test_product_is_exact(self, n):
+        a, b, c = factor_three(n)
+        assert a * b * c == n
+        assert a <= b <= c
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factor_three(0)
+
+
+class TestVocabShape:
+    @given(st.integers(min_value=1, max_value=1_000_000))
+    @settings(max_examples=50)
+    def test_covers_vocab(self, v):
+        v1, v2, v3 = _vocab_shape(v)
+        assert v1 * v2 * v3 >= v
+
+    def test_roughly_cubic(self):
+        v1, v2, v3 = _vocab_shape(1_000_000)
+        assert max(v1, v2, v3) <= 4 * 100  # within a small factor of v^(1/3)
+
+
+class TestTTRecEmbedding:
+    def test_output_shape(self, rng):
+        emb = TTRecEmbedding(500, 32, tt_rank=4, rng=0)
+        ids = rng.integers(0, 500, size=(3, 7))
+        assert emb(ids).shape == (3, 7, 32)
+
+    def test_param_count_matches_sizing(self):
+        emb = TTRecEmbedding(1000, 32, tt_rank=8, rng=0)
+        assert emb.num_parameters() == embedding_param_count("tt_rec", 1000, 32, tt_rank=8)
+
+    def test_compresses_versus_full_table(self):
+        v, e = 100_000, 64
+        assert embedding_param_count("tt_rec", v, e, tt_rank=8) < v * e / 100
+
+    def test_every_id_structurally_unique(self):
+        # Distinct ids address distinct (i1, i2, i3) digit triples, so with
+        # random cores no two embeddings coincide.
+        emb = TTRecEmbedding(200, 16, tt_rank=2, rng=0)
+        out = emb(np.arange(200)).data
+        distances = np.linalg.norm(out[:, None, :] - out[None, :, :], axis=-1)
+        np.fill_diagonal(distances, np.inf)
+        assert distances.min() > 1e-9
+
+    def test_digits_invert_mixed_radix(self):
+        emb = TTRecEmbedding(321, 16, tt_rank=2, rng=0)
+        ids = np.arange(321)
+        i1, i2, i3 = emb.index_digits(ids)
+        _, v2, v3 = emb.vocab_shape
+        np.testing.assert_array_equal(i1 * v2 * v3 + i2 * v3 + i3, ids)
+
+    def test_deterministic_per_seed(self):
+        a = TTRecEmbedding(100, 16, tt_rank=2, rng=7)(np.arange(10)).data
+        b = TTRecEmbedding(100, 16, tt_rank=2, rng=7)(np.arange(10)).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            TTRecEmbedding(100, 16, tt_rank=0)
+
+    def test_rejects_out_of_range_ids(self):
+        emb = TTRecEmbedding(100, 16, tt_rank=2, rng=0)
+        with pytest.raises(IndexError):
+            emb(np.array([100]))
+
+    def test_gradients_reach_all_cores(self, rng):
+        emb = TTRecEmbedding(50, 8, tt_rank=2, rng=0)
+        ids = rng.integers(0, 50, size=(4, 3))
+        loss = emb(ids).sum()
+        loss.backward()
+        for core in (emb.core1, emb.core2, emb.core3):
+            assert core.grad is not None
+            assert np.abs(core.grad).sum() > 0
+
+    def test_trains_toward_labels(self, rng):
+        # A tiny end-to-end sanity check: TT-Rec embeddings + a frozen random
+        # readout can fit a 4-way classification of 20 ids.
+        emb = TTRecEmbedding(20, 8, tt_rank=2, rng=0)
+        readout = rng.normal(size=(8, 4)).astype(np.float32)
+        ids = np.arange(20)
+        labels = ids % 4
+        opt = Adam(emb.parameters(), lr=0.05)
+        first = None
+        for _ in range(60):
+            opt.zero_grad()
+            from repro.nn.tensor import Tensor
+
+            logits = emb(ids) @ Tensor(readout)
+            loss = softmax_cross_entropy(logits, labels)
+            loss.backward()
+            opt.step()
+            first = loss.item() if first is None else first
+        assert loss.item() < first * 0.5

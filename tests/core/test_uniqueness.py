@@ -1,0 +1,71 @@
+"""A.4 uniqueness audit machinery."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.memcom import MEmComEmbedding
+from repro.core.uniqueness import audit_uniqueness, count_close_pairs
+
+
+def brute_force_close_pairs(values, tol):
+    return sum(
+        1 for a, b in itertools.combinations(values, 2) if abs(a - b) <= tol
+    )
+
+
+class TestCountClosePairs:
+    def test_all_equal(self):
+        assert count_close_pairs(np.ones(5), 1e-9) == 10
+
+    def test_all_distinct(self):
+        assert count_close_pairs(np.array([0.0, 1.0, 2.0]), 0.5) == 0
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(20):
+            vals = rng.normal(0, 0.01, size=rng.integers(2, 40))
+            tol = float(rng.uniform(1e-4, 2e-2))
+            assert count_close_pairs(vals, tol) == brute_force_close_pairs(vals, tol)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            count_close_pairs(np.ones(3), -1.0)
+
+
+class TestAudit:
+    def test_trivially_unique_when_no_collisions(self):
+        emb = MEmComEmbedding(10, 4, num_hash_embeddings=10, rng=0)
+        report = audit_uniqueness(emb)
+        assert report.total_pairs == 0
+        assert report.fraction_distinct == 1.0
+        assert report.passes()
+
+    def test_identical_multipliers_fail(self):
+        emb = MEmComEmbedding(100, 4, num_hash_embeddings=10, multiplier_init="ones", rng=0)
+        report = audit_uniqueness(emb)
+        assert report.total_pairs > 0
+        assert report.fraction_distinct == 0.0
+        assert not report.passes()
+
+    def test_random_multipliers_pass(self):
+        emb = MEmComEmbedding(1000, 4, num_hash_embeddings=25, multiplier_init="uniform", rng=0)
+        report = audit_uniqueness(emb, tolerance=1e-7)
+        assert report.fraction_distinct > 0.999
+
+    def test_pair_counting_matches_combinatorics(self):
+        v, m = 60, 7
+        emb = MEmComEmbedding(v, 4, num_hash_embeddings=m, rng=0)
+        report = audit_uniqueness(emb)
+        sizes = np.bincount(np.arange(v) % m)
+        expected_pairs = int((sizes * (sizes - 1) // 2).sum())
+        assert report.total_pairs == expected_pairs
+        assert report.largest_bucket == sizes.max()
+        assert report.buckets_with_collisions == (sizes >= 2).sum()
+
+    def test_tolerance_controls_strictness(self):
+        emb = MEmComEmbedding(100, 4, num_hash_embeddings=2, rng=0)
+        emb.multiplier.data[:, 0] = np.linspace(0, 1, 100)  # spacing ~0.0101
+        strict = audit_uniqueness(emb, tolerance=1e-6)
+        loose = audit_uniqueness(emb, tolerance=0.5)
+        assert strict.fraction_distinct > loose.fraction_distinct

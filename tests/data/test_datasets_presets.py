@@ -1,0 +1,61 @@
+"""Table 2 preset integrity: every dataset matches the paper's statistics."""
+
+import pytest
+
+from repro.data.datasets import (
+    CLASSIFICATION_DATASETS,
+    DATASETS,
+    RANKING_DATASETS,
+    get_spec,
+    table2_rows,
+)
+
+#: (train, eval, input vocab, output vocab) exactly as printed in Table 2.
+TABLE2 = {
+    "newsgroup": (11_300, 7_500, 105_000, 20),
+    "movielens": (655_000, 72_800, 10_000, 5_000),
+    "millionsongs": (4_500_000, 500_000, 50_000, 20_000),
+    "google_local": (246_000, 27_000, 200_000, 20_000),
+    "netflix": (2_100_000, 235_000, 17_000, 16_000),
+    "games": (78_000_000, 65_000, 480_000, 119_000),
+    "arcade": (7_500_000, 65_000, 300_000, 145),
+}
+
+
+class TestTable2Presets:
+    @pytest.mark.parametrize("name", sorted(TABLE2))
+    def test_full_scale_matches_paper(self, name):
+        spec = get_spec(name, 1.0)
+        assert (spec.num_train, spec.num_eval, spec.input_vocab, spec.output_vocab) == TABLE2[name]
+
+    def test_all_seven_datasets_present(self):
+        assert set(DATASETS) == set(TABLE2)
+
+    def test_experiment_groupings_cover_everything(self):
+        assert set(CLASSIFICATION_DATASETS) == {"newsgroup", "games", "arcade"}
+        assert set(RANKING_DATASETS) == {
+            "movielens", "millionsongs", "google_local", "netflix",
+        }
+
+    def test_table2_rows_helper_matches(self):
+        rows = {name: rest for name, *rest in table2_rows(1.0)}
+        for name, expected in TABLE2.items():
+            assert tuple(rows[name]) == expected
+
+    @pytest.mark.parametrize("name", sorted(TABLE2))
+    def test_input_window_is_128(self, name):
+        assert get_spec(name, 1.0).input_length == 128
+
+    def test_games_and_arcade_share_country_vocab_scheme(self):
+        for name in ("games", "arcade"):
+            spec = get_spec(name, 1.0)
+            assert spec.num_countries > 0
+            assert spec.task == "classification"
+
+    def test_google_local_is_flattest(self):
+        exps = {name: get_spec(name, 1.0).input_exponent for name in TABLE2}
+        assert exps["google_local"] == min(exps.values())
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError, match="available"):
+            get_spec("criteo")

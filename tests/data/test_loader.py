@@ -1,0 +1,60 @@
+"""Batch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import iterate_batches, num_batches
+
+
+class TestIteration:
+    def test_covers_every_example_once(self, rng):
+        x = np.arange(10)
+        seen = np.concatenate([b[0] for b in iterate_batches((x,), 3, rng=rng)])
+        np.testing.assert_array_equal(np.sort(seen), x)
+
+    def test_aligned_arrays_stay_aligned(self, rng):
+        x = np.arange(20)
+        y = np.arange(20) * 10
+        for bx, by in iterate_batches((x, y), 4, rng=rng):
+            np.testing.assert_array_equal(by, bx * 10)
+
+    def test_drop_last(self):
+        batches = list(iterate_batches((np.arange(10),), 3, shuffle=False, drop_last=True))
+        assert len(batches) == 3
+        assert all(len(b[0]) == 3 for b in batches)
+
+    def test_keep_last(self):
+        batches = list(iterate_batches((np.arange(10),), 3, shuffle=False))
+        assert len(batches) == 4
+        assert len(batches[-1][0]) == 1
+
+    def test_no_shuffle_preserves_order(self):
+        batches = list(iterate_batches((np.arange(6),), 2, shuffle=False))
+        np.testing.assert_array_equal(batches[0][0], [0, 1])
+
+    def test_shuffle_deterministic_by_rng(self):
+        a = [b[0] for b in iterate_batches((np.arange(20),), 5, rng=3)]
+        b = [b[0] for b in iterate_batches((np.arange(20),), 5, rng=3)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            list(iterate_batches((np.arange(3), np.arange(4)), 2))
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_batches((np.arange(3),), 0))
+
+    def test_empty_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            list(iterate_batches((), 2))
+
+
+class TestNumBatches:
+    def test_exact_division(self):
+        assert num_batches(12, 4) == 3
+
+    def test_rounding_up(self):
+        assert num_batches(13, 4) == 4
+        assert num_batches(13, 4, drop_last=True) == 3

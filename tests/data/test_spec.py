@@ -1,0 +1,91 @@
+"""DatasetSpec validation and scaling."""
+
+import pytest
+
+from repro.data.spec import DatasetSpec
+
+
+def _spec(**kw):
+    base = dict(
+        name="t",
+        num_train=1000,
+        num_eval=100,
+        input_vocab=5000,
+        output_vocab=1000,
+        task="ranking",
+    )
+    base.update(kw)
+    return DatasetSpec(**base)
+
+
+class TestValidation:
+    def test_valid_spec_builds(self):
+        assert _spec().num_items == 4999
+
+    def test_counts_positive(self):
+        with pytest.raises(ValueError):
+            _spec(num_train=0)
+
+    def test_vocab_minimum(self):
+        with pytest.raises(ValueError):
+            _spec(input_vocab=1)
+
+    def test_task_names(self):
+        with pytest.raises(ValueError):
+            _spec(task="regression")
+
+    def test_popularity_mix_range(self):
+        with pytest.raises(ValueError):
+            _spec(popularity_mix=1.5)
+
+    def test_countries_must_fit(self):
+        with pytest.raises(ValueError):
+            _spec(num_countries=5000)
+
+    def test_genre_labels_need_matching_counts(self):
+        with pytest.raises(ValueError):
+            _spec(task="classification", label_source="genre", num_genres=5, output_vocab=20)
+
+    def test_num_items_excludes_countries_and_padding(self):
+        s = _spec(num_countries=100)
+        assert s.num_items == 5000 - 100 - 1
+
+
+class TestScaling:
+    def test_scale_one_is_identity(self):
+        s = _spec()
+        assert s.scaled(1.0) is s
+
+    def test_counts_shrink_proportionally(self):
+        s = _spec(num_train=100_000).scaled(0.01)
+        assert s.num_train == 1000
+
+    def test_floors_applied(self):
+        s = _spec().scaled(1e-6)
+        assert s.num_train >= 512
+        assert s.input_vocab >= 256
+
+    def test_small_output_vocab_is_structural(self):
+        s = _spec(output_vocab=145).scaled(0.01)
+        assert s.output_vocab == 145  # Arcade's catalog survives scaling
+
+    def test_large_output_vocab_scales(self):
+        s = _spec(output_vocab=119_000, input_vocab=480_000).scaled(0.01)
+        assert s.output_vocab == 1190
+
+    def test_output_fits_in_item_space(self):
+        s = _spec(input_vocab=100_000, output_vocab=90_000).scaled(0.003)
+        assert s.output_vocab < s.input_vocab - s.num_countries - 1
+
+    def test_skew_and_window_preserved(self):
+        s = _spec(input_exponent=0.77).scaled(0.01)
+        assert s.input_exponent == 0.77
+        assert s.input_length == 128
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            _spec().scaled(0.0)
+
+    def test_countries_keep_minimum(self):
+        s = _spec(num_countries=200).scaled(0.01)
+        assert s.num_countries >= 8

@@ -1,0 +1,155 @@
+"""Synthetic dataset generation: shapes, ranges, structure."""
+
+import numpy as np
+import pytest
+from scipy.stats import spearmanr
+
+from repro.data.datasets import get_spec, load_dataset, load_pairwise, table2_rows
+from repro.data.spec import DatasetSpec
+from repro.data.synthetic import SyntheticWorld, generate_dataset, generate_pairwise
+from repro.data.vocab import id_frequencies
+
+
+class TestDatasetShapes:
+    def test_example_matrix_shapes(self, tiny_dataset, tiny_spec):
+        assert tiny_dataset.x_train.shape == (tiny_spec.num_train, tiny_spec.input_length)
+        assert tiny_dataset.x_eval.shape == (tiny_spec.num_eval, tiny_spec.input_length)
+        assert tiny_dataset.y_train.shape == (tiny_spec.num_train,)
+
+    def test_id_ranges(self, tiny_dataset, tiny_spec):
+        assert tiny_dataset.x_train.min() >= 0
+        assert tiny_dataset.x_train.max() < tiny_spec.input_vocab
+        assert tiny_dataset.y_train.min() >= 0
+        assert tiny_dataset.y_train.max() < tiny_spec.output_vocab
+
+    def test_dtypes_are_int32(self, tiny_dataset):
+        assert tiny_dataset.x_train.dtype == np.int32
+        assert tiny_dataset.y_train.dtype == np.int32
+
+    def test_properties(self, tiny_dataset, tiny_spec):
+        assert tiny_dataset.num_classes == tiny_spec.output_vocab
+        assert tiny_dataset.vocab_size == tiny_spec.input_vocab
+
+    def test_deterministic_given_seed(self, tiny_spec):
+        d1 = generate_dataset(tiny_spec, np.random.default_rng(3))
+        d2 = generate_dataset(tiny_spec, np.random.default_rng(3))
+        np.testing.assert_array_equal(d1.x_train, d2.x_train)
+        np.testing.assert_array_equal(d1.y_train, d2.y_train)
+
+
+class TestFrequencySorting:
+    def test_ids_are_frequency_sorted(self, tiny_dataset, tiny_spec):
+        """§5.1: low ids must be the frequent ones (strong negative rank
+        correlation between id and observed count)."""
+        counts = id_frequencies(tiny_dataset.x_train, tiny_spec.input_vocab)
+        items = counts[1 + tiny_spec.num_countries :]
+        rho = spearmanr(np.arange(items.size), items).statistic
+        assert rho < -0.7
+
+    def test_padding_present_for_short_histories(self, tiny_dataset):
+        assert (tiny_dataset.x_train == 0).any()
+
+    def test_padding_is_leading(self, tiny_dataset):
+        """Histories are padded at the old end: once real ids start, no
+        more padding (no mid-sequence zeros)."""
+        x = tiny_dataset.x_train
+        started = np.cumsum(x != 0, axis=1) > 0
+        assert not ((x == 0) & started).any()
+
+
+class TestCountriesAndLabels:
+    def test_country_in_slot_zero(self, tiny_classification_dataset, tiny_classification_spec):
+        spec = tiny_classification_spec
+        first = tiny_classification_dataset.x_train[:, 0]
+        assert (first >= 1).all()
+        assert (first <= spec.num_countries).all()
+
+    def test_items_do_not_use_country_ids(
+        self, tiny_classification_dataset, tiny_classification_spec
+    ):
+        spec = tiny_classification_spec
+        rest = tiny_classification_dataset.x_train[:, 1:]
+        nonpad = rest[rest != 0]
+        assert (nonpad > spec.num_countries).all()
+
+    def test_genre_labels_for_newsgroup_style(self):
+        spec = DatasetSpec(
+            name="newsgroup-like",
+            num_train=256,
+            num_eval=64,
+            input_vocab=400,
+            output_vocab=10,
+            task="classification",
+            label_source="genre",
+            num_genres=10,
+            input_length=32,
+        )
+        ds = generate_dataset(spec, np.random.default_rng(0))
+        assert set(np.unique(ds.y_train)) <= set(range(10))
+        # topic documents have no padding — full 32-word docs
+        assert (ds.x_train != 0).all()
+
+    def test_labels_are_learnable_signal(self, tiny_dataset):
+        """Label must correlate with input genre mix: a trivial check that
+        examples are not pure noise — the most popular label is far from
+        covering everything."""
+        y = tiny_dataset.y_train
+        top_share = np.bincount(y).max() / y.size
+        assert top_share < 0.9
+
+
+class TestPairwise:
+    def test_pos_neg_always_differ(self, tiny_spec):
+        pw = generate_pairwise(tiny_spec, np.random.default_rng(1))
+        assert (pw.pos_train != pw.neg_train).all()
+        assert (pw.pos_eval != pw.neg_eval).all()
+
+    def test_ranges(self, tiny_spec):
+        pw = generate_pairwise(tiny_spec, np.random.default_rng(1))
+        for arr in (pw.pos_train, pw.neg_train):
+            assert arr.min() >= 0 and arr.max() < tiny_spec.output_vocab
+
+
+class TestPresets:
+    def test_all_presets_generate(self):
+        for name in ("newsgroup", "movielens", "millionsongs", "google_local",
+                     "netflix", "games", "arcade"):
+            spec = get_spec(name, scale=0.002)
+            ds = load_dataset(name, scale=0.002, rng=0)
+            assert ds.x_train.shape[1] == 128
+            assert ds.y_train.max() < spec.output_vocab
+
+    def test_table2_statistics_at_full_scale(self):
+        rows = {r[0]: r for r in table2_rows(1.0)}
+        assert rows["newsgroup"][1:] == (11_300, 7_500, 105_000, 20)
+        assert rows["games"][1:] == (78_000_000, 65_000, 480_000, 119_000)
+        assert rows["arcade"][4] == 145
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError, match="available"):
+            get_spec("imagenet")
+
+    def test_pairwise_preset(self):
+        pw = load_pairwise("arcade", scale=0.002, rng=0)
+        assert pw.x_train.shape[1] == 128
+
+
+class TestWorld:
+    def test_every_genre_nonempty(self, tiny_spec):
+        world = SyntheticWorld.build(tiny_spec, np.random.default_rng(0))
+        assert all(m.size > 0 for m in world.genre_members)
+
+    def test_rank_mapping_is_permutation(self, tiny_spec):
+        world = SyntheticWorld.build(tiny_spec, np.random.default_rng(0))
+        assert np.array_equal(np.sort(world.rank_to_public), np.arange(tiny_spec.num_items))
+
+    def test_label_mapping_is_permutation(self, tiny_spec):
+        world = SyntheticWorld.build(tiny_spec, np.random.default_rng(0))
+        assert np.array_equal(
+            np.sort(world.catalog_rank_to_label), np.arange(tiny_spec.output_vocab)
+        )
+
+    def test_country_sampler_absent_without_countries(self, tiny_spec, rng):
+        world = SyntheticWorld.build(tiny_spec, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            world.sample_country_ids(rng, 5)

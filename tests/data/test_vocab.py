@@ -1,0 +1,94 @@
+"""Frequency-sorted vocabulary utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.vocab import (
+    apply_mapping,
+    frequency_sorted_mapping,
+    id_frequencies,
+    random_id_mapping,
+    sortedness_violation,
+)
+
+
+class TestFrequencies:
+    def test_counts(self):
+        counts = id_frequencies(np.array([0, 1, 1, 3]), 5)
+        np.testing.assert_array_equal(counts, [1, 2, 0, 1, 0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            id_frequencies(np.array([5]), 5)
+
+
+class TestFrequencyMapping:
+    def test_most_frequent_gets_id_one(self):
+        counts = np.array([100, 1, 50, 7])  # id 0 is padding
+        mapping = frequency_sorted_mapping(counts)
+        assert mapping[0] == 0  # padding pinned
+        assert mapping[2] == 1  # most frequent non-padding
+        assert mapping[3] == 2
+        assert mapping[1] == 3
+
+    def test_mapping_is_permutation(self):
+        counts = np.array([0, 5, 3, 3, 9, 1])
+        mapping = frequency_sorted_mapping(counts)
+        np.testing.assert_array_equal(np.sort(mapping), np.arange(6))
+
+    def test_remapped_stream_is_sorted(self, rng):
+        from repro.data.zipf import ZipfSampler
+
+        ids = ZipfSampler(50, 1.0).sample(rng, 20_000) + 1
+        shuffled = rng.permutation(51)[ids]  # destroy sortedness
+        counts = id_frequencies(shuffled, 51)
+        mapping = frequency_sorted_mapping(counts)
+        new_counts = id_frequencies(apply_mapping(shuffled, mapping), 51)
+        assert (np.diff(new_counts[1:]) <= 0).all()
+
+    def test_no_padding_variant(self):
+        mapping = frequency_sorted_mapping(np.array([1, 9, 5]), reserve_padding=False)
+        np.testing.assert_array_equal(mapping, [2, 0, 1])
+
+
+class TestRandomMapping:
+    def test_is_permutation_preserving_padding(self, rng):
+        mapping = random_id_mapping(100, rng)
+        assert mapping[0] == 0
+        np.testing.assert_array_equal(np.sort(mapping), np.arange(100))
+
+    def test_deterministic_by_seed(self):
+        m1 = random_id_mapping(50, 7)
+        m2 = random_id_mapping(50, 7)
+        np.testing.assert_array_equal(m1, m2)
+
+
+class TestSortednessViolation:
+    def test_sorted_counts_score_zero(self):
+        assert sortedness_violation(np.array([0, 9, 5, 3, 1])) == 0.0
+
+    def test_reversed_counts_score_one(self):
+        assert sortedness_violation(np.array([0, 1, 3, 5, 9])) == 1.0
+
+    def test_short_input(self):
+        assert sortedness_violation(np.array([0, 5])) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=2, max_size=50))
+def test_frequency_mapping_always_permutation(counts):
+    mapping = frequency_sorted_mapping(np.asarray(counts))
+    np.testing.assert_array_equal(np.sort(mapping), np.arange(len(counts)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=2, max_size=50))
+def test_frequency_mapping_sorts_counts(counts):
+    counts = np.asarray(counts)
+    mapping = frequency_sorted_mapping(counts, reserve_padding=False)
+    inverse = np.empty_like(mapping)
+    inverse[mapping] = np.arange(mapping.size)
+    sorted_counts = counts[inverse]
+    assert (np.diff(sorted_counts) <= 0).all()

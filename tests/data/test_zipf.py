@@ -1,0 +1,80 @@
+"""Power-law sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.zipf import ZipfSampler, empirical_exponent, zipf_probabilities
+
+
+class TestProbabilities:
+    def test_sums_to_one(self):
+        p = zipf_probabilities(1000, 1.1)
+        np.testing.assert_allclose(p.sum(), 1.0, rtol=1e-9)
+
+    def test_monotone_decreasing(self):
+        p = zipf_probabilities(100, 0.8)
+        assert (np.diff(p) <= 0).all()
+
+    def test_alpha_zero_is_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        np.testing.assert_allclose(p, 0.1)
+
+    def test_higher_alpha_more_head_mass(self):
+        lo = zipf_probabilities(1000, 0.5)
+        hi = zipf_probabilities(1000, 1.5)
+        assert hi[:10].sum() > lo[:10].sum()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestSampler:
+    def test_bounds(self, rng):
+        s = ZipfSampler(50, 1.0)
+        draws = s.sample(rng, 10_000)
+        assert draws.min() >= 0 and draws.max() < 50
+
+    def test_shape(self, rng):
+        assert ZipfSampler(10, 1.0).sample(rng, (3, 4)).shape == (3, 4)
+
+    def test_frequencies_match_pmf(self):
+        s = ZipfSampler(20, 1.2)
+        draws = s.sample(np.random.default_rng(0), 200_000)
+        observed = np.bincount(draws, minlength=20) / 200_000
+        np.testing.assert_allclose(observed, s.probabilities(), atol=0.01)
+
+    def test_deterministic_given_seed(self):
+        s = ZipfSampler(100, 1.0)
+        a = s.sample(np.random.default_rng(5), 50)
+        b = s.sample(np.random.default_rng(5), 50)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestExponentFit:
+    def test_recovers_exponent_roughly(self):
+        s = ZipfSampler(200, 1.1)
+        draws = s.sample(np.random.default_rng(0), 500_000)
+        counts = np.bincount(draws, minlength=200)
+        fit = empirical_exponent(counts)
+        assert 0.9 < fit < 1.3
+
+    def test_uniform_fits_near_zero(self, rng):
+        counts = np.full(100, 1000) + rng.integers(-20, 20, 100)
+        assert abs(empirical_exponent(counts)) < 0.1
+
+    def test_needs_enough_counts(self):
+        with pytest.raises(ValueError):
+            empirical_exponent(np.array([5, 0, 0]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 500), st.floats(0, 3, allow_nan=False))
+def test_pmf_valid_for_any_params(n, alpha):
+    p = zipf_probabilities(n, alpha)
+    assert (p >= 0).all()
+    np.testing.assert_allclose(p.sum(), 1.0, rtol=1e-6)

@@ -1,0 +1,147 @@
+"""Analytic latency/footprint model and device profiles."""
+
+import pytest
+
+from repro.device.cost_model import benchmark, estimate_footprint_mb, estimate_latency_ms
+from repro.device.export import export_model
+from repro.device.profiles import (
+    DEVICES,
+    IPHONE_12_PRO_COREML,
+    PIXEL_2_TFLITE,
+    UnsupportedOpError,
+)
+from repro.device.runtime import DeviceRuntime, benchmark_on_all_devices
+from repro.models.builder import build_pointwise_ranker
+
+# Table 3 shapes: hash size 10K, embedding 256, batch 1 (§5.3).
+V, C, L, E = 100_000, 2_000, 128, 256
+HASH = 10_000
+
+
+def _exported(technique, **hyper):
+    model = build_pointwise_ranker(
+        technique, V, C, input_length=L, embedding_dim=E, rng=0, **hyper
+    )
+    return export_model(model)
+
+
+@pytest.fixture(scope="module")
+def memcom_exported():
+    return _exported("memcom_nobias", num_hash_embeddings=HASH)
+
+
+@pytest.fixture(scope="module")
+def onehot_exported():
+    return _exported("hashed_onehot", num_hash_embeddings=HASH)
+
+
+class TestLatency:
+    def test_positive_on_all_units(self, memcom_exported):
+        for profile in DEVICES.values():
+            for unit in profile.units:
+                try:
+                    latency = estimate_latency_ms(memcom_exported, profile, unit)
+                except UnsupportedOpError:
+                    continue
+                assert latency > 0
+
+    def test_table3_ordering_memcom_faster(self, memcom_exported, onehot_exported):
+        """The paper's headline: MEmCom beats Weinberger on every unit."""
+        for profile in DEVICES.values():
+            for unit in profile.units:
+                try:
+                    lat_m = estimate_latency_ms(memcom_exported, profile, unit)
+                    lat_o = estimate_latency_ms(onehot_exported, profile, unit)
+                except UnsupportedOpError:
+                    continue
+                assert lat_m < lat_o, (profile.framework, unit)
+
+    def test_tflite_gpu_rejects_mean_pool(self, memcom_exported):
+        with pytest.raises(UnsupportedOpError):
+            estimate_latency_ms(memcom_exported, PIXEL_2_TFLITE, "GPU")
+
+    def test_unknown_unit_rejected(self, memcom_exported):
+        with pytest.raises(KeyError, match="available"):
+            estimate_latency_ms(memcom_exported, IPHONE_12_PRO_COREML, "npuOnly")
+
+    def test_latency_grows_with_batch(self):
+        small = export_model(
+            build_pointwise_ranker("memcom_nobias", V, C, input_length=L,
+                                   embedding_dim=E, rng=0, num_hash_embeddings=HASH),
+            batch_size=1,
+        )
+        big = export_model(
+            build_pointwise_ranker("memcom_nobias", V, C, input_length=L,
+                                   embedding_dim=E, rng=0, num_hash_embeddings=HASH),
+            batch_size=64,
+        )
+        assert estimate_latency_ms(big, IPHONE_12_PRO_COREML, "cpuOnly") > estimate_latency_ms(
+            small, IPHONE_12_PRO_COREML, "cpuOnly"
+        )
+
+
+class TestFootprint:
+    def test_memcom_footprint_far_below_onehot(self, memcom_exported, onehot_exported):
+        for profile in DEVICES.values():
+            fp_m = estimate_footprint_mb(memcom_exported, profile)
+            fp_o = estimate_footprint_mb(onehot_exported, profile)
+            assert fp_o > 2 * fp_m, profile.framework
+
+    def test_footprint_far_below_table_size(self, memcom_exported, onehot_exported):
+        """The mmap story: a lookup model's resident set must be far below
+        its on-disk size (big tables, few touched pages)."""
+        fp = estimate_footprint_mb(memcom_exported, IPHONE_12_PRO_COREML)
+        # total model ~ (1000*64 + 2e4 + head 64*2000)*4B ≈ 1MB; with base 2.4
+        assert fp < memcom_exported.on_disk_bytes() / 1e6 + IPHONE_12_PRO_COREML.base_footprint_mb + 1.0
+
+    def test_footprint_includes_base(self, memcom_exported):
+        for profile in DEVICES.values():
+            assert estimate_footprint_mb(memcom_exported, profile) > profile.base_footprint_mb
+
+    def test_missing_residency_factor_raises(self, memcom_exported):
+        from dataclasses import replace
+
+        broken = replace(IPHONE_12_PRO_COREML, residency={})
+        with pytest.raises(KeyError, match="residency"):
+            estimate_footprint_mb(_exported("hashed_onehot", num_hash_embeddings=HASH), broken)
+
+
+class TestRuntime:
+    def test_benchmark_report_fields(self, memcom_exported):
+        report = benchmark(memcom_exported, IPHONE_12_PRO_COREML, "all")
+        assert report.device == "iPhone 12 Pro"
+        assert report.framework == "CoreML"
+        assert report.latency_ms > 0
+        assert report.footprint_mb > 0
+        assert report.on_disk_mb > 0
+
+    def test_all_devices_excludes_unsupported_units(self, memcom_exported):
+        reports = benchmark_on_all_devices(memcom_exported)
+        combos = {(r.framework, r.compute_unit) for r in reports}
+        assert ("TF-Lite", "GPU") not in combos  # mean_pool unsupported
+        assert ("CoreML", "all") in combos
+        assert ("TF-Lite", "CPU") in combos
+
+    def test_onehot_also_excluded_from_tflite_gpu(self, onehot_exported):
+        reports = benchmark_on_all_devices(onehot_exported)
+        combos = {(r.framework, r.compute_unit) for r in reports}
+        assert ("TF-Lite", "GPU") not in combos  # one_hot CPU-delegation failure
+
+    def test_runtime_accepts_device_name(self, memcom_exported):
+        rt = DeviceRuntime("iphone12pro")
+        assert rt.benchmark(memcom_exported, "cpuOnly").latency_ms > 0
+
+    def test_unknown_device_name(self):
+        with pytest.raises(KeyError, match="available"):
+            DeviceRuntime("pixel9000")
+
+    def test_jitter_mode_changes_latency_slightly(self, memcom_exported):
+        rt = DeviceRuntime("pixel2")
+        clean = rt.benchmark(memcom_exported, "CPU")
+        noisy = rt.benchmark(memcom_exported, "CPU", jitter=0.05, runs=100, rng=0)
+        assert noisy.latency_ms != clean.latency_ms
+        assert abs(noisy.latency_ms - clean.latency_ms) / clean.latency_ms < 0.1
+
+    def test_invalid_runs(self, memcom_exported):
+        with pytest.raises(ValueError):
+            DeviceRuntime("pixel2").benchmark(memcom_exported, "CPU", runs=0)

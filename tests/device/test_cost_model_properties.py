@@ -1,0 +1,89 @@
+"""Monotonicity properties of the analytic device cost model.
+
+These invariants are what make Table 3's comparisons meaningful: more work
+can never cost less, and reading more weight bytes can never shrink the
+resident footprint.
+"""
+
+import pytest
+
+from repro.device.cost_model import benchmark, estimate_footprint_mb, estimate_latency_ms
+from repro.device.export import ExportedModel, Op
+from repro.device.profiles import DEVICES, IPHONE_12_PRO_COREML
+
+
+def _model(flops=1_000_000, act=4096, lookup_rows=0, dense_params=0):
+    m = ExportedModel(name="synthetic", batch_size=1)
+    weights = []
+    if lookup_rows:
+        w = m.add_weight("table", (lookup_rows, 64), "lookup")
+        m.ops.append(Op("gather", "g", 0, act, (w,), touched_bytes=64 * 4 * 8))
+        weights.append(w)
+    if dense_params:
+        w = m.add_weight("dense", (dense_params // 64, 64), "onehot_dense")
+        weights.append(w)
+        m.ops.append(Op("matmul", "mm", flops, act, (w,)))
+    else:
+        m.ops.append(Op("matmul", "mm", flops, act))
+    return m
+
+
+class TestLatencyMonotonicity:
+    def test_more_flops_never_faster(self):
+        profile = IPHONE_12_PRO_COREML
+        lat = [
+            estimate_latency_ms(_model(flops=f), profile, "cpuOnly")
+            for f in (10_000, 1_000_000, 100_000_000)
+        ]
+        assert lat == sorted(lat)
+        assert lat[-1] > lat[0]
+
+    def test_more_ops_add_dispatch_overhead(self):
+        profile = IPHONE_12_PRO_COREML
+        one = _model(flops=1000)
+        many = _model(flops=1000)
+        for i in range(20):
+            many.ops.append(Op("relu", f"r{i}", 10, 64))
+        assert estimate_latency_ms(many, profile, "cpuOnly") > estimate_latency_ms(
+            one, profile, "cpuOnly"
+        )
+
+    def test_latency_positive_even_for_empty_ops(self):
+        profile = IPHONE_12_PRO_COREML
+        empty = ExportedModel(name="empty", batch_size=1)
+        assert estimate_latency_ms(empty, profile, "cpuOnly") >= 0.0
+
+
+class TestFootprintMonotonicity:
+    def test_bigger_dense_weights_bigger_footprint(self):
+        profile = IPHONE_12_PRO_COREML
+        small = estimate_footprint_mb(_model(dense_params=64 * 64), profile)
+        large = estimate_footprint_mb(_model(dense_params=64 * 4096), profile)
+        assert large > small
+
+    def test_lookup_footprint_charges_touched_pages_not_table(self):
+        profile = IPHONE_12_PRO_COREML
+        small_table = estimate_footprint_mb(_model(lookup_rows=100), profile)
+        huge_table = estimate_footprint_mb(_model(lookup_rows=1_000_000), profile)
+        # Same touched rows — the mmap'd table size must barely matter.
+        assert huge_table == pytest.approx(small_table, rel=0.05)
+
+    def test_base_footprint_floor(self):
+        for device in DEVICES.values():
+            empty = ExportedModel(name="empty", batch_size=1)
+            assert estimate_footprint_mb(empty, device) >= device.base_footprint_mb
+
+
+class TestBenchmarkReport:
+    def test_report_fields_consistent(self):
+        profile = IPHONE_12_PRO_COREML
+        model = _model(flops=1_000_000, dense_params=64 * 64)
+        report = benchmark(model, profile, "cpuOnly")
+        assert report.device == "iPhone 12 Pro"
+        assert report.framework == "CoreML"
+        assert report.latency_ms > 0
+        assert report.on_disk_mb == pytest.approx(model.on_disk_bytes() / 1e6)
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(KeyError):
+            benchmark(_model(), IPHONE_12_PRO_COREML, "npu")

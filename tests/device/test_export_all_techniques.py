@@ -1,0 +1,104 @@
+"""Every registered technique must export to the device IR and be costable."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import available_techniques
+from repro.device.cost_model import benchmark
+from repro.device.export import export_model
+from repro.device.profiles import DEVICES, UnsupportedOpError
+from repro.models.builder import build_classifier
+
+V, E, L = 200, 16, 8
+
+HYPER = {
+    "full": {},
+    "memcom": dict(num_hash_embeddings=20),
+    "memcom_nobias": dict(num_hash_embeddings=20),
+    "qr_mult": dict(num_hash_embeddings=20),
+    "qr_concat": dict(num_hash_embeddings=20),
+    "hash": dict(num_hash_embeddings=20),
+    "double_hash": dict(num_hash_embeddings=20),
+    "freq_double_hash": dict(num_hash_embeddings=20),
+    "factorized": dict(hidden_dim=4),
+    "reduce_dim": dict(reduced_dim=4),
+    "truncate_rare": dict(keep=40),
+    "hashed_onehot": dict(num_hash_embeddings=20),
+    "tt_rec": dict(tt_rank=2),
+    "mixed_dim": dict(num_blocks=3),
+}
+
+
+def _model(technique):
+    return build_classifier(
+        technique, V, 10, input_length=L, embedding_dim=E, rng=0, **HYPER[technique]
+    )
+
+
+def test_hyper_covers_registry():
+    assert set(HYPER) == set(available_techniques())
+
+
+@pytest.mark.parametrize("technique", sorted(HYPER))
+class TestExportEveryTechnique:
+    def test_exports_without_error(self, technique):
+        exported = export_model(_model(technique), batch_size=1)
+        assert exported.ops
+        assert exported.weights
+
+    def test_disk_bytes_match_fp32_parameters(self, technique):
+        model = _model(technique)
+        exported = export_model(model, batch_size=1)
+        # Exported blobs cover at least the trainable parameters (BatchNorm
+        # scale/shift pairs are fused, adding a small constant).
+        assert exported.on_disk_bytes() >= model.num_parameters() * 4
+
+    def test_costable_on_every_device_profile(self, technique):
+        exported = export_model(_model(technique), batch_size=1)
+        for device in DEVICES.values():
+            for unit_name, unit in device.units.items():
+                if unit.unsupported:
+                    # TF-Lite GPU has no kernel for some ops — the failure
+                    # the paper itself reports for its GPU column.
+                    with pytest.raises(UnsupportedOpError):
+                        benchmark(exported, device, unit_name)
+                    continue
+                report = benchmark(exported, device, unit_name)
+                assert report.latency_ms > 0
+                assert report.footprint_mb > 0
+
+    def test_batch_scaling_monotonic(self, technique):
+        model = _model(technique)
+        device = next(iter(DEVICES.values()))
+        unit = next(iter(device.units))
+        lat = [
+            benchmark(export_model(model, batch_size=b), device, unit).latency_ms
+            for b in (1, 8)
+        ]
+        assert lat[1] >= lat[0]
+
+
+class TestLookupVsMatrixContrast:
+    def test_onehot_footprint_dominates_lookup_family(self):
+        """The Table 3 mechanism: the matrix approach's resident memory is
+        table-sized, the lookup family's is touched-rows-sized.  Uses the
+        paper's setting (hash size 10K) where the contrast is visible."""
+        device = next(iter(DEVICES.values()))
+        unit = next(iter(device.units))
+
+        def build(technique, **hyper):
+            return export_model(
+                build_classifier(
+                    technique, 20_000, 10, input_length=32, embedding_dim=64, rng=0, **hyper
+                )
+            )
+
+        onehot = benchmark(build("hashed_onehot", num_hash_embeddings=10_000), device, unit)
+        for technique in ("memcom", "hash", "freq_double_hash"):
+            lookup = benchmark(
+                build(technique, num_hash_embeddings=10_000), device, unit
+            )
+            assert lookup.footprint_mb < onehot.footprint_mb
+            assert lookup.latency_ms < onehot.latency_ms
+        ttrec = benchmark(build("tt_rec", tt_rank=8), device, unit)
+        assert ttrec.footprint_mb < onehot.footprint_mb

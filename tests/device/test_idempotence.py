@@ -1,0 +1,69 @@
+"""Idempotence properties of the post-training transforms.
+
+Quantize-then-quantize and prune-then-prune must be fixed points: a second
+application at the same setting cannot change the weights.  These are the
+invariants that make the export pipeline order-insensitive to retries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.pruning import prune_array
+from repro.device.quantize import quantize_array
+
+
+@st.composite
+def weight_arrays(draw):
+    n = draw(st.integers(min_value=1, max_value=64))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    scale = draw(st.floats(min_value=0.01, max_value=100.0))
+    return (np.random.default_rng(seed).normal(size=n) * scale).astype(np.float32)
+
+
+class TestQuantizeIdempotence:
+    @pytest.mark.parametrize("bits", [16, 8, 4, 2])
+    @given(w=weight_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_double_quantization_is_fixed_point(self, bits, w):
+        once = quantize_array(w, bits)
+        twice = quantize_array(once, bits)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(w=weight_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_error_bounded_by_half_step(self, w):
+        q = quantize_array(w, 8)
+        qmax = 2**7 - 1
+        step = np.abs(w).max() / qmax
+        assert np.abs(q - w).max() <= step / 2 + 1e-7
+
+
+class TestPruneIdempotence:
+    @given(w=weight_arrays(), frac=st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_double_pruning_is_fixed_point(self, w, frac):
+        once = prune_array(w, frac)
+        twice = prune_array(once, frac)
+        # Zeros are the smallest magnitudes, so re-pruning re-selects them.
+        np.testing.assert_array_equal(once, twice)
+
+    @given(w=weight_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_pruning_monotone_in_fraction(self, w):
+        sparser = prune_array(w, 0.8)
+        denser = prune_array(w, 0.4)
+        # Everything zeroed at 40% is also zeroed at 80%.
+        assert set(np.flatnonzero(denser == 0)) <= set(np.flatnonzero(sparser == 0))
+
+
+class TestComposition:
+    @given(w=weight_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_prune_then_quantize_preserves_sparsity(self, w):
+        pruned = prune_array(w, 0.5)
+        quantized = quantize_array(pruned, 8)
+        zeros_before = pruned == 0
+        # Symmetric linear quantization maps 0 → 0 exactly.
+        assert (quantized[zeros_before] == 0).all()

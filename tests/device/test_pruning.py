@@ -1,0 +1,129 @@
+"""Magnitude pruning and sparse storage accounting (§A.2 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.pruning import (
+    csr_bytes,
+    dense_bytes,
+    effective_bytes,
+    prune_array,
+    prune_module,
+    sparsity,
+)
+from repro.models import build_classifier
+
+
+class TestPruneArray:
+    def test_prunes_requested_fraction(self, rng):
+        w = rng.normal(size=1000).astype(np.float32)
+        out = prune_array(w, 0.5)
+        assert sparsity(out) >= 0.5
+
+    def test_keeps_largest_magnitudes(self):
+        w = np.array([0.1, -5.0, 0.2, 4.0, -0.05], dtype=np.float32)
+        out = prune_array(w, 0.6)
+        np.testing.assert_array_equal(out != 0, [False, True, False, True, False])
+
+    def test_zero_fraction_is_identity(self, rng):
+        w = rng.normal(size=50).astype(np.float32)
+        np.testing.assert_array_equal(prune_array(w, 0.0), w)
+
+    def test_preserves_shape_and_dtype(self, rng):
+        w = rng.normal(size=(7, 9)).astype(np.float32)
+        out = prune_array(w, 0.3)
+        assert out.shape == (7, 9) and out.dtype == np.float32
+
+    def test_does_not_mutate_input(self, rng):
+        w = rng.normal(size=100).astype(np.float32)
+        before = w.copy()
+        prune_array(w, 0.9)
+        np.testing.assert_array_equal(w, before)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            prune_array(np.ones(3), 1.0)
+        with pytest.raises(ValueError):
+            prune_array(np.ones(3), -0.1)
+
+    @given(frac=st.floats(min_value=0.0, max_value=0.99))
+    @settings(max_examples=30)
+    def test_sparsity_at_least_fraction_minus_rounding(self, frac):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=200).astype(np.float32)
+        out = prune_array(w, frac)
+        assert (out == 0).sum() >= int(np.floor(frac * w.size))
+
+    def test_surviving_weights_unchanged(self, rng):
+        w = rng.normal(size=100).astype(np.float32)
+        out = prune_array(w, 0.5)
+        kept = out != 0
+        np.testing.assert_array_equal(out[kept], w[kept])
+
+
+class TestStorageAccounting:
+    def test_dense_bytes(self):
+        assert dense_bytes(1000, 32) == 4000
+        assert dense_bytes(1000, 16) == 2000
+
+    def test_csr_breakeven_near_half_density(self):
+        # With equal value/index widths, CSR beats dense just below ~50% nnz.
+        shape = (100, 100)
+        assert csr_bytes(shape, 4000) < dense_bytes(10_000)
+        assert csr_bytes(shape, 6000) > dense_bytes(10_000)
+
+    def test_effective_bytes_picks_cheaper(self, rng):
+        dense_w = rng.normal(size=(50, 50)).astype(np.float32)
+        assert effective_bytes(dense_w) == dense_bytes(2500)
+        sparse_w = prune_array(dense_w, 0.9)
+        assert effective_bytes(sparse_w) < dense_bytes(2500)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            dense_bytes(-1)
+        with pytest.raises(ValueError):
+            csr_bytes((3, 3), -1)
+
+
+class TestPruneModule:
+    def _model(self):
+        return build_classifier(
+            "memcom", 500, 20, input_length=16, embedding_dim=16, rng=0,
+            num_hash_embeddings=50,
+        )
+
+    def test_report_accounts_all_parameters(self):
+        model = self._model()
+        report = prune_module(model, 0.8)
+        assert report.num_params == model.num_parameters()
+        assert report.sparsity >= 0.75  # floor-rounding across small tensors
+
+    def test_high_sparsity_shrinks_disk_size(self):
+        report = prune_module(self._model(), 0.9)
+        assert report.size_reduction > 1.5
+
+    def test_low_sparsity_stays_dense(self):
+        report = prune_module(self._model(), 0.1)
+        assert report.on_disk_bytes == report.dense_bytes
+
+    def test_model_still_runs_after_pruning(self, rng):
+        model = self._model()
+        prune_module(model, 0.5)
+        model.eval()
+        out = model(rng.integers(0, 500, size=(2, 16)))
+        assert np.isfinite(out.data).all()
+
+    def test_pruned_accuracy_degrades_gracefully(self, rng):
+        # Mild pruning must not destroy the forward pass outputs entirely.
+        model = self._model()
+        model.eval()
+        x = rng.integers(0, 500, size=(8, 16))
+        before = model(x).data
+        prune_module(model, 0.3)
+        after = model(x).data
+        assert np.isfinite(after).all()
+        # Outputs shift but stay correlated with the unpruned model.
+        corr = np.corrcoef(before.ravel(), after.ravel())[0, 1]
+        assert corr > 0.5

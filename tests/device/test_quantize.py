@@ -1,0 +1,99 @@
+"""Linear quantization (Figure 4 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.device.quantize import quantize_array, quantize_module
+from repro.models.builder import build_classifier
+
+
+class TestQuantizeArray:
+    def test_32_bits_is_identity(self, rng):
+        w = rng.standard_normal(20).astype(np.float32)
+        np.testing.assert_array_equal(quantize_array(w, 32), w)
+
+    def test_fp16_roundtrip_error_small(self, rng):
+        w = rng.standard_normal(1000).astype(np.float32)
+        q = quantize_array(w, 16)
+        assert np.abs(q - w).max() < 1e-3
+
+    def test_int8_error_bounded_by_scale(self, rng):
+        w = rng.standard_normal(1000).astype(np.float32)
+        q = quantize_array(w, 8)
+        scale = np.abs(w).max() / 127
+        assert np.abs(q - w).max() <= scale / 2 + 1e-7
+
+    def test_lower_bits_more_error(self, rng):
+        w = rng.standard_normal(5000).astype(np.float32)
+        errors = [np.abs(quantize_array(w, b) - w).mean() for b in (16, 8, 4, 2)]
+        assert errors == sorted(errors)
+
+    def test_2bit_has_at_most_4_levels(self, rng):
+        w = rng.standard_normal(1000).astype(np.float32)
+        q = quantize_array(w, 2)
+        assert np.unique(q).size <= 4
+
+    def test_zeros_stay_zero(self):
+        np.testing.assert_array_equal(quantize_array(np.zeros(5), 8), np.zeros(5))
+
+    def test_max_value_representable(self, rng):
+        w = rng.standard_normal(100).astype(np.float32)
+        q = quantize_array(w, 8)
+        i = np.abs(w).argmax()
+        np.testing.assert_allclose(q[i], w[i], rtol=1e-5)
+
+    def test_unsupported_bits(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.ones(3), 7)
+
+
+class TestQuantizeModule:
+    def test_report_statistics(self):
+        model = build_classifier(
+            "memcom", 100, 10, input_length=8, embedding_dim=16, rng=0,
+            num_hash_embeddings=10,
+        )
+        n = model.num_parameters()
+        report = quantize_module(model, 8)
+        assert report.num_params == n
+        assert report.bits == 8
+        assert report.bytes_per_param == 1.0
+        assert report.max_abs_error > 0
+
+    def test_weights_actually_quantized(self):
+        model = build_classifier(
+            "full", 100, 10, input_length=8, embedding_dim=16, rng=0
+        )
+        quantize_module(model, 2)
+        emb = model.embedding.table.data
+        assert np.unique(emb).size <= 4
+
+    def test_running_variance_stays_positive(self):
+        model = build_classifier("full", 100, 10, input_length=8, embedding_dim=16, rng=0)
+        for m in model.modules():
+            if hasattr(m, "running_var"):
+                m.running_var = np.full_like(m.running_var, 1e-9)
+        quantize_module(model, 8)
+        for m in model.modules():
+            if hasattr(m, "running_var"):
+                assert (m.running_var > 0).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.float32, st.integers(1, 64), elements=st.floats(-100, 100, width=32)),
+    st.sampled_from([16, 8, 4, 2]),
+)
+def test_quantization_error_bound_property(w, bits):
+    """|q − w| ≤ scale/2 everywhere (linear symmetric quantization)."""
+    q = quantize_array(w, bits)
+    if bits == 16:
+        bound = np.maximum(np.abs(w) * 1e-3, 1e-4)
+        assert (np.abs(q - w) <= bound).all()
+    else:
+        qmax = 2 ** (bits - 1) - 1
+        scale = np.abs(w).max() / qmax if np.abs(w).max() else 0.0
+        assert np.abs(q - w).max() <= scale / 2 + 1e-6

@@ -1,0 +1,80 @@
+"""Report renderers: tables, series, panel charts, paper headlines."""
+
+from repro.experiments.report import (
+    PAPER_EMBEDDING_TARGETS,
+    render_embedding_headline,
+    render_headline,
+    render_sweep,
+    render_sweep_plot,
+    render_sweep_series,
+)
+from repro.experiments.runner import SweepPoint, SweepResult
+
+
+def _result(dataset="movielens"):
+    result = SweepResult(
+        dataset=dataset,
+        architecture="pointwise",
+        metric_name="ndcg",
+        baseline_metric=0.20,
+        baseline_params=10_000,
+    )
+    for tech, ratio, emb_ratio, loss in [
+        ("memcom", 2.5, 5.0, 2.0),
+        ("memcom", 3.0, 14.0, 4.5),
+        ("hash", 2.6, 8.0, 9.0),
+        ("hash", 3.2, 32.0, 15.0),
+    ]:
+        result.points.append(
+            SweepPoint(
+                technique=tech,
+                hyper={"num_hash_embeddings": 10},
+                params=int(10_000 / ratio),
+                compression_ratio=ratio,
+                metric=0.2 * (1 - loss / 100),
+                relative_loss_pct=loss,
+                embedding_ratio=emb_ratio,
+            )
+        )
+    return result
+
+
+class TestEmbeddingHeadline:
+    def test_reports_closest_point_to_paper_target(self):
+        out = render_embedding_headline([_result()])
+        # movielens target 16x; the closest memcom point has emb ratio 14.0.
+        assert "16x" in out
+        assert "14.0x" in out
+        assert "+4.50%" in out
+
+    def test_skips_datasets_without_target(self):
+        out = render_embedding_headline([_result(dataset="arcade")])
+        assert "arcade" not in out
+
+    def test_covers_all_four_paper_datasets(self):
+        assert set(PAPER_EMBEDDING_TARGETS) == {
+            "movielens", "google_local", "millionsongs", "netflix",
+        }
+
+    def test_alternate_technique(self):
+        out = render_embedding_headline([_result()], technique="hash")
+        assert "hash loss" in out
+
+
+class TestOtherRenderers:
+    def test_sweep_table_contains_every_point(self):
+        out = render_sweep(_result())
+        rows = [l for l in out.splitlines() if l.startswith(("memcom", "hash"))]
+        assert len(rows) == 4
+
+    def test_series_sorted_by_ratio(self):
+        out = render_sweep_series(_result())
+        assert out.index("2.5x") < out.index("3.0x")
+
+    def test_headline_picks_lowest_loss(self):
+        out = render_headline([_result()], min_ratio=2.0)
+        assert "memcom" in out
+
+    def test_plot_renders(self):
+        out = render_sweep_plot(_result())
+        assert "movielens" in out

@@ -1,0 +1,119 @@
+"""Sweep infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import render_headline, render_sweep, render_sweep_series
+from repro.experiments.runner import (
+    BENCH_SCALES,
+    ExperimentConfig,
+    SweepPoint,
+    SweepResult,
+    bench_spec,
+    load_bench_dataset,
+    run_sweep,
+    technique_grid,
+)
+
+MICRO = ExperimentConfig(
+    cap_train=300, cap_eval=100, embedding_dim=8, epochs=1, batch_size=64, grid_points=1
+)
+
+
+class TestBenchSpecs:
+    def test_every_dataset_has_a_scale(self):
+        from repro.data.datasets import DATASETS
+
+        assert set(BENCH_SCALES) == set(DATASETS)
+
+    def test_caps_applied(self):
+        spec = bench_spec("movielens", MICRO)
+        assert spec.num_train <= 300
+        assert spec.num_eval <= 100
+
+    def test_scale_multiplier_grows_vocab(self):
+        small = bench_spec("movielens", ExperimentConfig())
+        big = bench_spec("movielens", ExperimentConfig(scale_multiplier=4.0))
+        assert big.input_vocab >= small.input_vocab
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            bench_spec("mnist", MICRO)
+
+
+class TestGrid:
+    def test_full_grid_covers_all_techniques(self):
+        spec = bench_spec("movielens", MICRO)
+        grid = technique_grid(spec, 32, grid_points=2)
+        techs = {t for t, _ in grid}
+        assert techs == {
+            "memcom", "memcom_nobias", "qr_mult", "qr_concat", "hash",
+            "double_hash", "truncate_rare", "reduce_dim", "factorized",
+        }
+        assert len(grid) == 9 * 2
+
+    def test_hash_sizes_decrease(self):
+        spec = bench_spec("movielens", MICRO)
+        grid = [h for t, h in technique_grid(spec, 32, 3) if t == "memcom"]
+        sizes = [h["num_hash_embeddings"] for h in grid]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_subset_selection(self):
+        spec = bench_spec("movielens", MICRO)
+        grid = technique_grid(spec, 32, 2, techniques=("memcom", "hash"))
+        assert {t for t, _ in grid} == {"memcom", "hash"}
+
+    def test_unknown_technique_rejected(self):
+        spec = bench_spec("movielens", MICRO)
+        with pytest.raises(KeyError):
+            technique_grid(spec, 32, 2, techniques=("lora",))
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_sweep(
+            "movielens", "pointwise", MICRO, techniques=("memcom", "hash"), rng=0
+        )
+
+    def test_structure(self, sweep):
+        assert sweep.metric_name == "ndcg"
+        assert sweep.baseline_params > 0
+        assert len(sweep.points) == 2
+        for p in sweep.points:
+            assert p.compression_ratio > 1.0
+            assert 0.0 <= p.metric <= 1.0
+
+    def test_series_sorted_by_ratio(self, sweep):
+        for ratios, _ in sweep.series().values():
+            assert ratios == sorted(ratios)
+
+    def test_best_technique_at(self, sweep):
+        best = sweep.best_technique_at(1.0)
+        assert best in ("memcom", "hash")
+        assert sweep.best_technique_at(10**9) is None
+
+    def test_renderers_produce_text(self, sweep):
+        assert "movielens" in render_sweep(sweep)
+        assert "memcom" in render_sweep_series(sweep)
+        assert "dataset" in render_headline([sweep], min_ratio=1.0)
+
+    def test_classifier_sweep_runs(self):
+        res = run_sweep("newsgroup", "classifier", MICRO, techniques=("memcom",), rng=0)
+        assert res.metric_name == "accuracy"
+
+    def test_ranknet_sweep_runs(self):
+        res = run_sweep("arcade", "ranknet", MICRO, techniques=("memcom",), rng=0)
+        assert res.metric_name == "ndcg"
+        assert res.architecture == "ranknet"
+
+
+class TestDataclasses:
+    def test_hyper_label(self):
+        p = SweepPoint("memcom", {"num_hash_embeddings": 5}, 10, 2.0, 0.5, 1.0)
+        assert p.hyper_label() == "num_hash_embeddings=5"
+        assert SweepPoint("full", {}, 10, 1.0, 0.5, 0.0).hyper_label() == "-"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(epochs=0).train_config()

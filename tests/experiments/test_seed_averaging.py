@@ -1,0 +1,75 @@
+"""Seed averaging and embedding-ratio plumbing in the sweep runner."""
+
+import math
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentConfig, run_sweep, train_point
+from repro.data.spec import DatasetSpec
+from repro.data.synthetic import generate_dataset
+
+MICRO = ExperimentConfig(
+    cap_train=300, cap_eval=100, embedding_dim=8, epochs=1, batch_size=64, grid_points=1
+)
+
+
+def _micro_data():
+    spec = DatasetSpec(
+        name="seedtest",
+        num_train=300,
+        num_eval=100,
+        input_vocab=128,
+        output_vocab=16,
+        task="ranking",
+        input_length=8,
+        num_genres=8,
+    )
+    return generate_dataset(spec, 0)
+
+
+class TestSeedAveraging:
+    def test_single_seed_matches_direct_training(self):
+        data = _micro_data()
+        m1, _ = train_point("pointwise", "hash", {"num_hash_embeddings": 16}, data, MICRO)
+        m2, _ = train_point("pointwise", "hash", {"num_hash_embeddings": 16}, data, MICRO)
+        assert m1 == m2  # deterministic at fixed seed
+
+    def test_multi_seed_is_mean_of_singles(self):
+        from dataclasses import replace
+
+        data = _micro_data()
+        singles = []
+        for s in (0, 1):
+            cfg = replace(MICRO, seed=s)
+            metric, _ = train_point("pointwise", "hash", {"num_hash_embeddings": 16}, data, cfg)
+            singles.append(metric)
+        avg_cfg = replace(MICRO, num_seeds=2)
+        averaged, _ = train_point(
+            "pointwise", "hash", {"num_hash_embeddings": 16}, data, avg_cfg
+        )
+        assert averaged == np.mean(singles)
+
+    def test_param_count_independent_of_seeds(self):
+        from dataclasses import replace
+
+        data = _micro_data()
+        _, p1 = train_point("pointwise", "hash", {"num_hash_embeddings": 16}, data, MICRO)
+        _, p2 = train_point(
+            "pointwise", "hash", {"num_hash_embeddings": 16}, data, replace(MICRO, num_seeds=2)
+        )
+        assert p1 == p2
+
+
+class TestEmbeddingRatio:
+    def test_every_sweep_point_carries_finite_embedding_ratio(self):
+        result = run_sweep("movielens", "pointwise", MICRO, techniques=["memcom", "hash"])
+        for point in result.points:
+            assert math.isfinite(point.embedding_ratio)
+            assert point.embedding_ratio >= 1.0
+
+    def test_hash_embedding_ratio_exceeds_model_ratio(self):
+        # The head layers are incompressible, so embedding-only compression
+        # is always at least the whole-model number.
+        result = run_sweep("movielens", "pointwise", MICRO, techniques=["hash"])
+        for point in result.points:
+            assert point.embedding_ratio >= point.compression_ratio - 1e-9

@@ -1,0 +1,91 @@
+"""The sweep grid: hash sizes, dim sweeps, and the QR √v clipping rule."""
+
+import math
+
+import pytest
+
+from repro.data.spec import DatasetSpec
+from repro.experiments.runner import technique_grid
+
+
+def _spec(vocab=1024):
+    return DatasetSpec(
+        name="gridtest",
+        num_train=1000,
+        num_eval=512,
+        input_vocab=vocab,
+        output_vocab=32,
+        task="ranking",
+        input_length=16,
+        num_genres=16,
+    )
+
+
+class TestHashGrid:
+    def test_hash_sizes_are_vocab_fractions(self):
+        grid = technique_grid(_spec(1024), embedding_dim=32, grid_points=3,
+                              techniques=["hash"])
+        sizes = [h["num_hash_embeddings"] for _, h in grid]
+        assert sizes == [128, 32, 8]  # v/8, v/32, v/128
+
+    def test_grid_points_control_curve_length(self):
+        for points in (1, 2, 4):
+            grid = technique_grid(_spec(), embedding_dim=32, grid_points=points,
+                                  techniques=["memcom"])
+            assert len(grid) == points
+
+    def test_tiny_vocab_floors_at_two(self):
+        grid = technique_grid(_spec(300), embedding_dim=32, grid_points=3,
+                              techniques=["hash"])
+        assert min(h["num_hash_embeddings"] for _, h in grid) >= 2
+
+
+class TestQRClipping:
+    def test_qr_sizes_clipped_at_sqrt_vocab(self):
+        spec = _spec(1024)  # √v = 32
+        grid = technique_grid(spec, embedding_dim=32, grid_points=3,
+                              techniques=["qr_mult"])
+        floor = math.ceil(math.sqrt(spec.input_vocab))
+        assert all(h["num_hash_embeddings"] >= floor for _, h in grid)
+
+    def test_qr_grid_deduplicates_clipped_points(self):
+        # v/32 and v/128 both clip to √v = 32 → a single point remains.
+        grid = technique_grid(_spec(1024), embedding_dim=32, grid_points=3,
+                              techniques=["qr_concat"])
+        sizes = [h["num_hash_embeddings"] for _, h in grid]
+        assert sizes == sorted(set(sizes), reverse=True)
+        assert len(sizes) == 2  # {128, 32}
+
+    def test_qr_param_count_monotone_along_grid(self):
+        """The point of the clip: along the swept grid, smaller m must not
+        *increase* QR's parameter count (the fold-back regime)."""
+        from repro.core.sizing import embedding_param_count
+
+        spec = _spec(4096)
+        grid = technique_grid(spec, embedding_dim=32, grid_points=3,
+                              techniques=["qr_mult"])
+        params = [
+            embedding_param_count("qr_mult", spec.input_vocab, 32, **h) for _, h in grid
+        ]
+        assert params == sorted(params, reverse=True)
+
+    def test_hash_techniques_not_clipped(self):
+        grid = technique_grid(_spec(1024), embedding_dim=32, grid_points=3,
+                              techniques=["memcom", "hash", "double_hash"])
+        assert min(h["num_hash_embeddings"] for _, h in grid) == 8  # v/128
+
+
+class TestDimGrid:
+    def test_dims_halve_from_e_over_two(self):
+        grid = technique_grid(_spec(), embedding_dim=32, grid_points=3,
+                              techniques=["reduce_dim"])
+        assert [h["reduced_dim"] for _, h in grid] == [16, 4, 2]
+
+    def test_factorized_uses_same_dims(self):
+        grid = technique_grid(_spec(), embedding_dim=32, grid_points=2,
+                              techniques=["factorized"])
+        assert [h["hidden_dim"] for _, h in grid] == [16, 4]
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(KeyError):
+            technique_grid(_spec(), embedding_dim=32, techniques=["quantum"])

@@ -1,0 +1,57 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_gradient(
+    f: Callable[[], Tensor],
+    wrt: Tensor,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. ``wrt.data``."""
+    grad = np.zeros_like(wrt.data, dtype=np.float64)
+    flat = wrt.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = float(f().data)
+        flat[i] = orig - eps
+        lo = float(f().data)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    f: Callable[[], Tensor],
+    params: Sequence[Tensor],
+    atol: float = 2e-2,
+    rtol: float = 5e-2,
+) -> None:
+    """Assert autograd gradients of scalar ``f()`` match finite differences.
+
+    Uses float64 copies of the parameters for the numeric pass tolerance;
+    inputs should be small tensors (the check is O(params · forward cost)).
+    """
+    for p in params:
+        p.zero_grad()
+    out = f()
+    assert out.data.ndim == 0 or out.data.size == 1, "gradcheck needs a scalar output"
+    out.backward()
+    for idx, p in enumerate(params):
+        assert p.grad is not None, f"param {idx} received no gradient"
+        expected = numeric_gradient(f, p)
+        np.testing.assert_allclose(
+            p.grad.astype(np.float64),
+            expected,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"gradient mismatch for parameter {idx}",
+        )

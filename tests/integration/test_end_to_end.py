@@ -1,0 +1,103 @@
+"""Full-pipeline integration: data → train → evaluate → export → device →
+quantize → audit.  This is the library's 'does everything compose' test."""
+
+import numpy as np
+import pytest
+
+from repro.core.uniqueness import audit_uniqueness
+from repro.device.quantize import quantize_module
+from repro.device.runtime import benchmark_on_all_devices
+from repro.metrics.evaluator import evaluate_ranking
+from repro.models.builder import build_pointwise_ranker
+from repro.nn.serialization import load_npz, save_npz
+from repro.train.trainer import TrainConfig, Trainer
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_dataset):
+    spec = tiny_dataset.spec
+    model = build_pointwise_ranker(
+        "memcom",
+        spec.input_vocab,
+        spec.output_vocab,
+        input_length=spec.input_length,
+        embedding_dim=16,
+        rng=0,
+        num_hash_embeddings=spec.input_vocab // 8,
+        multiplier_init="uniform",
+    )
+    cfg = TrainConfig(epochs=5, batch_size=64, lr=3e-3, seed=0)
+    history = Trainer(cfg).fit(
+        model,
+        tiny_dataset.x_train,
+        tiny_dataset.y_train,
+        tiny_dataset.x_eval,
+        tiny_dataset.y_eval,
+        task="ranking",
+    )
+    return model, history
+
+
+class TestPipeline:
+    def test_training_learned_something(self, trained, tiny_dataset):
+        model, history = trained
+        random_ndcg = evaluate_ranking(
+            build_pointwise_ranker(
+                "memcom",
+                tiny_dataset.spec.input_vocab,
+                tiny_dataset.spec.output_vocab,
+                input_length=tiny_dataset.spec.input_length,
+                embedding_dim=16,
+                rng=123,
+                num_hash_embeddings=tiny_dataset.spec.input_vocab // 8,
+            ),
+            tiny_dataset.x_eval,
+            tiny_dataset.y_eval,
+        )["ndcg"]
+        trained_ndcg = max(history.val_metric)
+        assert trained_ndcg > random_ndcg + 0.05
+
+    def test_save_load_preserves_predictions(self, trained, tiny_dataset, tmp_path):
+        model, _ = trained
+        path = str(tmp_path / "model.npz")
+        save_npz(model, path)
+        clone = build_pointwise_ranker(
+            "memcom",
+            tiny_dataset.spec.input_vocab,
+            tiny_dataset.spec.output_vocab,
+            input_length=tiny_dataset.spec.input_length,
+            embedding_dim=16,
+            rng=999,
+            num_hash_embeddings=tiny_dataset.spec.input_vocab // 8,
+            multiplier_init="uniform",
+        )
+        load_npz(clone, path)
+        # BatchNorm running stats are not parameters: copy to make clones agree.
+        for m_src, m_dst in zip(model.modules(), clone.modules()):
+            if hasattr(m_src, "running_mean"):
+                m_dst.running_mean = m_src.running_mean.copy()
+                m_dst.running_var = m_src.running_var.copy()
+        a = evaluate_ranking(model, tiny_dataset.x_eval, tiny_dataset.y_eval)["ndcg"]
+        b = evaluate_ranking(clone, tiny_dataset.x_eval, tiny_dataset.y_eval)["ndcg"]
+        assert a == pytest.approx(b, abs=1e-6)
+
+    def test_device_benchmarks_run_on_trained_model(self, trained):
+        model, _ = trained
+        reports = benchmark_on_all_devices(model)
+        assert len(reports) == 4  # CoreML ×3 + TF-Lite CPU
+        assert all(r.latency_ms > 0 and r.footprint_mb > 0 for r in reports)
+
+    def test_int8_quantization_barely_moves_ndcg(self, trained, tiny_dataset):
+        model, _ = trained
+        before = evaluate_ranking(model, tiny_dataset.x_eval, tiny_dataset.y_eval)["ndcg"]
+        state = model.state_dict()
+        quantize_module(model, 8)
+        after = evaluate_ranking(model, tiny_dataset.x_eval, tiny_dataset.y_eval)["ndcg"]
+        model.load_state_dict(state)
+        assert abs(after - before) < 0.05
+
+    def test_uniqueness_audit_on_trained_embedding(self, trained):
+        model, _ = trained
+        report = audit_uniqueness(model.embedding, tolerance=1e-7)
+        assert report.total_pairs > 0
+        assert report.fraction_distinct > 0.99

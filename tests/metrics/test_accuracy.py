@@ -1,0 +1,61 @@
+"""Accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import accuracy, relative_loss_percent, top_k_accuracy
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        scores = np.eye(3)
+        assert accuracy(scores, np.arange(3)) == 1.0
+
+    def test_partial(self):
+        scores = np.array([[0.9, 0.1], [0.9, 0.1]])
+        assert accuracy(scores, np.array([0, 1])) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((3, 2)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+
+class TestTopK:
+    def test_k_equals_c_is_always_one(self, rng):
+        scores = rng.standard_normal((10, 4))
+        assert top_k_accuracy(scores, rng.integers(0, 4, 10), 4) == 1.0
+
+    def test_top1_matches_accuracy(self, rng):
+        scores = rng.standard_normal((50, 6))
+        labels = rng.integers(0, 6, 50)
+        assert top_k_accuracy(scores, labels, 1) == accuracy(scores, labels)
+
+    def test_monotone_in_k(self, rng):
+        scores = rng.standard_normal((100, 10))
+        labels = rng.integers(0, 10, 100)
+        accs = [top_k_accuracy(scores, labels, k) for k in (1, 3, 5, 10)]
+        assert accs == sorted(accs)
+
+    def test_k_bounds(self, rng):
+        scores = rng.standard_normal((5, 3))
+        with pytest.raises(ValueError):
+            top_k_accuracy(scores, np.zeros(5, dtype=int), 0)
+        with pytest.raises(ValueError):
+            top_k_accuracy(scores, np.zeros(5, dtype=int), 4)
+
+
+class TestRelativeLoss:
+    def test_sign_convention(self):
+        assert relative_loss_percent(0.8, 0.4) == pytest.approx(50.0)
+        assert relative_loss_percent(0.8, 0.9) == pytest.approx(-12.5)
+
+    def test_zero_loss(self):
+        assert relative_loss_percent(0.5, 0.5) == 0.0
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_loss_percent(0.0, 0.5)

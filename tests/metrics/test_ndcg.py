@@ -1,0 +1,121 @@
+"""nDCG (Valizadegan et al. 2009) — values and ranking invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.ndcg import dcg, label_ranks, ndcg, ndcg_single_relevant
+
+
+class TestDCG:
+    def test_known_value(self):
+        # rel [3,2,0] → 3/log2(2) + 2/log2(3) + 0
+        expected = 3.0 + 2.0 / np.log2(3)
+        assert dcg(np.array([3.0, 2.0, 0.0])) == pytest.approx(expected)
+
+    def test_cutoff(self):
+        rel = np.array([1.0, 1.0, 1.0])
+        assert dcg(rel, k=1) == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            dcg(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            dcg(np.ones(3), k=0)
+
+
+class TestGradedNDCG:
+    def test_perfect_ranking_is_one(self, rng):
+        rel = rng.random(10)
+        assert ndcg(rel, rel) == pytest.approx(1.0)
+
+    def test_all_zero_relevance_is_one(self, rng):
+        assert ndcg(rng.random(5), np.zeros(5)) == 1.0
+
+    def test_swap_hurts(self, rng):
+        rel = np.array([3.0, 2.0, 1.0, 0.0])
+        good = ndcg(np.array([4.0, 3.0, 2.0, 1.0]), rel)
+        bad = ndcg(np.array([1.0, 2.0, 3.0, 4.0]), rel)
+        assert good > bad
+
+    def test_bounded(self, rng):
+        for _ in range(20):
+            scores = rng.standard_normal(8)
+            rel = rng.random(8)
+            v = ndcg(scores, rel)
+            assert 0.0 <= v <= 1.0 + 1e-9
+
+
+class TestLabelRanks:
+    def test_best_score_ranks_first(self):
+        scores = np.array([[0.1, 0.9, 0.5]])
+        assert label_ranks(scores, np.array([1]))[0] == 1
+
+    def test_worst_score_ranks_last(self):
+        scores = np.array([[0.1, 0.9, 0.5]])
+        assert label_ranks(scores, np.array([0]))[0] == 3
+
+    def test_ties_are_pessimistic(self):
+        scores = np.zeros((1, 5))  # constant scorer gets no credit
+        assert label_ranks(scores, np.array([2]))[0] == 5
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            label_ranks(np.zeros(3), np.zeros(3, dtype=int))
+
+
+class TestSingleRelevant:
+    def test_top_ranked_label_scores_one(self):
+        scores = np.array([[5.0, 1.0], [0.0, 9.0]])
+        assert ndcg_single_relevant(scores, np.array([0, 1])) == pytest.approx(1.0)
+
+    def test_rank_two_value(self):
+        scores = np.array([[1.0, 2.0]])
+        assert ndcg_single_relevant(scores, np.array([0])) == pytest.approx(1 / np.log2(3))
+
+    def test_cutoff_zeroes_deep_labels(self):
+        scores = np.array([[5.0, 4.0, 3.0, 0.0]])
+        assert ndcg_single_relevant(scores, np.array([3]), k=2) == 0.0
+
+    def test_agrees_with_graded_ndcg(self, rng):
+        scores = rng.standard_normal((20, 15))
+        labels = rng.integers(0, 15, 20)
+        fast = ndcg_single_relevant(scores, labels)
+        slow = np.mean(
+            [
+                ndcg(scores[i], np.eye(15)[labels[i]])
+                for i in range(20)
+            ]
+        )
+        np.testing.assert_allclose(fast, slow, rtol=1e-9)
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            ndcg_single_relevant(rng.standard_normal((2, 3)), np.array([0, 1]), k=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 30), st.integers(0, 10**6))
+def test_score_monotonicity_property(c, seed):
+    """Raising the label's score never lowers nDCG."""
+    rng = np.random.default_rng(seed)
+    scores = rng.standard_normal((1, c))
+    label = int(rng.integers(0, c))
+    before = ndcg_single_relevant(scores, np.array([label]))
+    scores[0, label] += abs(rng.standard_normal()) + 0.1
+    after = ndcg_single_relevant(scores, np.array([label]))
+    assert after >= before - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 20), st.integers(0, 10**6))
+def test_permutation_invariance_property(c, seed):
+    """Relabeling classes consistently leaves nDCG unchanged."""
+    rng = np.random.default_rng(seed)
+    scores = rng.standard_normal((5, c))
+    labels = rng.integers(0, c, 5)
+    perm = rng.permutation(c)
+    v1 = ndcg_single_relevant(scores, labels)
+    v2 = ndcg_single_relevant(scores[:, np.argsort(perm)], perm[labels])
+    np.testing.assert_allclose(v1, v2, rtol=1e-9)

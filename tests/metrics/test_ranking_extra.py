@@ -1,0 +1,87 @@
+"""MRR and hit-rate@k."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.ranking_extra import hit_rate, mrr
+
+
+def _scores(n=4, c=6, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, c))
+
+
+class TestMRR:
+    def test_perfect_ranking_is_one(self):
+        scores = np.array([[0.1, 0.9], [0.8, 0.2]])
+        labels = np.array([1, 0])
+        assert mrr(scores, labels) == pytest.approx(1.0)
+
+    def test_rank_two_gives_half(self):
+        scores = np.array([[0.9, 0.5, 0.1]])
+        assert mrr(scores, np.array([1])) == pytest.approx(0.5)
+
+    def test_cutoff_zeroes_deep_ranks(self):
+        scores = np.array([[0.9, 0.5, 0.1]])
+        assert mrr(scores, np.array([2]), k=2) == 0.0
+        assert mrr(scores, np.array([2]), k=3) == pytest.approx(1 / 3)
+
+    def test_ties_resolved_pessimistically(self):
+        scores = np.zeros((1, 5))  # constant scorer gets no credit
+        assert mrr(scores, np.array([0])) == pytest.approx(1 / 5)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            mrr(_scores(), np.zeros(4, dtype=int), k=0)
+
+    @given(st.integers(min_value=0, max_value=5))
+    @settings(max_examples=10)
+    def test_bounded_between_zero_and_one(self, seed):
+        scores = _scores(seed=seed)
+        labels = np.random.default_rng(seed).integers(0, 6, size=4)
+        assert 0.0 <= mrr(scores, labels) <= 1.0
+
+
+class TestHitRate:
+    def test_all_hits_at_full_cutoff(self):
+        scores = _scores()
+        labels = np.zeros(4, dtype=int)
+        assert hit_rate(scores, labels, k=6) == 1.0
+
+    def test_top1_equals_accuracy(self):
+        scores = _scores()
+        labels = scores.argmax(axis=1)
+        assert hit_rate(scores, labels, k=1) == 1.0
+
+    def test_miss_counts_zero(self):
+        scores = np.array([[0.9, 0.5, 0.1]])
+        assert hit_rate(scores, np.array([2]), k=1) == 0.0
+
+    def test_monotone_in_k(self):
+        scores = _scores(n=32, c=10, seed=3)
+        labels = np.random.default_rng(3).integers(0, 10, size=32)
+        rates = [hit_rate(scores, labels, k=k) for k in (1, 3, 5, 10)]
+        assert rates == sorted(rates)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            hit_rate(_scores(), np.zeros(4, dtype=int), k=0)
+
+
+class TestEvaluatorIntegration:
+    def test_evaluate_ranking_reports_all_metrics(self, tiny_dataset):
+        from repro.metrics.evaluator import evaluate_ranking
+        from repro.models.builder import build_pointwise_ranker
+
+        spec = tiny_dataset.spec
+        model = build_pointwise_ranker(
+            "full", spec.input_vocab, spec.output_vocab,
+            input_length=spec.input_length, embedding_dim=8, rng=0,
+        )
+        out = evaluate_ranking(model, tiny_dataset.x_eval, tiny_dataset.y_eval, k=10)
+        assert {"ndcg", "ndcg_full", "mrr", "hit_rate@10"} <= set(out)
+        assert all(0.0 <= v <= 1.0 for v in out.values())
+        # nDCG upper-bounds MRR for single-relevant ranking (log discount
+        # decays slower than 1/rank).
+        assert out["ndcg_full"] >= out["mrr"] - 1e-9

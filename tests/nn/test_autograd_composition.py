@@ -1,0 +1,116 @@
+"""Gradcheck on composite graphs: chains mixing the autograd primitives.
+
+The per-op gradcheck tests verify each backward in isolation; these verify
+that *composition* is correct — shared subexpressions accumulate, broadcast
+chains unwind, and the embedding scatter-add composes with downstream math.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import ops
+from repro.nn.tensor import Parameter, Tensor
+from tests.helpers import check_gradients
+
+
+class TestSharedSubexpressions:
+    def test_reused_node_accumulates_gradient(self, rng):
+        p = Parameter(rng.normal(size=(3,)) * 0.5)
+        # y = p·p + p (p used three times via two paths)
+        check_gradients(lambda: ops.sum(ops.add(ops.mul(p, p), p)), [p])
+
+    def test_diamond_graph(self, rng):
+        p = Parameter(rng.normal(size=(2, 3)) * 0.5)
+        # Two branches off the same intermediate, recombined.
+        def f():
+            mid = ops.mul(p, p)
+            left = ops.relu(mid)
+            right = ops.tanh(mid)
+            return ops.sum(ops.add(left, right))
+
+        check_gradients(f, [p])
+
+    def test_same_tensor_both_operands(self, rng):
+        p = Parameter(rng.normal(size=(4,)) * 0.5 + 2.0)
+        check_gradients(lambda: ops.sum(ops.div(p, ops.add(p, Tensor(1.0)))), [p])
+
+
+class TestBroadcastChains:
+    def test_memcom_like_broadcast_chain(self, rng):
+        # (m, e) row times (v, 1) column plus (v, 1) bias — the exact MEmCom
+        # composition — then pooled and squared.
+        u = Parameter(rng.normal(size=(3, 4)) * 0.5)
+        vcol = Parameter(rng.normal(size=(5, 1)) * 0.5)
+        w = Parameter(rng.normal(size=(5, 1)) * 0.5)
+        idx = np.array([0, 2, 1, 0, 2])
+
+        def f():
+            rows = ops.embedding_lookup(u, idx)
+            out = ops.add(ops.mul(rows, vcol), w)
+            pooled = ops.mean(out, axis=0)
+            return ops.sum(ops.mul(pooled, pooled))
+
+        check_gradients(f, [u, vcol, w])
+
+    def test_scalar_broadcast_through_reduction(self, rng):
+        s = Parameter(np.array(0.7))
+        x = Tensor(rng.normal(size=(3, 4)))
+        check_gradients(lambda: ops.sum(ops.mul(x, s), axis=None), [s])
+
+    def test_row_and_column_broadcast_together(self, rng):
+        row = Parameter(rng.normal(size=(1, 4)) * 0.5)
+        col = Parameter(rng.normal(size=(3, 1)) * 0.5)
+        check_gradients(lambda: ops.sum(ops.exp(ops.mul(row, col))), [row, col])
+
+
+class TestLookupComposition:
+    def test_repeated_indices_accumulate(self, rng):
+        table = Parameter(rng.normal(size=(4, 3)) * 0.5)
+        idx = np.array([1, 1, 1, 2])
+        out = ops.embedding_lookup(table, idx)
+        ops.sum(out).backward()
+        np.testing.assert_allclose(table.grad[1], 3.0, rtol=1e-6)
+        np.testing.assert_allclose(table.grad[2], 1.0, rtol=1e-6)
+        np.testing.assert_allclose(table.grad[0], 0.0)
+
+    def test_lookup_into_matmul_gradcheck(self, rng):
+        table = Parameter(rng.normal(size=(5, 3)) * 0.5)
+        proj = Parameter(rng.normal(size=(3, 2)) * 0.5)
+        idx = np.array([0, 4, 2])
+        check_gradients(
+            lambda: ops.sum(ops.matmul(ops.embedding_lookup(table, idx), proj)),
+            [table, proj],
+        )
+
+    def test_two_lookups_same_table(self, rng):
+        table = Parameter(rng.normal(size=(6, 2)) * 0.5)
+        a, b = np.array([0, 1]), np.array([1, 5])
+        check_gradients(
+            lambda: ops.sum(
+                ops.mul(ops.embedding_lookup(table, a), ops.embedding_lookup(table, b))
+            ),
+            [table],
+        )
+
+
+class TestDeepChains:
+    def test_twenty_layer_chain_stays_stable(self, rng):
+        p = Parameter(rng.normal(size=(4,)) * 0.1)
+
+        def f():
+            x = p
+            for _ in range(20):
+                x = ops.tanh(ops.add(ops.mul(x, Tensor(0.9)), Tensor(0.01)))
+            return ops.sum(x)
+
+        check_gradients(f, [p])
+
+    def test_no_grad_blocks_graph_construction(self, rng):
+        from repro.nn.tensor import no_grad
+
+        p = Parameter(rng.normal(size=(3,)))
+        with no_grad():
+            out = ops.mul(p, p)
+        assert not out.requires_grad
+        with pytest.raises(RuntimeError):
+            out.backward()

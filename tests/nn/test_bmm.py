@@ -1,0 +1,52 @@
+"""Batched matmul (the TT-Rec contraction primitive)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ops
+from repro.nn.tensor import Parameter, Tensor
+from tests.helpers import check_gradients
+
+
+class TestBmmForward:
+    def test_matches_numpy_batched_matmul(self, rng):
+        a = Tensor(rng.normal(size=(5, 3, 4)))
+        b = Tensor(rng.normal(size=(5, 4, 2)))
+        out = ops.bmm(a, b)
+        np.testing.assert_allclose(out.data, a.data @ b.data, rtol=1e-6)
+
+    def test_output_shape(self, rng):
+        out = ops.bmm(Tensor(rng.normal(size=(7, 2, 9))), Tensor(rng.normal(size=(7, 9, 5))))
+        assert out.shape == (7, 2, 5)
+
+    def test_rejects_non_3d(self, rng):
+        with pytest.raises(ValueError):
+            ops.bmm(Tensor(rng.normal(size=(3, 4))), Tensor(rng.normal(size=(3, 4, 2))))
+        with pytest.raises(ValueError):
+            ops.bmm(Tensor(rng.normal(size=(3, 4, 2))), Tensor(rng.normal(size=(4, 2))))
+
+    def test_rejects_batch_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ops.bmm(Tensor(rng.normal(size=(3, 2, 4))), Tensor(rng.normal(size=(5, 4, 2))))
+
+    def test_rejects_inner_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ops.bmm(Tensor(rng.normal(size=(3, 2, 4))), Tensor(rng.normal(size=(3, 5, 2))))
+
+
+class TestBmmBackward:
+    def test_gradcheck_both_operands(self, rng):
+        a = Parameter(rng.normal(size=(2, 3, 2)) * 0.5)
+        b = Parameter(rng.normal(size=(2, 2, 3)) * 0.5)
+        check_gradients(lambda: ops.sum(ops.mul(ops.bmm(a, b), ops.bmm(a, b))), [a, b])
+
+    def test_chained_bmm_gradcheck(self, rng):
+        # The exact TT-Rec pattern: two chained batched contractions.
+        a = Parameter(rng.normal(size=(2, 2, 2)) * 0.5)
+        b = Parameter(rng.normal(size=(2, 2, 4)) * 0.5)
+        c = Parameter(rng.normal(size=(2, 4, 2)) * 0.5)
+        check_gradients(lambda: ops.sum(ops.bmm(ops.bmm(a, b), c)), [a, b, c])
+
+    def test_constant_operands_record_no_graph(self, rng):
+        out = ops.bmm(Tensor(rng.normal(size=(2, 2, 2))), Tensor(rng.normal(size=(2, 2, 2))))
+        assert not out.requires_grad

@@ -1,0 +1,97 @@
+"""Module buffers: non-trainable state serialized with checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import DoubleHashEmbedding, NaiveHashEmbedding
+from repro.nn.layers import BatchNorm, Dense, Module, Sequential
+from repro.nn.serialization import load_npz, save_npz
+from repro.nn.tensor import Tensor
+
+
+class TestNamedBuffers:
+    def test_batchnorm_declares_running_stats(self):
+        bn = BatchNorm(4)
+        names = dict(bn.named_buffers())
+        assert set(names) == {"running_mean", "running_var"}
+
+    def test_buffers_recurse_through_children_and_lists(self):
+        model = Sequential(Dense(4, 8, rng=0), BatchNorm(8))
+        names = [n for n, _ in model.named_buffers()]
+        assert names == ["layers.1.running_mean", "layers.1.running_var"]
+
+    def test_state_dict_includes_buffers(self):
+        bn = BatchNorm(4)
+        state = bn.state_dict()
+        assert "running_mean" in state and "gamma" in state
+
+    def test_buffers_are_copies_not_views(self):
+        bn = BatchNorm(4)
+        state = bn.state_dict()
+        state["running_mean"][:] = 99.0
+        assert bn.running_mean[0] == 0.0
+
+
+class TestBufferRestore:
+    def test_running_stats_roundtrip_preserves_eval_output(self, rng):
+        src = Sequential(Dense(4, 8, rng=0), BatchNorm(8))
+        x = Tensor(rng.normal(size=(16, 4)))
+        src.train()
+        for _ in range(5):
+            src(x)  # accumulate running statistics
+        src.eval()
+        expected = src(x).data
+
+        dst = Sequential(Dense(4, 8, rng=7), BatchNorm(8))
+        dst.load_state_dict(src.state_dict())
+        dst.eval()
+        np.testing.assert_allclose(dst(x).data, expected, rtol=1e-5)
+
+    def test_hash_salt_roundtrips_through_npz(self, tmp_path, rng):
+        src = DoubleHashEmbedding(500, 8, num_hash_embeddings=16, rng=0)
+        dst = DoubleHashEmbedding(500, 8, num_hash_embeddings=16, rng=123)
+        assert (src.hash_salt != dst.hash_salt).any()
+        path = str(tmp_path / "dh.npz")
+        save_npz(src, path)
+        load_npz(dst, path)
+        np.testing.assert_array_equal(src.hash_salt, dst.hash_salt)
+        ids = rng.integers(0, 500, size=(4, 6))
+        np.testing.assert_allclose(src(ids).data, dst(ids).data, rtol=1e-6)
+
+    def test_salt_dtype_preserved_as_int(self, tmp_path):
+        src = NaiveHashEmbedding(100, 4, 8, hash_family="universal", rng=0)
+        dst = NaiveHashEmbedding(100, 4, 8, hash_family="universal", rng=5)
+        path = str(tmp_path / "nh.npz")
+        save_npz(src, path)
+        load_npz(dst, path)
+        assert dst.hash_salt.dtype == np.int64
+
+    def test_shape_mismatch_rejected(self):
+        bn = BatchNorm(4)
+        state = bn.state_dict()
+        state["running_mean"] = np.zeros(5)
+        with pytest.raises(ValueError, match="buffer"):
+            bn.load_state_dict(state)
+
+    def test_missing_buffer_key_rejected(self):
+        bn = BatchNorm(4)
+        state = bn.state_dict()
+        del state["running_var"]
+        with pytest.raises(KeyError):
+            bn.load_state_dict(state)
+
+
+class TestCustomBufferDeclaration:
+    def test_subclass_buffer_serialized(self):
+        class WithCounter(Module):
+            buffer_names = ("counter",)
+
+            def __init__(self):
+                super().__init__()
+                self.counter = np.array([0], dtype=np.int64)
+
+        m = WithCounter()
+        m.counter = np.array([42], dtype=np.int64)
+        n = WithCounter()
+        n.load_state_dict(m.state_dict())
+        assert n.counter[0] == 42

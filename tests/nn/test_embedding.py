@@ -1,0 +1,44 @@
+"""Full embedding layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.embedding import Embedding
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(20, 5, rng=0)
+        out = emb(rng.integers(0, 20, size=(3, 7)))
+        assert out.shape == (3, 7, 5)
+        assert emb.output_dim == 5
+
+    def test_lookup_values(self):
+        emb = Embedding(10, 4, rng=0)
+        idx = np.array([1, 9])
+        np.testing.assert_array_equal(emb(idx).data, emb.weight.data[idx])
+
+    def test_keras_style_init_range(self):
+        emb = Embedding(1000, 16, rng=0)
+        assert emb.weight.data.min() >= -0.05
+        assert emb.weight.data.max() <= 0.05
+
+    def test_param_count(self):
+        assert Embedding(100, 8, rng=0).num_parameters() == 800
+
+    def test_gradient_flows_to_looked_up_rows_only(self):
+        emb = Embedding(10, 4, rng=0)
+        emb(np.array([2, 2, 5])).sum().backward()
+        grad_rows = np.flatnonzero(np.abs(emb.weight.grad).sum(axis=1))
+        np.testing.assert_array_equal(grad_rows, [2, 5])
+        np.testing.assert_allclose(emb.weight.grad[2], 2.0)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+        with pytest.raises(ValueError):
+            Embedding(4, 0)
+
+    def test_determinism_with_seed(self):
+        e1, e2 = Embedding(10, 4, rng=42), Embedding(10, 4, rng=42)
+        np.testing.assert_array_equal(e1.weight.data, e2.weight.data)

@@ -1,0 +1,82 @@
+"""Composite functional ops: dropout, pooling, softmax helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Parameter, Tensor
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((8, 4)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_zero_rate_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((8, 4)))
+        assert F.dropout(x, 0.0, rng, training=True) is x
+
+    def test_training_zeroes_and_rescales(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 50)))
+        out = F.dropout(x, 0.3, rng, training=True)
+        zeros = (out.data == 0).mean()
+        assert 0.25 < zeros < 0.35
+        kept = out.data[out.data != 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.7, rtol=1e-5)
+        # expectation preserved
+        np.testing.assert_allclose(out.data.mean(), 1.0, atol=0.05)
+
+    def test_invalid_rate_rejected(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, rng, training=True)
+
+    def test_gradient_masks_match_forward(self):
+        rng = np.random.default_rng(1)
+        p = Parameter(np.ones((10, 10)))
+        out = F.dropout(p, 0.4, rng, training=True)
+        out.sum().backward()
+        # grad nonzero exactly where output nonzero
+        np.testing.assert_array_equal(p.grad != 0, out.data != 0)
+
+
+class TestAveragePool:
+    def test_full_window_equals_mean(self, rng):
+        x = rng.standard_normal((3, 8, 5)).astype(np.float32)
+        out = F.average_pool1d(Tensor(x), 8)
+        np.testing.assert_allclose(out.data[:, 0], x.mean(axis=1), rtol=1e-5)
+
+    def test_partial_windows(self, rng):
+        x = rng.standard_normal((2, 6, 4)).astype(np.float32)
+        out = F.average_pool1d(Tensor(x), 3)
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out.data[:, 0], x[:, :3].mean(axis=1), rtol=1e-5)
+
+    def test_indivisible_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            F.average_pool1d(Tensor(rng.standard_normal((2, 7, 4))), 3)
+
+    def test_wrong_rank_rejected(self, rng):
+        with pytest.raises(ValueError):
+            F.average_pool1d(Tensor(rng.standard_normal((2, 8))), 2)
+
+
+class TestSoftmaxNp:
+    def test_rows_sum_to_one(self, rng):
+        s = F.softmax_np(rng.standard_normal((5, 7)))
+        np.testing.assert_allclose(s.sum(axis=1), 1.0, rtol=1e-6)
+        assert (s > 0).all()
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(F.softmax_np(x), F.softmax_np(x + 100.0), rtol=1e-5)
+
+    def test_large_logits_stable(self):
+        s = F.softmax_np(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(s).all()
+        np.testing.assert_allclose(s[0, 0], 1.0, atol=1e-6)
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(F.log_softmax_np(x), np.log(F.softmax_np(x)), atol=1e-6)

@@ -1,0 +1,206 @@
+"""Module system and layers: traversal, modes, state dicts, semantics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AveragePooling1D,
+    BatchNorm,
+    Dense,
+    Dropout,
+    Flatten,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.tensor import Parameter, Tensor
+from tests.helpers import check_gradients
+
+
+def _mlp(seed=0):
+    return Sequential(
+        Dense(4, 8, activation="relu", rng=seed),
+        Dropout(0.1, rng=seed),
+        BatchNorm(8),
+        Dense(8, 3, rng=seed + 1),
+    )
+
+
+class TestModule:
+    def test_named_parameters_deterministic_order(self):
+        m = _mlp()
+        names = [n for n, _ in m.named_parameters()]
+        assert names == [
+            "layers.0.weight",
+            "layers.0.bias",
+            "layers.2.gamma",
+            "layers.2.beta",
+            "layers.3.weight",
+            "layers.3.bias",
+        ]
+
+    def test_num_parameters(self):
+        m = _mlp()
+        assert m.num_parameters() == (4 * 8 + 8) + (8 + 8) + (8 * 3 + 3)
+
+    def test_modules_walks_children(self):
+        m = _mlp()
+        kinds = [type(x).__name__ for x in m.modules()]
+        assert kinds == ["Sequential", "Dense", "Dropout", "BatchNorm", "Dense"]
+
+    def test_train_eval_propagates(self):
+        m = _mlp()
+        m.eval()
+        assert all(not x.training for x in m.modules())
+        m.train()
+        assert all(x.training for x in m.modules())
+
+    def test_zero_grad_clears_all(self, rng):
+        m = _mlp()
+        out = m(Tensor(rng.standard_normal((4, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+    def test_state_dict_roundtrip(self, rng):
+        m1, m2 = _mlp(seed=0), _mlp(seed=99)
+        m2.load_state_dict(m1.state_dict())
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_state_dict_is_a_copy(self):
+        m = _mlp()
+        sd = m.state_dict()
+        sd["layers.0.weight"][:] = 0
+        assert not (m.parameters()[0].data == 0).all()
+
+    def test_load_state_dict_rejects_mismatched_keys(self):
+        m = _mlp()
+        with pytest.raises(KeyError):
+            m.load_state_dict({"nope": np.zeros(1)})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        m = _mlp()
+        sd = m.state_dict()
+        sd["layers.0.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            m.load_state_dict(sd)
+
+
+class TestDense:
+    def test_forward_matches_manual(self, rng):
+        d = Dense(3, 2, rng=0)
+        x = rng.standard_normal((5, 3)).astype(np.float32)
+        out = d(Tensor(x))
+        np.testing.assert_allclose(out.data, x @ d.weight.data + d.bias.data, rtol=1e-5)
+
+    def test_no_bias(self):
+        d = Dense(3, 2, use_bias=False, rng=0)
+        assert d.bias is None
+        assert d.num_parameters() == 6
+
+    def test_activations(self, rng):
+        x = Tensor(rng.standard_normal((4, 3)))
+        assert (Dense(3, 2, activation="relu", rng=0)(x).data >= 0).all()
+        out = Dense(3, 2, activation="sigmoid", rng=0)(x).data
+        assert ((out > 0) & (out < 1)).all()
+        out = Dense(3, 2, activation="tanh", rng=0)(x).data
+        assert ((out > -1) & (out < 1)).all()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(0, 2)
+        with pytest.raises(ValueError):
+            Dense(2, 2, activation="gelu")
+
+    def test_3d_input(self, rng):
+        d = Dense(4, 6, rng=0)
+        out = d(Tensor(rng.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 6)
+
+    def test_gradcheck(self):
+        d = Dense(3, 2, rng=0)
+        d.weight.data = d.weight.data.astype(np.float64)
+        d.bias.data = d.bias.data.astype(np.float64)
+        x = Tensor(np.random.default_rng(1).standard_normal((4, 3)))
+        check_gradients(lambda: d(x).sum(), [d.weight, d.bias])
+
+
+class TestBatchNorm:
+    def test_train_normalizes(self, rng):
+        bn = BatchNorm(6)
+        x = Tensor(rng.standard_normal((128, 6)) * 3 + 5)
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.data.std(axis=0), 1.0, atol=0.05)
+
+    def test_running_stats_move_toward_batch(self, rng):
+        bn = BatchNorm(4, momentum=0.5)
+        x = Tensor(rng.standard_normal((256, 4)) + 10.0)
+        bn(x)
+        assert (bn.running_mean > 4.0).all()
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm(4, momentum=0.0)  # running stats = last batch
+        x = rng.standard_normal((512, 4)) * 2 + 3
+        bn(Tensor(x))
+        bn.eval()
+        out = bn(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-2)
+
+    def test_eval_batch_of_one_works(self, rng):
+        bn = BatchNorm(4)
+        bn(Tensor(rng.standard_normal((64, 4))))
+        bn.eval()
+        out = bn(Tensor(rng.standard_normal((1, 4))))
+        assert out.shape == (1, 4)
+        assert np.isfinite(out.data).all()
+
+    def test_wrong_feature_dim_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm(4)(Tensor(rng.standard_normal((8, 5))))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BatchNorm(0)
+        with pytest.raises(ValueError):
+            BatchNorm(4, momentum=1.0)
+
+
+class TestOtherLayers:
+    def test_relu_layer(self, rng):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_flatten(self, rng):
+        out = Flatten()(Tensor(rng.standard_normal((3, 4, 5))))
+        assert out.shape == (3, 20)
+
+    def test_average_pooling_layer(self, rng):
+        x = rng.standard_normal((2, 6, 4)).astype(np.float32)
+        out = AveragePooling1D(6)(Tensor(x))
+        np.testing.assert_allclose(out.data[:, 0], x.mean(axis=1), rtol=1e-5)
+
+    def test_dropout_layer_respects_mode(self, rng):
+        d = Dropout(0.5, rng=0)
+        x = Tensor(np.ones((100, 10)))
+        d.eval()
+        assert (d(x).data == 1.0).all()
+        d.train()
+        assert (d(x).data == 0).any()
+
+    def test_sequential_indexing_and_len(self):
+        m = _mlp()
+        assert len(m) == 4
+        assert isinstance(m[0], Dense)
+
+    def test_parameters_in_plain_lists_found(self):
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.items = [Parameter(np.zeros(2), name="a"), Dense(2, 2, rng=0)]
+
+        names = [n for n, _ in Holder().named_parameters()]
+        assert names == ["items.0", "items.1.weight", "items.1.bias"]

@@ -1,0 +1,144 @@
+"""Loss functions: values against manual computation + gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import softmax_np
+from repro.nn.losses import (
+    binary_cross_entropy_with_logits,
+    mse_loss,
+    ranknet_loss,
+    softmax_cross_entropy,
+)
+from repro.nn.tensor import Parameter
+from tests.helpers import check_gradients
+
+
+class TestSoftmaxCrossEntropy:
+    def test_matches_manual_value(self, rng):
+        logits = Parameter(rng.standard_normal((6, 4)))
+        labels = rng.integers(0, 4, size=6)
+        loss = softmax_cross_entropy(logits, labels)
+        probs = softmax_np(logits.data)
+        manual = -np.log(probs[np.arange(6), labels]).mean()
+        np.testing.assert_allclose(loss.item(), manual, rtol=1e-5)
+
+    def test_perfect_prediction_loss_near_zero(self):
+        logits = Parameter(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-4
+
+    def test_uniform_logits_give_log_c(self):
+        c = 7
+        logits = Parameter(np.zeros((3, c)))
+        loss = softmax_cross_entropy(logits, np.zeros(3, dtype=int))
+        np.testing.assert_allclose(loss.item(), np.log(c), rtol=1e-5)
+
+    def test_gradient_is_probs_minus_onehot(self, rng):
+        logits = Parameter(rng.standard_normal((5, 3)))
+        labels = rng.integers(0, 3, size=5)
+        softmax_cross_entropy(logits, labels).backward()
+        probs = softmax_np(logits.data)
+        probs[np.arange(5), labels] -= 1
+        np.testing.assert_allclose(logits.grad, probs / 5, rtol=1e-4, atol=1e-6)
+
+    def test_gradcheck(self, rng):
+        logits = Parameter(rng.standard_normal((4, 3)))
+        labels = rng.integers(0, 3, size=4)
+        check_gradients(lambda: softmax_cross_entropy(logits, labels), [logits])
+
+    def test_huge_logits_stable(self):
+        logits = Parameter(np.array([[1e4, -1e4]]))
+        loss = softmax_cross_entropy(logits, np.array([0]))
+        assert np.isfinite(loss.item())
+
+    def test_validation(self, rng):
+        logits = Parameter(rng.standard_normal((3, 2)))
+        with pytest.raises(TypeError):
+            softmax_cross_entropy(logits, np.array([0.5, 0.5, 0.5]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(logits, np.array([0, 1]))
+        with pytest.raises(IndexError):
+            softmax_cross_entropy(logits, np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(Parameter(np.zeros(3)), np.array([0, 1, 2]))
+
+
+class TestRankNetLoss:
+    def test_value_matches_manual(self, rng):
+        s_pos = Parameter(rng.standard_normal(8))
+        s_neg = Parameter(rng.standard_normal(8))
+        loss = ranknet_loss(s_pos, s_neg)
+        manual = np.log1p(np.exp(-(s_pos.data - s_neg.data))).mean()
+        np.testing.assert_allclose(loss.item(), manual, rtol=1e-5)
+
+    def test_correct_order_low_loss(self):
+        s_pos = Parameter(np.full(4, 10.0))
+        s_neg = Parameter(np.zeros(4))
+        assert ranknet_loss(s_pos, s_neg).item() < 1e-3
+
+    def test_wrong_order_high_loss(self):
+        s_pos = Parameter(np.zeros(4))
+        s_neg = Parameter(np.full(4, 10.0))
+        assert ranknet_loss(s_pos, s_neg).item() > 5.0
+
+    def test_equal_scores_log2(self):
+        s = Parameter(np.zeros(3))
+        np.testing.assert_allclose(
+            ranknet_loss(s, Parameter(np.zeros(3))).item(), np.log(2), rtol=1e-5
+        )
+
+    def test_gradients_antisymmetric(self, rng):
+        s_pos = Parameter(rng.standard_normal(6))
+        s_neg = Parameter(rng.standard_normal(6))
+        ranknet_loss(s_pos, s_neg).backward()
+        np.testing.assert_allclose(s_pos.grad, -s_neg.grad, rtol=1e-5)
+        assert (s_pos.grad < 0).all()  # pushing positive scores up
+
+    def test_gradcheck(self, rng):
+        s_pos = Parameter(rng.standard_normal(5))
+        s_neg = Parameter(rng.standard_normal(5))
+        check_gradients(lambda: ranknet_loss(s_pos, s_neg), [s_pos, s_neg])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ranknet_loss(Parameter(np.zeros(3)), Parameter(np.zeros(4)))
+
+    def test_extreme_diff_stable(self):
+        loss = ranknet_loss(Parameter(np.array([-1e4])), Parameter(np.array([1e4])))
+        assert np.isfinite(loss.item())
+
+
+class TestBCEWithLogits:
+    def test_matches_manual(self, rng):
+        logits = Parameter(rng.standard_normal((4, 3)))
+        targets = (rng.random((4, 3)) > 0.5).astype(np.float32)
+        loss = binary_cross_entropy_with_logits(logits, targets)
+        p = 1 / (1 + np.exp(-logits.data))
+        manual = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        np.testing.assert_allclose(loss.item(), manual, rtol=1e-4)
+
+    def test_gradcheck(self, rng):
+        logits = Parameter(rng.standard_normal((3, 2)))
+        targets = (rng.random((3, 2)) > 0.5).astype(np.float64)
+        check_gradients(lambda: binary_cross_entropy_with_logits(logits, targets), [logits])
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            binary_cross_entropy_with_logits(Parameter(np.zeros((2, 2))), np.zeros(3))
+
+
+class TestMSE:
+    def test_value(self):
+        pred = Parameter(np.array([1.0, 2.0]))
+        loss = mse_loss(pred, np.array([0.0, 0.0]))
+        np.testing.assert_allclose(loss.item(), 2.5)
+
+    def test_gradcheck(self, rng):
+        pred = Parameter(rng.standard_normal(5))
+        target = rng.standard_normal(5)
+        check_gradients(lambda: mse_loss(pred, target), [pred])
+
+    def test_zero_at_target(self, rng):
+        t = rng.standard_normal(4)
+        assert mse_loss(Parameter(t.copy()), t).item() == 0.0

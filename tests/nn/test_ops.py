@@ -1,0 +1,209 @@
+"""Forward correctness + finite-difference gradient checks for every op."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ops
+from repro.nn.tensor import Parameter, Tensor
+from tests.helpers import check_gradients
+
+
+def _param(shape, seed=0, scale=1.0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    return Parameter((rng.standard_normal(shape) * scale).astype(dtype))
+
+
+class TestElementwiseForward:
+    def test_add_broadcasts(self):
+        a, b = Tensor(np.ones((2, 3))), Tensor(np.arange(3.0))
+        np.testing.assert_allclose(
+            ops.add(a, b).data, np.broadcast_to(1.0 + np.arange(3.0), (2, 3))
+        )
+
+    def test_div_matches_numpy(self):
+        a, b = Tensor([6.0, 8.0]), Tensor([2.0, 4.0])
+        np.testing.assert_allclose(ops.div(a, b).data, [3.0, 2.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            ops.pow(Tensor([1.0]), Tensor([2.0]))
+
+    def test_relu_clamps(self):
+        out = ops.relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_extremes_are_stable(self):
+        out = ops.sigmoid(Tensor([-500.0, 0.0, 500.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-6)
+        assert np.isfinite(out.data).all()
+
+    def test_tanh_matches_numpy(self):
+        x = np.linspace(-2, 2, 5)
+        np.testing.assert_allclose(ops.tanh(Tensor(x)).data, np.tanh(x), rtol=1e-6)
+
+    def test_exp_log_sqrt(self):
+        x = np.array([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(ops.exp(Tensor(x)).data, np.exp(x), rtol=1e-6)
+        np.testing.assert_allclose(ops.log(Tensor(x)).data, np.log(x), rtol=1e-6)
+        np.testing.assert_allclose(ops.sqrt(Tensor(x)).data, np.sqrt(x), rtol=1e-6)
+
+
+class TestGradients:
+    def test_add_with_broadcast(self):
+        a, b = _param((3, 4), 1), _param((4,), 2)
+        check_gradients(lambda: ops.sum(ops.add(a, b)), [a, b])
+
+    def test_sub_with_broadcast(self):
+        a, b = _param((3, 4), 1), _param((3, 1), 2)
+        check_gradients(lambda: ops.sum(ops.sub(a, b)), [a, b])
+
+    def test_mul_with_broadcast(self):
+        a, b = _param((2, 3), 3), _param((3,), 4)
+        check_gradients(lambda: ops.sum(ops.mul(a, b)), [a, b])
+
+    def test_div(self):
+        a, b = _param((2, 3), 5), Parameter(np.random.default_rng(6).uniform(0.5, 2.0, (2, 3)))
+        check_gradients(lambda: ops.sum(ops.div(a, b)), [a, b])
+
+    def test_pow(self):
+        a = Parameter(np.random.default_rng(7).uniform(0.5, 2.0, (4,)))
+        check_gradients(lambda: ops.sum(ops.pow(a, 3.0)), [a])
+
+    def test_matmul_2d(self):
+        a, b = _param((3, 4), 8, 0.5), _param((4, 2), 9, 0.5)
+        check_gradients(lambda: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_matmul_3d_times_2d(self):
+        a, b = _param((2, 3, 4), 10, 0.5), _param((4, 5), 11, 0.5)
+        check_gradients(lambda: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_sum_axis_keepdims(self):
+        a = _param((3, 4), 12)
+        check_gradients(lambda: ops.sum(ops.mul(ops.sum(a, axis=1, keepdims=True), a)), [a])
+
+    def test_mean_axis(self):
+        a = _param((2, 3, 4), 13)
+        check_gradients(lambda: ops.sum(ops.mul(ops.mean(a, axis=(0, 2)), Tensor(np.arange(3.0)))), [a])
+
+    def test_mean_all(self):
+        a = _param((5,), 14)
+        check_gradients(lambda: ops.mean(ops.mul(a, a)), [a])
+
+    def test_reshape_transpose(self):
+        a = _param((2, 6), 15)
+        check_gradients(
+            lambda: ops.sum(ops.mul(ops.transpose(ops.reshape(a, (3, 4))), Tensor(np.ones((4, 3))))),
+            [a],
+        )
+
+    def test_transpose_with_axes(self):
+        a = _param((2, 3, 4), 16)
+        check_gradients(
+            lambda: ops.sum(ops.mul(ops.transpose(a, (2, 0, 1)), Tensor(np.ones((4, 2, 3))))),
+            [a],
+        )
+
+    def test_concat(self):
+        a, b = _param((2, 3), 17), _param((2, 5), 18)
+        weights = Tensor(np.random.default_rng(19).standard_normal((2, 8)))
+        check_gradients(lambda: ops.sum(ops.mul(ops.concat([a, b], axis=1), weights)), [a, b])
+
+    def test_unary_nonlinearities(self):
+        for op in (ops.relu, ops.sigmoid, ops.tanh, ops.exp):
+            a = _param((6,), 20, 0.8)
+            check_gradients(lambda op=op: ops.sum(op(a)), [a])
+
+    def test_log_sqrt_positive_domain(self):
+        a = Parameter(np.random.default_rng(21).uniform(0.5, 3.0, (5,)))
+        check_gradients(lambda: ops.sum(ops.log(a)), [a])
+        check_gradients(lambda: ops.sum(ops.sqrt(a)), [a])
+
+
+class TestMatmulValidation:
+    def test_rhs_must_be_2d(self):
+        with pytest.raises(ValueError):
+            ops.matmul(Tensor(np.ones((2, 3))), Tensor(np.ones((3, 2, 2))))
+
+    def test_lhs_must_be_at_least_2d(self):
+        with pytest.raises(ValueError):
+            ops.matmul(Tensor(np.ones(3)), Tensor(np.ones((3, 2))))
+
+
+class TestEmbeddingLookup:
+    def test_forward_gathers_rows(self):
+        table = Parameter(np.arange(12.0).reshape(4, 3))
+        idx = np.array([[0, 2], [3, 3]])
+        out = ops.embedding_lookup(table, idx)
+        np.testing.assert_allclose(out.data, table.data[idx])
+
+    def test_backward_scatter_adds_duplicates(self):
+        table = Parameter(np.zeros((4, 2)))
+        idx = np.array([1, 1, 3])
+        ops.sum(ops.embedding_lookup(table, idx)).backward()
+        expected = np.zeros((4, 2))
+        expected[1] = 2.0
+        expected[3] = 1.0
+        np.testing.assert_allclose(table.grad, expected)
+
+    def test_gradcheck(self):
+        table = _param((5, 3), 22)
+        idx = np.array([[0, 4, 2], [2, 2, 1]])
+        w = Tensor(np.random.default_rng(23).standard_normal((2, 3, 3)))
+        check_gradients(lambda: ops.sum(ops.mul(ops.embedding_lookup(table, idx), w)), [table])
+
+    def test_out_of_range_rejected(self):
+        table = Parameter(np.zeros((4, 2)))
+        with pytest.raises(IndexError):
+            ops.embedding_lookup(table, np.array([4]))
+        with pytest.raises(IndexError):
+            ops.embedding_lookup(table, np.array([-1]))
+
+    def test_float_indices_rejected(self):
+        table = Parameter(np.zeros((4, 2)))
+        with pytest.raises(TypeError):
+            ops.embedding_lookup(table, np.array([0.5]))
+
+    def test_table_must_be_2d(self):
+        with pytest.raises(ValueError):
+            ops.embedding_lookup(Parameter(np.zeros(4)), np.array([0]))
+
+
+class TestBatchNormOp:
+    def test_normalizes_batch(self):
+        x = Tensor(np.random.default_rng(24).standard_normal((64, 8)))
+        gamma, beta = Parameter(np.ones(8)), Parameter(np.zeros(8))
+        out, mu, var = ops.batch_norm(x, gamma, beta, eps=1e-5)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+        np.testing.assert_allclose(mu, x.data.mean(axis=0), atol=1e-6)
+        np.testing.assert_allclose(var, x.data.var(axis=0), atol=1e-6)
+
+    def test_gradcheck_all_inputs(self):
+        x = _param((8, 3), 25)
+        gamma = Parameter(np.random.default_rng(26).uniform(0.5, 1.5, 3))
+        beta = _param((3,), 27)
+        w = Tensor(np.random.default_rng(28).standard_normal((8, 3)))
+
+        def f():
+            out, _, _ = ops.batch_norm(x, gamma, beta, eps=1e-3)
+            return ops.sum(ops.mul(out, w))
+
+        check_gradients(f, [x, gamma, beta])
+
+
+class TestUnbroadcast:
+    def test_exact_shape_passthrough(self):
+        g = np.ones((2, 3))
+        assert ops.unbroadcast(g, (2, 3)) is g
+
+    def test_sums_leading_axes(self):
+        g = np.ones((4, 2, 3))
+        np.testing.assert_allclose(ops.unbroadcast(g, (2, 3)), np.full((2, 3), 4.0))
+
+    def test_sums_size_one_axes(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(ops.unbroadcast(g, (2, 1)), np.full((2, 1), 3.0))
+
+    def test_scalar_target(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(ops.unbroadcast(g, ()), 6.0)

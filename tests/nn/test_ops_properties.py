@@ -1,0 +1,107 @@
+"""Hypothesis property tests on the autograd primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import ops
+from repro.nn.tensor import Parameter, Tensor
+
+floats = st.floats(-10, 10, allow_nan=False, allow_infinity=False, width=32)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    # allow_subnormal=False: products of subnormals round to different
+    # subnormals depending on association order, violating rtol checks for
+    # reasons unrelated to the autograd code under test.
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=st.floats(-10, 10, allow_nan=False, allow_subnormal=False),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_arrays())
+def test_unbroadcast_is_adjoint_of_broadcast(x):
+    """<broadcast(v), g> == <v, unbroadcast(g)> for all v, g — the defining
+    adjoint property that makes broadcast backward correct."""
+    rng = np.random.default_rng(0)
+    target_shape = x.shape
+    # broadcast to a larger shape by prepending an axis and expanding 1-dims
+    big_shape = (3,) + tuple(s if s != 1 else 4 for s in target_shape)
+    g = rng.standard_normal(big_shape)
+    v = rng.standard_normal(target_shape)
+    lhs = float((np.broadcast_to(v, big_shape) * g).sum())
+    rhs = float((v * ops.unbroadcast(g, target_shape)).sum())
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_add_commutes_and_mul_distributes(x):
+    a, b = Tensor(x), Tensor(x[::-1].copy())
+    np.testing.assert_allclose(ops.add(a, b).data, ops.add(b, a).data)
+    np.testing.assert_allclose(
+        ops.mul(a, ops.add(b, b)).data, ops.add(ops.mul(a, b), ops.mul(a, b)).data, rtol=1e-5
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_sum_grad_is_ones(x):
+    p = Parameter(x)
+    ops.sum(p).backward()
+    np.testing.assert_allclose(p.grad, np.ones_like(x))
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_mean_grad_sums_to_one(x):
+    p = Parameter(x)
+    ops.mean(p).backward()
+    np.testing.assert_allclose(p.grad.sum(), 1.0, rtol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=3))
+def test_reshape_roundtrip_preserves_grad(x):
+    p = Parameter(x)
+    flat = ops.reshape(p, (x.size,))
+    back = ops.reshape(flat, x.shape)
+    ops.sum(ops.mul(back, back)).backward()
+    np.testing.assert_allclose(p.grad, 2 * x, rtol=1e-5, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(2, 30),
+    st.integers(1, 4),
+    st.integers(2, 20),
+)
+def test_embedding_lookup_grad_counts_occurrences(v, e, n):
+    """Σ lookup(table, idx) has gradient = per-row occurrence count."""
+    rng = np.random.default_rng(v * 100 + n)
+    table = Parameter(rng.standard_normal((v, e)))
+    idx = rng.integers(0, v, size=n)
+    ops.sum(ops.embedding_lookup(table, idx)).backward()
+    counts = np.bincount(idx, minlength=v).astype(float)
+    np.testing.assert_allclose(table.grad, np.repeat(counts[:, None], e, axis=1), rtol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_relu_output_nonnegative_and_idempotent(x):
+    out = ops.relu(Tensor(x))
+    assert (out.data >= 0).all()
+    np.testing.assert_allclose(ops.relu(out).data, out.data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_sigmoid_bounded_and_symmetric(x):
+    s = ops.sigmoid(Tensor(x)).data
+    s_neg = ops.sigmoid(Tensor(-x)).data
+    assert ((s > 0) & (s < 1)).all()
+    np.testing.assert_allclose(s + s_neg, 1.0, atol=1e-6)

@@ -1,0 +1,142 @@
+"""Optimizers: update rules, state, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, Adagrad, Adam, clip_global_norm, global_grad_norm
+from repro.nn.tensor import Parameter
+
+
+def _quadratic_params(seed=0, n=4):
+    rng = np.random.default_rng(seed)
+    return Parameter(rng.standard_normal(n).astype(np.float64))
+
+
+def _step_quadratic(opt, p, steps=200):
+    for _ in range(steps):
+        opt.zero_grad()
+        p.grad = 2.0 * p.data  # d/dp ||p||^2
+        opt.step()
+
+
+class TestSGD:
+    def test_vanilla_update_rule(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([2.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.8])
+
+    def test_converges_on_quadratic(self):
+        p = _quadratic_params()
+        _step_quadratic(SGD([p], lr=0.1), p)
+        assert np.abs(p.data).max() < 1e-6
+
+    def test_momentum_accelerates(self):
+        p1, p2 = _quadratic_params(1), _quadratic_params(1)
+        _step_quadratic(SGD([p1], lr=0.01), p1, steps=30)
+        _step_quadratic(SGD([p2], lr=0.01, momentum=0.9), p2, steps=30)
+        assert np.abs(p2.data).max() < np.abs(p1.data).max()
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad: no movement
+        np.testing.assert_allclose(p.data, [1.0])
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # with bias correction the first Adam step ≈ lr * sign(grad)
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([123.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [-0.01], rtol=1e-3)
+
+    def test_converges_on_quadratic(self):
+        p = _quadratic_params(2)
+        _step_quadratic(Adam([p], lr=0.05), p, steps=400)
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_state_grows_with_steps(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p])
+        p.grad = np.ones(2)
+        opt.step()
+        assert opt._t == 1
+        assert (opt._m[0] != 0).all()
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], beta1=1.0)
+
+
+class TestAdagrad:
+    def test_per_coordinate_rates(self):
+        p = Parameter(np.array([0.0, 0.0]))
+        opt = Adagrad([p], lr=1.0)
+        p.grad = np.array([10.0, 0.1])
+        opt.step()
+        # both coordinates move ~lr despite 100x gradient difference
+        np.testing.assert_allclose(np.abs(p.data), [1.0, 1.0], rtol=1e-4)
+
+    def test_converges_on_quadratic(self):
+        p = _quadratic_params(3)
+        _step_quadratic(Adagrad([p], lr=0.5), p, steps=400)
+        assert np.abs(p.data).max() < 0.05
+
+
+class TestOptimizerBase:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.ones(2)
+        SGD([p], lr=0.1).zero_grad()
+        assert p.grad is None
+
+
+class TestClipping:
+    def test_global_norm_computation(self):
+        a, b = Parameter(np.zeros(2)), Parameter(np.zeros(2))
+        a.grad = np.array([3.0, 0.0])
+        b.grad = np.array([0.0, 4.0])
+        np.testing.assert_allclose(global_grad_norm([a, b]), 5.0)
+
+    def test_clip_scales_down(self):
+        a = Parameter(np.zeros(2))
+        a.grad = np.array([3.0, 4.0])
+        pre = clip_global_norm([a], 1.0)
+        np.testing.assert_allclose(pre, 5.0)
+        np.testing.assert_allclose(np.linalg.norm(a.grad), 1.0, rtol=1e-5)
+
+    def test_clip_leaves_small_grads_alone(self):
+        a = Parameter(np.zeros(2))
+        a.grad = np.array([0.3, 0.4])
+        clip_global_norm([a], 1.0)
+        np.testing.assert_allclose(a.grad, [0.3, 0.4])
+
+    def test_none_grads_count_zero(self):
+        assert global_grad_norm([Parameter(np.zeros(3))]) == 0.0
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_global_norm([Parameter(np.zeros(1))], 0.0)

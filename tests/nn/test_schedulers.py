@@ -1,0 +1,155 @@
+"""Learning-rate schedules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD, RMSProp
+from repro.nn.schedulers import (
+    ConstantLR,
+    CosineAnnealing,
+    ExponentialDecay,
+    LinearWarmup,
+    ReduceOnPlateau,
+    StepDecay,
+    build_scheduler,
+)
+from repro.nn.tensor import Parameter
+
+
+def _opt(lr=0.1):
+    return SGD([Parameter(np.zeros(3))], lr=lr)
+
+
+class TestSchedules:
+    def test_constant_never_changes(self):
+        sched = ConstantLR(_opt(0.1))
+        for _ in range(10):
+            assert sched.step() == pytest.approx(0.1)
+
+    def test_step_decay_halves_on_schedule(self):
+        sched = StepDecay(_opt(0.1), step_size=3, gamma=0.5)
+        rates = [sched.step() for _ in range(9)]
+        assert rates[:2] == [pytest.approx(0.1)] * 2
+        assert rates[3] == pytest.approx(0.05)
+        assert rates[8] == pytest.approx(0.0125)
+
+    def test_exponential_decay(self):
+        sched = ExponentialDecay(_opt(1.0), gamma=0.5)
+        assert sched.step() == pytest.approx(0.5)
+        assert sched.step() == pytest.approx(0.25)
+
+    def test_cosine_anneals_to_min(self):
+        opt = _opt(1.0)
+        sched = CosineAnnealing(opt, t_max=10, min_lr=0.01)
+        rates = [sched.step() for _ in range(10)]
+        assert rates[0] < 1.0
+        assert rates[-1] == pytest.approx(0.01)
+        assert rates == sorted(rates, reverse=True)
+
+    def test_cosine_midpoint_is_halfway(self):
+        sched = CosineAnnealing(_opt(1.0), t_max=10, min_lr=0.0)
+        assert sched.lr_at(5) == pytest.approx(0.5)
+
+    def test_cosine_stays_at_floor_past_horizon(self):
+        sched = CosineAnnealing(_opt(1.0), t_max=5, min_lr=0.1)
+        for _ in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.1)
+
+    def test_warmup_ramps_then_delegates(self):
+        opt = _opt(1.0)
+        sched = LinearWarmup(opt, warmup=4, after=ExponentialDecay(opt, gamma=0.5))
+        ramp = [sched.step() for _ in range(4)]
+        assert ramp == [pytest.approx(r) for r in (0.25, 0.5, 0.75, 1.0)]
+        assert sched.step() == pytest.approx(0.5)  # decay clock starts after warmup
+
+    def test_warmup_without_after_holds_base(self):
+        sched = LinearWarmup(_opt(0.2), warmup=2)
+        sched.step(), sched.step()
+        assert sched.step() == pytest.approx(0.2)
+
+    def test_warmup_rejects_foreign_optimizer(self):
+        with pytest.raises(ValueError):
+            LinearWarmup(_opt(), warmup=2, after=ConstantLR(_opt()))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            StepDecay(_opt(), step_size=0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(_opt(), gamma=0.0)
+        with pytest.raises(ValueError):
+            CosineAnnealing(_opt(), t_max=0)
+        with pytest.raises(ValueError):
+            LinearWarmup(_opt(), warmup=0)
+
+
+class TestReduceOnPlateau:
+    def test_cuts_rate_after_patience(self):
+        sched = ReduceOnPlateau(_opt(0.1), factor=0.5, patience=2)
+        sched.step(0.5)  # new best
+        sched.step(0.4)  # stale 1
+        assert sched.step(0.4) == pytest.approx(0.05)  # stale 2 → cut
+
+    def test_improvement_resets_patience(self):
+        sched = ReduceOnPlateau(_opt(0.1), factor=0.5, patience=2)
+        sched.step(0.5)
+        sched.step(0.4)
+        sched.step(0.6)  # improvement
+        assert sched.step(0.5) == pytest.approx(0.1)  # stale 1 only — no cut
+
+    def test_respects_min_lr(self):
+        sched = ReduceOnPlateau(_opt(0.1), factor=0.1, patience=1, min_lr=0.01)
+        sched.step(1.0)
+        for _ in range(5):
+            last = sched.step(0.0)
+        assert last == pytest.approx(0.01)
+
+    def test_requires_metric(self):
+        with pytest.raises(ValueError):
+            ReduceOnPlateau(_opt()).step()
+
+
+class TestBuildScheduler:
+    @pytest.mark.parametrize("name", ["constant", "cosine", "step", "exponential", "plateau"])
+    def test_builds_every_name(self, name):
+        sched = build_scheduler(name, _opt(), total_steps=10)
+        assert sched.current_lr > 0
+
+    def test_exponential_lands_near_five_percent(self):
+        opt = _opt(1.0)
+        sched = build_scheduler("exponential", opt, total_steps=20)
+        for _ in range(20):
+            sched.step()
+        assert opt.lr == pytest.approx(0.05, rel=1e-6)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_scheduler("linear", _opt(), 10)
+
+
+class TestRMSProp:
+    def test_reduces_quadratic_loss(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = RMSProp([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.abs(p.data).max() < 0.5
+
+    def test_momentum_variant_also_converges(self):
+        p = Parameter(np.array([5.0]))
+        opt = RMSProp([p], lr=0.05, momentum=0.5)
+        for _ in range(150):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(float(p.data[0])) < 0.5
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            RMSProp([Parameter(np.zeros(1))], rho=1.0)
+        with pytest.raises(ValueError):
+            RMSProp([Parameter(np.zeros(1))], momentum=1.0)

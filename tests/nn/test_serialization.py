@@ -1,0 +1,67 @@
+"""Persistence and size accounting."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm, Dense, Sequential
+from repro.nn.serialization import (
+    compression_ratio,
+    load_npz,
+    on_disk_bytes,
+    parameter_breakdown,
+    save_npz,
+)
+
+
+def _model(seed=0):
+    return Sequential(Dense(4, 8, rng=seed), BatchNorm(8), Dense(8, 2, rng=seed + 1))
+
+
+class TestNpzRoundtrip:
+    def test_save_load_restores_weights(self, tmp_path):
+        m1, m2 = _model(0), _model(9)
+        path = str(tmp_path / "model.npz")
+        nbytes = save_npz(m1, path)
+        assert nbytes > 0
+        load_npz(m2, path)
+        for (_, p1), (_, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_save_appends_npz_suffix(self, tmp_path):
+        path = str(tmp_path / "model")
+        save_npz(_model(), path)
+        assert (tmp_path / "model.npz").exists()
+
+    def test_load_into_wrong_architecture_fails(self, tmp_path):
+        path = str(tmp_path / "m.npz")
+        save_npz(_model(), path)
+        with pytest.raises(KeyError):
+            load_npz(Sequential(Dense(4, 8, rng=0)), path)
+
+
+class TestSizing:
+    def test_parameter_breakdown_sums_to_total(self):
+        m = _model()
+        breakdown = parameter_breakdown(m)
+        assert sum(breakdown.values()) == m.num_parameters()
+        assert "layers.0.weight" in breakdown
+
+    def test_on_disk_bytes_includes_running_stats(self):
+        m = _model()
+        expected = (m.num_parameters() + 16) * 4  # 2×8 running stats
+        assert on_disk_bytes(m) == expected
+
+    def test_on_disk_bytes_scales_with_precision(self):
+        m = _model()
+        assert on_disk_bytes(m, bytes_per_param=2.0) * 2 == on_disk_bytes(m, bytes_per_param=4.0)
+
+    def test_compression_ratio_from_modules_and_ints(self):
+        big, small = _model(), Sequential(Dense(4, 2, rng=0))
+        assert compression_ratio(big, small) == pytest.approx(
+            big.num_parameters() / small.num_parameters()
+        )
+        assert compression_ratio(100, 25) == 4.0
+
+    def test_compression_ratio_rejects_empty(self):
+        with pytest.raises(ValueError):
+            compression_ratio(100, 0)

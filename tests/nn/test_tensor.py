@@ -1,0 +1,164 @@
+"""Tensor fundamentals: construction, autodiff bookkeeping, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ops
+from repro.nn.tensor import DEFAULT_DTYPE, Parameter, Tensor, is_grad_enabled, no_grad
+
+
+class TestConstruction:
+    def test_scalar_becomes_float_array(self):
+        t = Tensor(3)
+        assert t.data.dtype == DEFAULT_DTYPE
+        assert t.item() == 3.0
+
+    def test_integer_array_promotes_to_float(self):
+        t = Tensor(np.arange(4))
+        assert t.data.dtype == DEFAULT_DTYPE
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.data.dtype == np.float64
+
+    def test_explicit_dtype(self):
+        t = Tensor([1.0, 2.0], dtype=np.float64)
+        assert t.data.dtype == np.float64
+
+    def test_shape_ndim_size_len(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert t.shape == (3, 4)
+        assert t.ndim == 2
+        assert t.size == 12
+        assert len(t) == 3
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor(1.0, requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(1.0))
+
+    def test_parameter_requires_grad_and_named(self):
+        p = Parameter(np.ones(3), name="w")
+        assert p.requires_grad
+        assert "w" in repr(p)
+
+
+class TestBackward:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(1.0).backward()
+
+    def test_scalar_backward_seeds_ones(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        out = ops.sum(ops.mul(p, p))
+        out.backward()
+        np.testing.assert_allclose(p.grad, [2.0, 4.0])
+
+    def test_backward_accumulates_across_calls(self):
+        p = Parameter(np.array([1.0, 2.0]))
+        for _ in range(2):
+            ops.sum(p).backward()
+        np.testing.assert_allclose(p.grad, [2.0, 2.0])
+
+    def test_zero_grad_clears(self):
+        p = Parameter(np.ones(2))
+        ops.sum(p).backward()
+        p.zero_grad()
+        assert p.grad is None
+
+    def test_seed_gradient_shape_checked(self):
+        p = Parameter(np.ones(3))
+        out = ops.mul(p, p)
+        with pytest.raises(ValueError, match="seed gradient shape"):
+            out.backward(np.ones(2))
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = p*p + p*p: two paths, grad = 4p
+        p = Parameter(np.array([3.0]))
+        a = ops.mul(p, p)
+        b = ops.mul(p, p)
+        ops.sum(ops.add(a, b)).backward()
+        np.testing.assert_allclose(p.grad, [12.0])
+
+    def test_shared_subexpression_counted_once(self):
+        p = Parameter(np.array([2.0]))
+        shared = ops.mul(p, p)  # p^2
+        out = ops.sum(ops.add(shared, shared))  # 2 p^2 -> d/dp = 4p
+        out.backward()
+        np.testing.assert_allclose(p.grad, [8.0])
+
+    def test_interior_grad_buffers_freed(self):
+        p = Parameter(np.ones(4))
+        mid = ops.mul(p, p)
+        out = ops.sum(mid)
+        out.backward()
+        assert mid.grad is None  # freed eagerly
+        assert p.grad is not None
+
+    def test_deep_chain_does_not_recurse(self):
+        # would blow Python's recursion limit if backward were recursive
+        p = Parameter(np.array([1.0]))
+        t = p
+        for _ in range(3000):
+            t = ops.add(t, Tensor(0.0))
+        ops.sum(t).backward()
+        np.testing.assert_allclose(p.grad, [1.0])
+
+    def test_detach_cuts_graph(self):
+        p = Parameter(np.ones(2))
+        d = ops.mul(p, p).detach()
+        assert not d.requires_grad
+        out = ops.sum(ops.mul(d, d))
+        assert not out.requires_grad
+
+
+class TestGradMode:
+    def test_no_grad_suppresses_graph(self):
+        p = Parameter(np.ones(2))
+        with no_grad():
+            out = ops.mul(p, p)
+        assert not out.requires_grad
+        assert out._backward is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+
+class TestOperatorSugar:
+    def test_arithmetic_dunders(self):
+        a = Tensor([2.0, 4.0])
+        np.testing.assert_allclose((a + 1).data, [3.0, 5.0])
+        np.testing.assert_allclose((1 + a).data, [3.0, 5.0])
+        np.testing.assert_allclose((a - 1).data, [1.0, 3.0])
+        np.testing.assert_allclose((1 - a).data, [-1.0, -3.0])
+        np.testing.assert_allclose((a * 3).data, [6.0, 12.0])
+        np.testing.assert_allclose((a / 2).data, [1.0, 2.0])
+        np.testing.assert_allclose((8 / a).data, [4.0, 2.0])
+        np.testing.assert_allclose((-a).data, [-2.0, -4.0])
+        np.testing.assert_allclose((a**2).data, [4.0, 16.0])
+
+    def test_matmul_and_transpose_sugar(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        b = Tensor(np.eye(3, dtype=np.float32))
+        np.testing.assert_allclose((a @ b).data, a.data)
+        np.testing.assert_allclose(a.T.data, a.data.T)
+
+    def test_reshape_sum_mean_sugar(self):
+        a = Tensor(np.arange(6, dtype=np.float32))
+        assert a.reshape(2, 3).shape == (2, 3)
+        assert a.reshape((3, 2)).shape == (3, 2)
+        assert a.sum().item() == 15.0
+        assert a.mean().item() == 2.5
+
+    def test_grad_shape_mismatch_rejected(self):
+        p = Parameter(np.ones((2, 2)))
+        with pytest.raises(ValueError, match="gradient shape"):
+            p._accumulate(np.ones(3))

@@ -1,0 +1,81 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import _default_hyper, build_parser, main
+from repro.core.registry import available_techniques
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_accepts_every_experiment_id(self):
+        parser = build_parser()
+        for exp in EXPERIMENTS:
+            args = parser.parse_args(["run", exp])
+            assert args.experiment == exp
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_dataset_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "imagenet"])
+
+    def test_train_parses_overrides(self):
+        args = build_parser().parse_args(
+            ["train", "movielens", "memcom", "--epochs", "2", "--hash-fraction", "8"]
+        )
+        assert args.epochs == 2 and args.hash_fraction == 8
+
+
+class TestCommands:
+    def test_list_prints_all_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp in EXPERIMENTS:
+            assert exp in out
+        assert "movielens" in out and "memcom" in out
+
+    def test_dataset_shows_scaled_spec(self, capsys):
+        assert main(["dataset", "arcade", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "input_vocab" in out and "600" in out
+
+    def test_dataset_full_scale_matches_table2(self, capsys):
+        assert main(["dataset", "movielens"]) == 0
+        out = capsys.readouterr().out
+        assert "10000" in out and "5000" in out
+
+    def test_train_runs_one_model(self, capsys):
+        code = main(
+            ["train", "movielens", "hash", "--scale", "0.5", "--epochs", "1",
+             "--embedding-dim", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ndcg" in out
+
+    def test_run_executes_fast_experiment(self, capsys):
+        # "props" is analytic (no training) — fast enough for unit tests.
+        assert main(["run", "props", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+
+
+class TestDefaultHyper:
+    def test_covers_every_registered_technique(self):
+        for technique in available_techniques():
+            hyper = _default_hyper(technique, vocab=1000, dim=32, hash_fraction=16)
+            assert isinstance(hyper, dict)
+
+    def test_hash_fraction_controls_m(self):
+        assert _default_hyper("memcom", 1000, 32, 16) == {"num_hash_embeddings": 62}
+        assert _default_hyper("memcom", 1000, 32, 8) == {"num_hash_embeddings": 125}
+
+    def test_tiny_vocab_floors_at_two(self):
+        assert _default_hyper("hash", 8, 32, 16)["num_hash_embeddings"] == 2

@@ -1,0 +1,127 @@
+"""Trainer callbacks: checkpointing, CSV curves, metric-target stopping."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.models.builder import build_classifier
+from repro.nn.serialization import load_npz
+from repro.train.callbacks import (
+    Callback,
+    CheckpointBest,
+    CSVLogger,
+    EpochEvent,
+    LambdaCallback,
+    StopOnMetric,
+)
+from repro.train.trainer import TrainConfig, Trainer
+
+
+def _model(spec):
+    return build_classifier(
+        "full", spec.input_vocab, spec.output_vocab,
+        input_length=spec.input_length, embedding_dim=8, rng=0,
+    )
+
+
+def _fit(ds, callbacks, epochs=3, with_val=True):
+    model = _model(ds.spec)
+    cfg = TrainConfig(epochs=epochs, batch_size=64, lr=3e-3, seed=0)
+    args = (ds.x_eval, ds.y_eval) if with_val else (None, None)
+    hist = Trainer(cfg, callbacks=callbacks).fit(model, ds.x_train, ds.y_train, *args)
+    return model, hist
+
+
+class TestCheckpointBest:
+    def test_saves_and_restores(self, tiny_classification_dataset, tmp_path):
+        ds = tiny_classification_dataset
+        path = str(tmp_path / "best.npz")
+        cb = CheckpointBest(path, verbose=False)
+        model, _ = _fit(ds, [cb])
+        assert cb.saves >= 1
+        fresh = _model(ds.spec)
+        load_npz(fresh, path)  # restoring must not raise
+
+    def test_falls_back_to_train_loss_without_validation(
+        self, tiny_classification_dataset, tmp_path
+    ):
+        ds = tiny_classification_dataset
+        cb = CheckpointBest(str(tmp_path / "b.npz"), verbose=False)
+        _fit(ds, [cb], with_val=False)
+        assert cb.saves >= 1
+
+
+class TestCSVLogger:
+    def test_writes_one_row_per_epoch(self, tiny_classification_dataset, tmp_path):
+        ds = tiny_classification_dataset
+        path = str(tmp_path / "curve.csv")
+        _fit(ds, [CSVLogger(path)], epochs=3)
+        with open(path) as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == 3
+        assert rows[0]["metric_name"] == "accuracy"
+        assert float(rows[-1]["train_loss"]) < float(rows[0]["train_loss"])
+
+    def test_refitting_truncates(self, tiny_classification_dataset, tmp_path):
+        ds = tiny_classification_dataset
+        path = str(tmp_path / "curve.csv")
+        logger = CSVLogger(path)
+        _fit(ds, [logger], epochs=2)
+        _fit(ds, [logger], epochs=1)
+        with open(path) as f:
+            assert len(list(csv.DictReader(f))) == 1
+
+
+class TestStopOnMetric:
+    def test_stops_when_target_reached(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        cb = StopOnMetric(target=0.0)  # any accuracy satisfies this
+        _, hist = _fit(ds, [cb], epochs=5)
+        assert cb.triggered_epoch == 0
+        assert len(hist.train_loss) == 1
+
+    def test_never_triggers_without_validation(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        cb = StopOnMetric(target=0.0)
+        _, hist = _fit(ds, [cb], epochs=2, with_val=False)
+        assert cb.triggered_epoch is None
+        assert len(hist.train_loss) == 2
+
+
+class TestCallbackProtocol:
+    def test_all_callbacks_observe_every_epoch(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        seen = []
+        stopper = LambdaCallback(lambda e: True)  # stop immediately
+        watcher = LambdaCallback(lambda e: seen.append(e.epoch))
+        _, hist = _fit(ds, [stopper, watcher], epochs=4)
+        # watcher still ran for the epoch despite the earlier stop request
+        assert seen == [0]
+        assert len(hist.train_loss) == 1
+
+    def test_train_begin_and_end_hooks(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        calls = []
+
+        class Probe(Callback):
+            def on_train_begin(self, model):
+                calls.append("begin")
+
+            def on_train_end(self, model):
+                calls.append("end")
+
+        _fit(ds, [Probe()], epochs=1)
+        assert calls == ["begin", "end"]
+
+    def test_event_carries_model_reference(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        captured = []
+        _fit(ds, [LambdaCallback(lambda e: captured.append(e.model))], epochs=1)
+        assert captured[0].num_parameters() > 0
+
+    def test_event_has_validation_flag(self):
+        event = EpochEvent(0, 1, 1.0, float("nan"), "accuracy", None)
+        assert not event.has_validation
+        event = EpochEvent(0, 1, 1.0, 0.5, "accuracy", None)
+        assert event.has_validation

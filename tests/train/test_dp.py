@@ -1,0 +1,99 @@
+"""Differentially private training and the RDP accountant."""
+
+import numpy as np
+import pytest
+
+from repro.models.builder import build_classifier
+from repro.train.dp import DPConfig, DPTrainer, rdp_epsilon
+from repro.train.trainer import TrainConfig
+
+
+def _model(spec, seed=0):
+    return build_classifier(
+        "memcom",
+        spec.input_vocab,
+        spec.output_vocab,
+        input_length=spec.input_length,
+        embedding_dim=8,
+        rng=seed,
+        num_hash_embeddings=spec.input_vocab // 8,
+    )
+
+
+class TestDPConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DPConfig(noise_multiplier=-1.0)
+        with pytest.raises(ValueError):
+            DPConfig(noise_multiplier=1.0, l2_clip=0.0)
+        with pytest.raises(ValueError):
+            DPConfig(noise_multiplier=1.0, delta=2.0)
+
+
+class TestDPTrainer:
+    def test_zero_noise_trains(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        trainer = DPTrainer(TrainConfig(epochs=2, batch_size=64, lr=3e-3), DPConfig(0.0))
+        hist = trainer.fit(_model(ds.spec), ds.x_train, ds.y_train, ds.x_eval, ds.y_eval)
+        assert hist.train_loss[-1] < hist.train_loss[0]
+        assert trainer.steps_taken > 0
+
+    def test_heavy_noise_degrades_metric(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        cfg = TrainConfig(epochs=3, batch_size=64, lr=3e-3, seed=0)
+        clean = DPTrainer(cfg, DPConfig(0.0))
+        noisy = DPTrainer(cfg, DPConfig(50.0))
+        h_clean = clean.fit(_model(ds.spec, 0), ds.x_train, ds.y_train, ds.x_eval, ds.y_eval)
+        h_noisy = noisy.fit(_model(ds.spec, 0), ds.x_train, ds.y_train, ds.x_eval, ds.y_eval)
+        assert max(h_noisy.val_metric) <= max(h_clean.val_metric) + 0.02
+
+    def test_epsilon_decreases_with_more_noise(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        cfg = TrainConfig(epochs=1, batch_size=64)
+        eps = []
+        for sigma in (0.5, 1.0, 2.0):
+            t = DPTrainer(cfg, DPConfig(sigma))
+            t.fit(_model(ds.spec), ds.x_train, ds.y_train)
+            eps.append(t.epsilon(len(ds.x_train)))
+        assert eps[0] > eps[1] > eps[2]
+
+    def test_unknown_task_rejected(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        t = DPTrainer(TrainConfig(epochs=1, batch_size=64), DPConfig(1.0))
+        with pytest.raises(ValueError):
+            t.fit(_model(ds.spec), ds.x_train, ds.y_train, task="clustering")
+
+
+class TestAccountant:
+    def test_zero_noise_is_infinite(self):
+        assert rdp_epsilon(0.0, 100, 1e-5) == float("inf")
+
+    def test_zero_steps_is_zero(self):
+        assert rdp_epsilon(1.0, 0, 1e-5) == 0.0
+
+    def test_monotone_in_steps(self):
+        e1 = rdp_epsilon(1.0, 100, 1e-5)
+        e2 = rdp_epsilon(1.0, 1000, 1e-5)
+        assert e2 > e1
+
+    def test_monotone_in_noise(self):
+        e1 = rdp_epsilon(0.5, 100, 1e-5)
+        e2 = rdp_epsilon(4.0, 100, 1e-5)
+        assert e2 < e1
+
+    def test_monotone_in_delta(self):
+        e1 = rdp_epsilon(1.0, 100, 1e-7)
+        e2 = rdp_epsilon(1.0, 100, 1e-3)
+        assert e2 < e1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rdp_epsilon(1.0, -1, 1e-5)
+        with pytest.raises(ValueError):
+            rdp_epsilon(1.0, 10, 0.0)
+
+    def test_reasonable_magnitude(self):
+        # σ=1, 1000 steps, δ=1e-5: ε should be in the usual single/double
+        # digit range, not astronomically off
+        eps = rdp_epsilon(1.0, 1000, 1e-5)
+        assert 10 < eps < 1000

@@ -1,0 +1,109 @@
+"""Federated averaging simulation."""
+
+import numpy as np
+import pytest
+
+from repro.models.builder import build_classifier
+from repro.train.federated import FederatedConfig, federated_train, split_clients
+
+
+def _model(spec, seed=0):
+    return build_classifier(
+        "memcom",
+        spec.input_vocab,
+        spec.output_vocab,
+        input_length=spec.input_length,
+        embedding_dim=8,
+        rng=seed,
+        num_hash_embeddings=spec.input_vocab // 8,
+    )
+
+
+class TestSplit:
+    def test_iid_partition_covers_everything(self, rng):
+        y = rng.integers(0, 5, 100)
+        shards = split_clients(y, 7, rng)
+        all_idx = np.concatenate(shards)
+        np.testing.assert_array_equal(np.sort(all_idx), np.arange(100))
+
+    def test_non_iid_partition_covers_everything(self, rng):
+        y = rng.integers(0, 5, 200)
+        shards = split_clients(y, 6, rng, non_iid_alpha=0.2)
+        all_idx = np.concatenate(shards)
+        np.testing.assert_array_equal(np.sort(all_idx), np.arange(200))
+
+    def test_non_iid_skews_labels(self, rng):
+        y = rng.integers(0, 10, 2000)
+        iid = split_clients(y, 5, np.random.default_rng(0))
+        skew = split_clients(y, 5, np.random.default_rng(0), non_iid_alpha=0.05)
+
+        def label_entropy(shards):
+            ents = []
+            for s in shards:
+                p = np.bincount(y[s], minlength=10) / len(s)
+                p = p[p > 0]
+                ents.append(-(p * np.log(p)).sum())
+            return np.mean(ents)
+
+        assert label_entropy(skew) < label_entropy(iid) - 0.2
+
+    def test_no_empty_clients(self, rng):
+        y = rng.integers(0, 3, 50)
+        shards = split_clients(y, 10, rng, non_iid_alpha=0.01)
+        assert all(len(s) > 0 for s in shards)
+
+    def test_bad_client_count(self, rng):
+        with pytest.raises(ValueError):
+            split_clients(np.zeros(5, dtype=int), 0, rng)
+        with pytest.raises(ValueError):
+            split_clients(np.zeros(5, dtype=int), 6, rng)
+
+
+class TestConfig:
+    def test_cohort_cannot_exceed_population(self):
+        with pytest.raises(ValueError):
+            FederatedConfig(num_clients=3, clients_per_round=5)
+
+    def test_noise_requires_clip(self):
+        with pytest.raises(ValueError):
+            FederatedConfig(noise_multiplier=1.0, update_clip=None)
+
+
+class TestFedAvg:
+    def test_accuracy_improves_over_rounds(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        model = _model(ds.spec)
+        cfg = FederatedConfig(
+            num_clients=8,
+            clients_per_round=6,
+            rounds=10,
+            local_epochs=2,
+            local_batch_size=32,
+            local_lr=0.1,
+            seed=0,
+        )
+        history = federated_train(model, ds.x_train, ds.y_train, cfg, ds.x_eval, ds.y_eval)
+        assert len(history) == 10
+        assert history[-1] > 1.2 / ds.spec.output_vocab  # beat random guessing
+
+    def test_dp_noise_path_runs(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        model = _model(ds.spec)
+        cfg = FederatedConfig(
+            num_clients=4,
+            clients_per_round=2,
+            rounds=2,
+            update_clip=1.0,
+            noise_multiplier=0.5,
+            seed=0,
+        )
+        history = federated_train(model, ds.x_train, ds.y_train, cfg, ds.x_eval, ds.y_eval)
+        assert len(history) == 2
+        assert all(np.isfinite(h) for h in history)
+
+    def test_no_validation_yields_nans(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        model = _model(ds.spec)
+        cfg = FederatedConfig(num_clients=4, clients_per_round=2, rounds=1, seed=0)
+        history = federated_train(model, ds.x_train, ds.y_train, cfg)
+        assert np.isnan(history[0])

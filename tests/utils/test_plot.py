@@ -1,0 +1,119 @@
+"""ASCII figure rendering."""
+
+import pytest
+
+from repro.utils.plot import MARKERS, ascii_plot
+
+
+def _one_series(**kwargs):
+    return ascii_plot({"memcom": ([1, 2, 4, 8], [0.0, 1.0, 3.0, 9.0])}, **kwargs)
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        out = ascii_plot(
+            {"memcom": ([1, 2], [0.0, 1.0]), "hash": ([1, 2], [0.0, 5.0])}
+        )
+        assert "o=memcom" in out and "x=hash" in out
+        assert "o" in out and "x" in out
+
+    def test_title_and_labels_shown(self):
+        out = _one_series(title="Figure 2 (a)", x_label="compression", y_label="% loss")
+        assert out.startswith("Figure 2 (a)")
+        assert "% loss" in out
+        assert "compression" in out
+
+    def test_y_axis_ticks_span_data(self):
+        out = _one_series()
+        assert "0" in out and "9" in out
+
+    def test_log_x_axis_accepts_ratios(self):
+        out = ascii_plot({"a": ([1, 10, 100], [0, 1, 2])}, logx=True)
+        assert "100" in out
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([0, 1], [0, 1])}, logx=True)
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([], [])})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([1, 2], [1])})
+
+    def test_rejects_too_many_series(self):
+        series = {f"s{i}": ([1, 2], [0, i]) for i in range(len(MARKERS) + 1)}
+        with pytest.raises(ValueError):
+            ascii_plot(series)
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            _one_series(width=4)
+        with pytest.raises(ValueError):
+            _one_series(height=2)
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_plot({"flat": ([1, 2, 3], [5.0, 5.0, 5.0])})
+        assert "flat" in out
+
+    def test_single_point_series(self):
+        out = ascii_plot({"dot": ([3], [7.0])})
+        assert "o" in out
+
+    def test_grid_dimensions_respected(self):
+        out = _one_series(width=40, height=10)
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_rows) == 10
+        assert all(len(l.split("|", 1)[1]) == 40 for l in plot_rows)
+
+    def test_interpolation_dots_connect_points(self):
+        out = ascii_plot({"line": ([1, 100], [0.0, 10.0])}, width=40, height=10)
+        assert "." in out
+
+
+class TestSweepPlotIntegration:
+    def test_renders_from_sweep_result(self):
+        from repro.experiments.report import render_sweep_plot
+        from repro.experiments.runner import SweepPoint, SweepResult
+
+        result = SweepResult(
+            dataset="movielens",
+            architecture="pointwise",
+            metric_name="ndcg",
+            baseline_metric=0.2,
+            baseline_params=1000,
+        )
+        for tech, ratio, loss in [
+            ("memcom", 4.0, 1.0),
+            ("memcom", 16.0, 4.0),
+            ("hash", 4.0, 5.0),
+            ("hash", 16.0, 14.0),
+        ]:
+            result.points.append(
+                SweepPoint(
+                    technique=tech,
+                    hyper={"num_hash_embeddings": 10},
+                    params=int(1000 / ratio),
+                    compression_ratio=ratio,
+                    metric=0.2 * (1 - loss / 100),
+                    relative_loss_pct=loss,
+                )
+            )
+        out = render_sweep_plot(result)
+        assert "movielens" in out and "memcom" in out and "hash" in out
+
+    def test_technique_filter(self):
+        from repro.experiments.report import render_sweep_plot
+        from repro.experiments.runner import SweepPoint, SweepResult
+
+        result = SweepResult("d", "pointwise", "ndcg", 0.2, 1000)
+        for tech in ("memcom", "hash"):
+            result.points.append(
+                SweepPoint(tech, {}, 100, 10.0, 0.19, 5.0)
+            )
+        out = render_sweep_plot(result, techniques=["memcom"])
+        assert "memcom" in out and "hash" not in out
