@@ -86,10 +86,10 @@ class MEmComEmbedding(CompressedEmbedding):
         hashed = indices % self.num_hash_embeddings
         x_rem = ops.embedding_lookup(self.shared, hashed)
         x_mult = ops.embedding_lookup(self.multiplier, indices)
-        out = ops.mul(x_rem, x_mult)  # (…, e) * (…, 1) broadcast
         if self.bias_table is not None:
-            out = ops.add(out, ops.embedding_lookup(self.bias_table, indices))
-        return out
+            # Fused (…, e) * (…, 1) + (…, 1): one graph node on the hot path.
+            return ops.muladd(x_rem, x_mult, ops.embedding_lookup(self.bias_table, indices))
+        return ops.mul(x_rem, x_mult)  # (…, e) * (…, 1) broadcast
 
     def multipliers(self) -> np.ndarray:
         """Per-entity multiplier column as a flat (v,) array (for the A.4

@@ -6,8 +6,9 @@ differ by more than a tolerance (1e-5 in the paper; they report > 99.98%
 distinct at 40× compression on Arcade).
 
 The pair count is computed exactly in O(k log k) per bucket: sort the
-bucket's multipliers and count pairs within tolerance with a two-pointer
-sweep, instead of materializing the O(k²) pair matrix.
+bucket's multipliers and count pairs within tolerance with a vectorized
+binary search (``np.searchsorted`` of the sorted values against their
+tolerance-shifted selves), instead of materializing the O(k²) pair matrix.
 
 :func:`unique_embedding_fraction` generalizes the audit to *any* technique:
 the fraction of vocabulary entries with an embedding distinct from every
@@ -56,10 +57,42 @@ class UniquenessReport:
 def count_close_pairs(values: np.ndarray, tolerance: float) -> int:
     """Number of unordered pairs with ``|a − b| <= tolerance`` (exact).
 
-    Two-pointer sweep over sorted values: for each j, count the i < j with
-    ``v[j] − v[i] <= tol``; closeness in sorted order is equivalent to
-    closeness in value space because |a−b| of sorted neighbours bounds pairs.
+    Vectorized over sorted values: for each j, the i < j with
+    ``v[j] − v[i] <= tol`` form the contiguous run ``[left(j), j)`` where
+    ``left(j)`` is the first index with ``v[i] >= v[j] − tol`` — one
+    ``np.searchsorted`` of the array against its shifted self replaces the
+    former O(v) Python two-pointer sweep (kept as
+    :func:`_count_close_pairs_loop` for the regression test) while counting
+    exactly the same pairs.
     """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size < 2:
+        return 0
+    left = np.searchsorted(v, v - tolerance, side="left")
+    idx = np.arange(v.size)
+    # ``v - tolerance`` rounds, so near the boundary the candidate can sit
+    # off the predicate the reference loop evaluates (``v[j] - v[i] <= tol``
+    # in float subtraction, which is monotone in i).  Correct each boundary
+    # until it agrees exactly, jumping over whole runs of equal values per
+    # pass (the predicate depends on ``v[i]`` only, so a run flips as one) —
+    # passes are bounded by distinct values crossed, almost always 0.
+    while True:
+        over = (left < idx) & (v - v[left] > tolerance)
+        if not over.any():
+            break
+        left[over] = np.searchsorted(v, v[left[over]], side="right")
+    while True:
+        expand = (left > 0) & (v - v[np.maximum(left - 1, 0)] <= tolerance)
+        if not expand.any():
+            break
+        left[expand] = np.searchsorted(v, v[left[expand] - 1], side="left")
+    return int((idx - left).sum())
+
+
+def _count_close_pairs_loop(values: np.ndarray, tolerance: float) -> int:
+    """Reference implementation: the original Python two-pointer sweep."""
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
     v = np.sort(np.asarray(values, dtype=np.float64))

@@ -49,6 +49,7 @@ from repro.nn.serialization import (
     parameter_breakdown,
     save_npz,
 )
+from repro.nn.sparse_grad import SparseRowGrad, sparse_grads, sparse_grads_enabled
 from repro.nn.tensor import DEFAULT_DTYPE, Parameter, Tensor, is_grad_enabled, no_grad
 
 __all__ = [
@@ -74,6 +75,7 @@ __all__ = [
     "SGD",
     "Scheduler",
     "Sequential",
+    "SparseRowGrad",
     "StepDecay",
     "Tensor",
     "binary_cross_entropy_with_logits",
@@ -93,4 +95,6 @@ __all__ = [
     "ranknet_loss",
     "save_npz",
     "softmax_cross_entropy",
+    "sparse_grads",
+    "sparse_grads_enabled",
 ]

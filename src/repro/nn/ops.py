@@ -7,8 +7,10 @@ shape by :func:`unbroadcast` (sum over the broadcast axes), which is the
 adjoint of broadcasting.
 
 The embedding-specific primitive is :func:`embedding_lookup`, whose backward
-is a scatter-add (``np.add.at``) into the table gradient — the same sparse
-gradient semantics TensorFlow/PyTorch give ``tf.gather`` / ``Embedding``.
+emits a row-sparse :class:`repro.nn.sparse_grad.SparseRowGrad` — the same
+``IndexedSlices`` semantics TF 1.x gives ``tf.gather``, so optimizers update
+only the rows a batch touched (see DESIGN.md §5).  The dense scatter-add
+baseline is kept behind ``sparse_grads(False)`` for benchmarking.
 """
 
 from __future__ import annotations
@@ -16,8 +18,9 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
-from scipy import sparse as _sparse
 
+from repro.nn import sparse_grad as _sg
+from repro.nn.sparse_grad import SparseRowGrad
 from repro.nn.tensor import Tensor
 
 __all__ = [
@@ -26,6 +29,7 @@ __all__ = [
     "add",
     "sub",
     "mul",
+    "muladd",
     "div",
     "neg",
     "pow",
@@ -123,6 +127,32 @@ def div(a: Tensor, b: Tensor) -> Tensor:
             b._accumulate(unbroadcast(-g * a.data / (b.data * b.data), b.data.shape))
 
     return Tensor._make(out_data, (a, b), backward)
+
+
+def muladd(a: Tensor, b: Tensor, c: Tensor) -> Tensor:
+    """Fused ``a * b + c`` with NumPy broadcasting.
+
+    One graph node and one output buffer instead of two — this is the
+    MEmCom composition ``U[j] ⊙ V[i] + W[i]`` (Algorithm 3), fused because
+    it sits on the training hot path of every embedding lookup.
+    """
+    out_data = a.data * b.data
+    if out_data.shape == np.broadcast_shapes(out_data.shape, c.data.shape) and (
+        out_data.dtype == np.result_type(out_data.dtype, c.data.dtype)
+    ):
+        out_data += c.data  # in-place fast path: c broadcasts into the product
+    else:
+        out_data = out_data + c.data
+
+    def backward(g: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(unbroadcast(g * b.data, a.data.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(g * a.data, b.data.shape))
+        if c.requires_grad:
+            c._accumulate(unbroadcast(g, c.data.shape))
+
+    return Tensor._make(out_data, (a, b, c), backward)
 
 
 def neg(a: Tensor) -> Tensor:
@@ -339,9 +369,16 @@ def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
     """Gather rows: ``out[..., :] = table[indices[...], :]``.
 
     ``indices`` is a raw integer ndarray (not a Tensor — ids are not
-    differentiable).  Backward scatter-adds the output gradient into the
-    rows that were read, so an id looked up k times in the batch accumulates
-    k gradient contributions, exactly like a framework embedding layer.
+    differentiable).  Backward emits a :class:`SparseRowGrad` carrying one
+    value row per lookup, so an id looked up k times in the batch accumulates
+    k gradient contributions on coalescing — exactly the scatter-add a
+    framework embedding layer performs, without ever materializing the
+    ``(v, e)`` table gradient.  Optimizers then update only the touched rows
+    (the TF 1.x ``IndexedSlices`` fast path the paper trained on).
+
+    Under ``sparse_grads(False)`` backward falls back to densifying via a
+    sparse one-hot matmul (the pre-sparse-path baseline, kept for the
+    throughput benchmark).
     """
     indices = np.asarray(indices)
     if indices.dtype.kind not in "iu":
@@ -357,16 +394,20 @@ def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
 
     def backward(g: np.ndarray) -> None:
         e = table.data.shape[1]
-        flat = indices.ravel()
+        # Snapshot the ids: callers may legally refill a preallocated index
+        # buffer between backward() and optimizer step(), and the sparse
+        # grad reads its rows only at coalesce/apply time.
+        flat = indices.ravel().copy()
         g2d = g.reshape(-1, e)
-        # Scatter-add via a sparse one-hot matmul: S[n, v].T @ g — ~20×
-        # faster than np.add.at on the batch shapes the models produce.
-        n = flat.size
-        onehot = _sparse.csr_matrix(
-            (np.ones(n, dtype=g2d.dtype), flat, np.arange(n + 1)),
-            shape=(n, table.data.shape[0]),
-        )
-        table._accumulate(np.asarray(onehot.T @ g2d))
+        if _sg.sparse_grads_enabled():
+            # Copy the values too: ``g`` may be the backward *root's* grad
+            # buffer, which outlives this call and is mutated in place by a
+            # repeated backward() (interior buffers die, the root's does
+            # not).  The emitted SparseRowGrad owns both its arrays.
+            table._accumulate(SparseRowGrad(flat, g2d.copy(), table.data.shape))
+            return
+        # Dense baseline: scatter-add over the whole table — still O(v·e).
+        table._accumulate(_sg.onehot_rowsum(flat, g2d, table.data.shape[0]))
 
     return Tensor._make(out_data, (table,), backward)
 

@@ -1,15 +1,40 @@
-"""Optimizers: SGD (+momentum), Adam, Adagrad, and gradient clipping.
+"""Optimizers: SGD (+momentum), Adam, Adagrad, RMSProp, and gradient clipping.
 
 Adam with Keras-default hyperparameters is what the experiments use; DP-SGD
 (for the Figure 5 privacy experiment) lives in :mod:`repro.train.dp` and
 composes :func:`clip_global_norm` with Gaussian noise before calling any of
 these optimizers.
+
+Sparse fast path
+----------------
+Embedding lookups emit row-sparse gradients
+(:class:`repro.nn.sparse_grad.SparseRowGrad`); every ``step()`` here has a
+sparse branch that updates **only the touched rows** with fancy indexing, so
+a step over a ``v``-row table costs O(batch) instead of O(v) — the TF 1.x
+``IndexedSlices`` sparse-apply the paper trained on.  Semantics (DESIGN.md
+§5):
+
+* **SGD (no momentum, no weight decay)** and **Adagrad** are *exactly*
+  equivalent to the dense update: untouched rows receive a zero gradient,
+  and zero gradient means zero dense update for both.
+* **SGD with momentum / weight decay**, **Adam**, and **RMSProp** apply
+  *lazy* updates: first/second-moment decay (and the decoupled weight-decay
+  term) are applied only on touched rows, when they are touched.  Untouched
+  rows keep stale state and do not drift — this is ``tf.contrib.opt.
+  LazyAdamOptimizer`` / Keras sparse-apply behaviour, and deviates from
+  dense Adam, which keeps moving every row on momentum alone.  Tests bound
+  the deviation (``tests/nn/test_optim_sparse.py``).
+
+:func:`global_grad_norm` and :func:`clip_global_norm` consume sparse grads
+without densifying (the norm is over coalesced rows; clipping scales the
+value rows in place).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.sparse_grad import SparseRowGrad
 from repro.nn.tensor import Parameter
 
 __all__ = [
@@ -44,7 +69,11 @@ class Optimizer:
 
 
 class SGD(Optimizer):
-    """SGD with optional momentum, Nesterov lookahead and weight decay."""
+    """SGD with optional momentum, Nesterov lookahead and weight decay.
+
+    The sparse branch is exact for plain SGD; with momentum or weight decay
+    it is *lazy* (velocity decay / decay term only on touched rows).
+    """
 
     def __init__(
         self,
@@ -66,7 +95,11 @@ class SGD(Optimizer):
 
     def step(self) -> None:
         for p, v in zip(self.params, self._velocity):
-            if p.grad is None:
+            if p.raw_grad is None:
+                continue
+            sg = p.sparse_grad
+            if sg is not None:
+                self._step_sparse(p, v, sg)
                 continue
             g = p.grad
             if self.weight_decay:
@@ -81,9 +114,33 @@ class SGD(Optimizer):
             else:
                 p.data -= self.lr * g
 
+    def _step_sparse(self, p: Parameter, v: np.ndarray, sg: SparseRowGrad) -> None:
+        rows, g = sg.rows, sg.values
+        if rows.size == 0:
+            return
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data[rows]
+        if self.momentum:
+            # Lazy momentum: rows not in the batch keep a frozen velocity.
+            v_rows = self.momentum * v[rows] - self.lr * g
+            v[rows] = v_rows
+            if self.nesterov:
+                p.data[rows] += self.momentum * v_rows - self.lr * g
+            else:
+                p.data[rows] += v_rows
+        else:
+            p.data[rows] -= self.lr * g
+
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba) with bias correction; Keras-default eps."""
+    """Adam (Kingma & Ba) with bias correction; Keras-default eps.
+
+    Sparse grads get the **lazy Adam** update: moments decay and the row
+    moves only when the row appears in a batch, with the bias correction of
+    the current global step.  Dense Adam instead updates every row each step
+    (momentum keeps rows moving after their last occurrence); DESIGN.md §5
+    documents and tests bound the divergence.
+    """
 
     def __init__(
         self,
@@ -111,7 +168,11 @@ class Adam(Optimizer):
         bias1 = 1.0 - b1**self._t
         bias2 = 1.0 - b2**self._t
         for p, m, v in zip(self.params, self._m, self._v):
-            if p.grad is None:
+            if p.raw_grad is None:
+                continue
+            sg = p.sparse_grad
+            if sg is not None:
+                self._step_sparse(p, m, v, sg, bias1, bias2)
                 continue
             g = p.grad
             if self.weight_decay:
@@ -124,10 +185,44 @@ class Adam(Optimizer):
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def _step_sparse(
+        self,
+        p: Parameter,
+        m: np.ndarray,
+        v: np.ndarray,
+        sg: SparseRowGrad,
+        bias1: float,
+        bias2: float,
+    ) -> None:
+        rows, g = sg.rows, sg.values
+        if rows.size == 0:
+            return
+        if self.weight_decay:
+            g = g + self.weight_decay * np.take(p.data, rows, axis=0)
+        # np.take + in-place arithmetic: measurably faster than fancy
+        # indexing on the per-step row counts the models produce.
+        m_rows = np.take(m, rows, axis=0)
+        m_rows *= self.beta1
+        m_rows += (1.0 - self.beta1) * g
+        v_rows = np.take(v, rows, axis=0)
+        v_rows *= self.beta2
+        v_rows += (1.0 - self.beta2) * (g * g)
+        m[rows] = m_rows
+        v[rows] = v_rows
+        update = np.sqrt(v_rows / bias2)
+        update += self.eps
+        np.divide(m_rows, update, out=update)
+        update *= self.lr / bias1
+        p.data[rows] -= update
+
 
 class Adagrad(Optimizer):
     """Adagrad — per-coordinate adaptive rates; effective for sparse
-    embedding gradients where rare ids need larger steps."""
+    embedding gradients where rare ids need larger steps.
+
+    The sparse branch is *exactly* the dense update: an untouched row has a
+    zero gradient, which leaves both the accumulator and the weights alone.
+    """
 
     def __init__(self, params: list[Parameter], lr: float = 0.01, eps: float = 1e-10) -> None:
         super().__init__(params, lr)
@@ -136,15 +231,31 @@ class Adagrad(Optimizer):
 
     def step(self) -> None:
         for p, acc in zip(self.params, self._acc):
-            if p.grad is None:
+            if p.raw_grad is None:
+                continue
+            sg = p.sparse_grad
+            if sg is not None:
+                self._step_sparse(p, acc, sg)
                 continue
             acc += p.grad * p.grad
             p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
 
+    def _step_sparse(self, p: Parameter, acc: np.ndarray, sg: SparseRowGrad) -> None:
+        rows, g = sg.rows, sg.values
+        if rows.size == 0:
+            return
+        acc_rows = acc[rows] + g * g
+        acc[rows] = acc_rows
+        p.data[rows] -= self.lr * g / (np.sqrt(acc_rows) + self.eps)
+
 
 class RMSProp(Optimizer):
     """RMSProp (Hinton) — exponentially decayed squared-gradient scaling,
-    with optional momentum on the scaled update (TensorFlow semantics)."""
+    with optional momentum on the scaled update (TensorFlow semantics).
+
+    Sparse grads get a lazy update (squared-average decay and momentum only
+    on touched rows), mirroring TF's sparse apply for RMSProp.
+    """
 
     def __init__(
         self,
@@ -167,7 +278,11 @@ class RMSProp(Optimizer):
 
     def step(self) -> None:
         for i, (p, sq) in enumerate(zip(self.params, self._sq)):
-            if p.grad is None:
+            if p.raw_grad is None:
+                continue
+            sg = p.sparse_grad
+            if sg is not None:
+                self._step_sparse(p, sq, self._vel[i] if self._vel is not None else None, sg)
                 continue
             sq *= self.rho
             sq += (1.0 - self.rho) * (p.grad * p.grad)
@@ -179,13 +294,40 @@ class RMSProp(Optimizer):
                 update = vel
             p.data -= update
 
+    def _step_sparse(
+        self, p: Parameter, sq: np.ndarray, vel: np.ndarray | None, sg: SparseRowGrad
+    ) -> None:
+        rows, g = sg.rows, sg.values
+        if rows.size == 0:
+            return
+        sq_rows = self.rho * sq[rows] + (1.0 - self.rho) * (g * g)
+        sq[rows] = sq_rows
+        update = self.lr * g / (np.sqrt(sq_rows) + self.eps)
+        if vel is not None:
+            vel_rows = self.momentum * vel[rows] + update
+            vel[rows] = vel_rows
+            update = vel_rows
+        p.data[rows] -= update
+
 
 def global_grad_norm(params: list[Parameter]) -> float:
-    """L2 norm of the concatenated gradients of ``params`` (None = zero)."""
+    """L2 norm of the concatenated gradients of ``params`` (None = zero).
+
+    Sparse grads contribute the norm of their coalesced rows — identical to
+    the dense norm, since untouched rows are exactly zero — without ever
+    materializing the table-shaped gradient.
+    """
     total = 0.0
     for p in params:
-        if p.grad is not None:
-            total += float(np.sum(p.grad.astype(np.float64) ** 2))
+        g = p.raw_grad
+        if g is None:
+            continue
+        if isinstance(g, SparseRowGrad):
+            # sparse_grad coalesces and caches back, so the optimizer step
+            # that follows a clip does not re-coalesce.
+            total += p.sparse_grad.sq_norm()
+        else:
+            total += float(np.sum(g.astype(np.float64) ** 2))
     return float(np.sqrt(total))
 
 
@@ -193,7 +335,8 @@ def clip_global_norm(params: list[Parameter], max_norm: float) -> float:
     """Scale all gradients so their global L2 norm is at most ``max_norm``.
 
     Returns the pre-clip norm.  This is the constant-l2-clip the paper's
-    DP setup uses (Appendix A.3).
+    DP setup uses (Appendix A.3).  Sparse grads are scaled in place on their
+    value rows (scaling is linear, so coalescing order does not matter).
     """
     if max_norm <= 0:
         raise ValueError("max_norm must be positive")
@@ -201,6 +344,11 @@ def clip_global_norm(params: list[Parameter], max_norm: float) -> float:
     if norm > max_norm:
         scale = max_norm / (norm + 1e-12)
         for p in params:
-            if p.grad is not None:
-                p.grad *= scale
+            g = p.raw_grad
+            if g is None:
+                continue
+            if isinstance(g, SparseRowGrad):
+                g.scale_(scale)
+            else:
+                g *= scale
     return norm

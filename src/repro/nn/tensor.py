@@ -8,8 +8,13 @@ topological order accumulating gradients.
 
 Design notes
 ------------
-* Gradients are plain ``numpy.ndarray``s, never Tensors — no higher-order
-  derivatives are needed for the paper.
+* Gradients are plain ``numpy.ndarray``s or row-sparse
+  :class:`repro.nn.sparse_grad.SparseRowGrad`s, never Tensors — no
+  higher-order derivatives are needed for the paper.  Embedding-table
+  gradients stay sparse through accumulation, clipping and the optimizer
+  step; reading ``.grad`` densifies lazily for backward compatibility,
+  while sparse-aware consumers use :attr:`Tensor.raw_grad` /
+  :attr:`Tensor.sparse_grad`.
 * All arithmetic is defined in :mod:`repro.nn.ops`; the dunder methods here
   delegate to it (imported lazily to avoid an import cycle).
 * ``float32`` is the default dtype, matching the paper's FP32 training and
@@ -24,6 +29,8 @@ import contextlib
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
+
+from repro.nn.sparse_grad import SparseRowGrad
 
 __all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled", "DEFAULT_DTYPE"]
 
@@ -66,7 +73,7 @@ def _as_array(data: object, dtype: np.dtype | None) -> np.ndarray:
 class Tensor:
     """A differentiable node: an ndarray plus the closure that backprops it."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("data", "_grad", "requires_grad", "_backward", "_parents")
 
     def __init__(
         self,
@@ -75,10 +82,47 @@ class Tensor:
         dtype: np.dtype | None = None,
     ) -> None:
         self.data: np.ndarray = _as_array(data, dtype)
-        self.grad: np.ndarray | None = None
+        self._grad: np.ndarray | SparseRowGrad | None = None
         self.requires_grad: bool = bool(requires_grad)
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
+
+    # -- gradient access -------------------------------------------------------
+
+    @property
+    def grad(self) -> np.ndarray | None:
+        """The accumulated gradient as a dense ndarray.
+
+        A sparse row gradient densifies (and is cached dense) on first
+        access, so legacy consumers — DP noise injection, tests, direct
+        ``p.grad`` math — keep working.  Sparse-aware code (the optimizers)
+        reads :attr:`raw_grad` instead and never pays the densification.
+        """
+        if isinstance(self._grad, SparseRowGrad):
+            self._grad = self._grad.to_dense(dtype=self.data.dtype)
+        return self._grad
+
+    @grad.setter
+    def grad(self, value: np.ndarray | SparseRowGrad | None) -> None:
+        self._grad = value
+
+    @property
+    def raw_grad(self) -> np.ndarray | SparseRowGrad | None:
+        """The gradient in whatever form it is held — no densification."""
+        return self._grad
+
+    @property
+    def sparse_grad(self) -> SparseRowGrad | None:
+        """The gradient as a coalesced :class:`SparseRowGrad`, if sparse.
+
+        Returns ``None`` when the gradient is dense or absent.  The
+        coalesced form is cached back, so repeated consumers (norm clipping
+        followed by the optimizer step) coalesce once.
+        """
+        if isinstance(self._grad, SparseRowGrad):
+            self._grad = self._grad.coalesce()
+            return self._grad
+        return None
 
     # -- graph construction (used by repro.nn.ops) ---------------------------
 
@@ -100,20 +144,43 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into ``self.grad`` (allocating on first touch)."""
+    def _accumulate(self, grad: np.ndarray | SparseRowGrad) -> None:
+        """Add ``grad`` into the held gradient (allocating on first touch).
+
+        Handles all four held/incoming combinations: dense+dense adds in
+        place, sparse+sparse merges lazily (coalescing is deferred to the
+        consumer), sparse+dense densifies the held sparse grad first, and
+        dense+sparse scatter-adds the incoming rows into the dense buffer —
+        so a table read by several lookups (e.g. both arms of a RankNet
+        pair) accumulates correctly whatever mix of forms arrives.
+        """
         if grad.shape != self.data.shape:
             raise ValueError(
                 f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
             )
-        if self.grad is None:
+        if isinstance(grad, SparseRowGrad):
+            if self._grad is None:
+                # No defensive copy here: the producer (embedding_lookup
+                # backward) already emits owned row/value buffers, so the
+                # incoming SparseRowGrad never aliases a live grad buffer.
+                self._grad = grad.astype(self.data.dtype)
+            elif isinstance(self._grad, SparseRowGrad):
+                self._grad = self._grad.merge(grad)
+            else:
+                grad.add_to_dense(self._grad)
+            return
+        if self._grad is None:
             # Copy: the incoming buffer may be reused by the producing op.
             if grad.dtype == self.data.dtype:
-                self.grad = grad.copy()
+                self._grad = grad.copy()
             else:
-                self.grad = grad.astype(self.data.dtype)
+                self._grad = grad.astype(self.data.dtype)
+        elif isinstance(self._grad, SparseRowGrad):
+            dense = self._grad.to_dense(dtype=self.data.dtype)
+            dense += grad
+            self._grad = dense
         else:
-            self.grad += grad
+            self._grad += grad
 
     # -- autodiff ------------------------------------------------------------
 
@@ -152,12 +219,14 @@ class Tensor:
 
         self._accumulate(grad)
         for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
+            if node._backward is not None and node._grad is not None:
+                # Interior nodes hold dense grads (only leaf tables receive
+                # sparse ones), so the closures always see an ndarray.
                 node._backward(node.grad)
                 # Interior activations are single-use; free their grad buffers
                 # eagerly so large models do not hold every activation grad.
                 if not isinstance(node, Parameter) and node is not self:
-                    node.grad = None
+                    node._grad = None
 
     def zero_grad(self) -> None:
         """Drop any accumulated gradient."""

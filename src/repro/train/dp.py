@@ -91,14 +91,20 @@ class DPTrainer(Trainer):
                 opt.zero_grad()
                 loss = softmax_cross_entropy(model(xb), yb)
                 loss.backward()
+                # clip_global_norm handles sparse embedding grads without
+                # densifying; the Gaussian mechanism below perturbs *every*
+                # coordinate, so sparse row-grads are densified here —
+                # unconditionally, so the σ=0 sweep origin trains with the
+                # same dense-Adam semantics as every σ>0 point (the DP path
+                # trades the sparse fast path for the privacy guarantee).
                 clip_global_norm(params, dp.l2_clip)
-                if dp.noise_multiplier > 0:
-                    scale = dp.noise_multiplier * dp.l2_clip / len(xb)
-                    for p in params:
-                        if p.grad is not None:
-                            p.grad += (
-                                self._noise_rng.standard_normal(p.grad.shape) * scale
-                            ).astype(p.grad.dtype)
+                scale = dp.noise_multiplier * dp.l2_clip / len(xb)
+                for p in params:
+                    g = p.grad  # property read densifies sparse row-grads
+                    if g is not None and dp.noise_multiplier > 0:
+                        g += (
+                            self._noise_rng.standard_normal(g.shape) * scale
+                        ).astype(g.dtype)
                 opt.step()
                 self.steps_taken += 1
                 epoch_loss += loss.item()

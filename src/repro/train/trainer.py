@@ -5,6 +5,11 @@ One :class:`Trainer` covers classification (§5.1) and pointwise ranking
 loop (Figure 3).  Early stopping monitors the validation metric and restores
 the best weights, mirroring the paper's train-to-convergence setup at a CPU
 budget.
+
+Embedding-table gradients flow through this loop row-sparse end-to-end
+(lookup backward → ``clip_global_norm`` → optimizer sparse apply; see
+DESIGN.md §5), so per-step cost scales with the batch, not the vocabulary —
+``benchmarks/bench_train_throughput.py`` measures the win.
 """
 
 from __future__ import annotations

@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.core.memcom import MEmComEmbedding
-from repro.core.uniqueness import audit_uniqueness, count_close_pairs
+from repro.core.uniqueness import (
+    _count_close_pairs_loop,
+    audit_uniqueness,
+    count_close_pairs,
+)
 
 
 def brute_force_close_pairs(values, tol):
@@ -31,6 +35,52 @@ class TestCountClosePairs:
     def test_negative_tolerance_rejected(self):
         with pytest.raises(ValueError):
             count_close_pairs(np.ones(3), -1.0)
+
+    def test_empty_and_singleton(self):
+        assert count_close_pairs(np.array([]), 0.1) == 0
+        assert count_close_pairs(np.array([3.0]), 0.1) == 0
+
+    def test_vectorized_matches_two_pointer_loop(self, rng):
+        """Regression: the searchsorted count equals the original Python
+        two-pointer sweep on random inputs (exact, including ties and
+        values landing exactly on the tolerance boundary)."""
+        for _ in range(50):
+            n = int(rng.integers(0, 200))
+            vals = rng.normal(0, rng.uniform(1e-4, 1.0), size=n)
+            if n and rng.random() < 0.5:
+                # Inject exact duplicates and boundary-distance pairs.
+                vals[: n // 2] = rng.choice(vals, size=n // 2)
+            tol = float(rng.uniform(0, 0.05))
+            assert count_close_pairs(vals, tol) == _count_close_pairs_loop(vals, tol)
+
+    def test_vectorized_exact_at_float_boundaries(self, rng):
+        """Large magnitudes + tiny tolerances put pairs within 1 ulp of the
+        boundary, where the rounded ``v - tol`` search key disagrees with
+        the reference loop's float-subtraction predicate unless corrected."""
+        for _ in range(300):
+            n = int(rng.integers(2, 60))
+            mag = 10.0 ** rng.uniform(-6, 7)
+            vals = mag + rng.normal(0, mag * 1e-11, size=n)
+            tol = float(abs(rng.normal(0, mag * 1e-11)))
+            assert count_close_pairs(vals, tol) == _count_close_pairs_loop(vals, tol)
+
+    def test_duplicate_runs_at_boundary_stay_fast(self, rng):
+        """Boundary correction must jump whole runs of equal values, not
+        step one element per pass — large duplicate runs near a rounding
+        boundary used to take minutes."""
+        import time
+
+        mag = 5.45e5
+        base = mag + rng.normal(0, mag * 1e-11, size=6)
+        vals = np.repeat(base, [20_000, 49_000, 30_000, 18_000, 25_000, 5_000])
+        tol = mag * 1e-11
+        start = time.perf_counter()
+        count = count_close_pairs(vals, tol)
+        # One-step correction took ~27s here; run-jumping takes ~10ms.  The
+        # generous bound keeps loaded CI runners from flaking while still
+        # failing decisively on the O(n·run-length) regression.
+        assert time.perf_counter() - start < 10.0
+        assert count == _count_close_pairs_loop(vals, tol)
 
 
 class TestAudit:

@@ -47,6 +47,21 @@ class TestElementwiseForward:
         np.testing.assert_allclose(ops.log(Tensor(x)).data, np.log(x), rtol=1e-6)
         np.testing.assert_allclose(ops.sqrt(Tensor(x)).data, np.sqrt(x), rtol=1e-6)
 
+    def test_muladd_matches_unfused(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(4, 3)))
+        b = Tensor(rng.normal(size=(4, 1)))
+        c = Tensor(rng.normal(size=(4, 1)))
+        np.testing.assert_allclose(
+            ops.muladd(a, b, c).data, a.data * b.data + c.data, rtol=1e-6
+        )
+
+    def test_muladd_addend_may_broadcast_wider(self):
+        # c broader than a*b: the fused in-place add must fall back cleanly.
+        out = ops.muladd(Tensor(np.ones((3, 1))), Tensor(np.ones((3, 1))), Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data, 2.0)
+
 
 class TestGradients:
     def test_add_with_broadcast(self):
@@ -56,6 +71,10 @@ class TestGradients:
     def test_sub_with_broadcast(self):
         a, b = _param((3, 4), 1), _param((3, 1), 2)
         check_gradients(lambda: ops.sum(ops.sub(a, b)), [a, b])
+
+    def test_muladd_with_broadcast(self):
+        a, b, c = _param((3, 4), 1), _param((3, 1), 2), _param((3, 1), 3)
+        check_gradients(lambda: ops.sum(ops.muladd(a, b, c)), [a, b, c])
 
     def test_mul_with_broadcast(self):
         a, b = _param((2, 3), 3), _param((3,), 4)

@@ -1,0 +1,204 @@
+"""SparseRowGrad representation + autograd integration (DESIGN.md §5)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ops
+from repro.nn.sparse_grad import SparseRowGrad, sparse_grads, sparse_grads_enabled
+from repro.nn.tensor import Parameter, Tensor
+
+
+def dense_reference(rows, values, shape):
+    out = np.zeros(shape, dtype=values.dtype)
+    np.add.at(out, rows, values)
+    return out
+
+
+class TestSparseRowGrad:
+    def test_coalesce_sums_duplicates(self):
+        rows = np.array([3, 1, 3, 3, 0])
+        vals = np.arange(10, dtype=np.float32).reshape(5, 2)
+        g = SparseRowGrad(rows, vals, (5, 2)).coalesce()
+        assert g.coalesced
+        np.testing.assert_array_equal(g.rows, [0, 1, 3])
+        np.testing.assert_allclose(g.to_dense(), dense_reference(rows, vals, (5, 2)))
+
+    def test_coalesce_sorts_when_already_unique(self):
+        rows = np.array([4, 0, 2])
+        vals = np.ones((3, 1), dtype=np.float32)
+        g = SparseRowGrad(rows, vals, (5, 1)).coalesce()
+        np.testing.assert_array_equal(g.rows, [0, 2, 4])
+        np.testing.assert_allclose(g.to_dense(), dense_reference(rows, vals, (5, 1)))
+
+    def test_merge_concatenates_with_sum_semantics(self):
+        a = SparseRowGrad(np.array([0, 1]), np.ones((2, 3), np.float32), (4, 3))
+        b = SparseRowGrad(np.array([1, 2]), 2 * np.ones((2, 3), np.float32), (4, 3))
+        merged = a.merge(b)
+        expected = a.to_dense() + b.to_dense()
+        np.testing.assert_allclose(merged.to_dense(), expected)
+
+    def test_add_to_dense_in_place(self):
+        dense = np.full((4, 2), 5.0, dtype=np.float32)
+        g = SparseRowGrad(np.array([1, 1]), np.ones((2, 2), np.float32), (4, 2))
+        g.add_to_dense(dense)
+        np.testing.assert_allclose(dense[1], 7.0)
+        np.testing.assert_allclose(dense[0], 5.0)
+
+    def test_sq_norm_coalesces_before_squaring(self):
+        # Two contributions of 1.0 to the same row must square as (1+1)² = 4,
+        # not 1² + 1² = 2.
+        g = SparseRowGrad(np.array([2, 2]), np.ones((2, 1), np.float32), (5, 1))
+        assert g.sq_norm() == pytest.approx(4.0)
+
+    def test_scale_is_linear(self):
+        rows = np.array([0, 0, 3])
+        vals = np.arange(6, dtype=np.float32).reshape(3, 2)
+        g = SparseRowGrad(rows, vals.copy(), (4, 2))
+        g.scale_(0.5)
+        np.testing.assert_allclose(g.to_dense(), 0.5 * dense_reference(rows, vals, (4, 2)))
+
+    def test_empty(self):
+        g = SparseRowGrad(np.array([], dtype=np.int64), np.zeros((0, 3), np.float32), (7, 3))
+        assert g.coalesce().rows.size == 0
+        assert g.sq_norm() == 0.0
+        np.testing.assert_array_equal(g.to_dense(), np.zeros((7, 3)))
+
+    def test_nnz_rows(self):
+        g = SparseRowGrad(np.array([1, 1, 4]), np.ones((3, 1), np.float32), (6, 1))
+        assert g.nnz_rows == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparseRowGrad(np.zeros((2, 2), dtype=np.int64), np.ones((2, 2)), (4, 2))
+        with pytest.raises(TypeError):
+            SparseRowGrad(np.array([0.5]), np.ones((1, 2)), (4, 2))
+        with pytest.raises(ValueError):
+            SparseRowGrad(np.array([0]), np.ones((1, 3)), (4, 2))
+        with pytest.raises(ValueError):
+            SparseRowGrad(np.array([0]), np.ones((1, 2)), (4, 2, 1))
+        with pytest.raises(ValueError):
+            a = SparseRowGrad(np.array([0]), np.ones((1, 2), np.float32), (4, 2))
+            a.merge(SparseRowGrad(np.array([0]), np.ones((1, 2), np.float32), (5, 2)))
+
+
+class TestAutogradIntegration:
+    def test_lookup_backward_emits_sparse(self):
+        table = Parameter(np.ones((10, 4), dtype=np.float32))
+        idx = np.array([1, 3, 3])
+        out = ops.embedding_lookup(table, idx)
+        ops.sum(out).backward()
+        raw = table.raw_grad
+        assert isinstance(raw, SparseRowGrad)
+        assert raw.shape == (10, 4)
+
+    def test_grad_property_densifies_lazily(self):
+        table = Parameter(np.ones((6, 2), dtype=np.float32))
+        idx = np.array([0, 0, 5])
+        ops.sum(ops.embedding_lookup(table, idx)).backward()
+        assert isinstance(table.raw_grad, SparseRowGrad)
+        dense = table.grad  # explicit request densifies …
+        expected = np.zeros((6, 2), dtype=np.float32)
+        np.add.at(expected, idx, 1.0)
+        np.testing.assert_allclose(dense, expected)
+        # … and the densified form is cached for subsequent in-place math.
+        assert isinstance(table.raw_grad, np.ndarray)
+        table.grad *= 2.0
+        np.testing.assert_allclose(table.grad, 2 * expected)
+
+    def test_sparse_grad_accessor_coalesces_and_caches(self):
+        table = Parameter(np.ones((6, 2), dtype=np.float32))
+        ops.sum(ops.embedding_lookup(table, np.array([2, 2, 4]))).backward()
+        sg = table.sparse_grad
+        assert sg is not None and sg.coalesced
+        assert table.raw_grad is sg
+        dense = Parameter(np.ones(3, dtype=np.float32))
+        assert dense.sparse_grad is None
+
+    def test_matches_dense_path(self, rng):
+        idx = rng.integers(0, 20, size=(4, 7))
+        seed = rng.normal(size=(4, 7, 3)).astype(np.float32)
+
+        def run(sparse):
+            table = Parameter(rng.normal(size=(20, 3)).astype(np.float32))
+            table.data[:] = 1.0
+            with sparse_grads(sparse):
+                out = ops.embedding_lookup(table, idx)
+                out.backward(seed)
+            return table.grad
+
+        np.testing.assert_allclose(run(True), run(False), rtol=1e-5, atol=1e-6)
+
+    def test_two_lookups_merge_sparse(self):
+        """A table read twice (e.g. both arms of a RankNet pair) accumulates."""
+        table = Parameter(np.ones((8, 2), dtype=np.float32))
+        a = ops.embedding_lookup(table, np.array([1, 2]))
+        b = ops.embedding_lookup(table, np.array([2, 3]))
+        ops.sum(ops.add(a, b)).backward()
+        sg = table.sparse_grad
+        expected = np.zeros((8, 2), dtype=np.float32)
+        np.add.at(expected, [1, 2, 2, 3], 1.0)
+        np.testing.assert_allclose(sg.to_dense(), expected)
+
+    def test_sparse_plus_dense_accumulation(self):
+        """A table that feeds both a lookup and a dense op gets one correct
+        gradient whatever order the two contributions arrive in."""
+        table = Parameter(np.full((4, 2), 2.0, dtype=np.float32))
+        looked = ops.embedding_lookup(table, np.array([0, 0]))
+        dense_use = ops.mul(table, Tensor(3.0))
+        loss = ops.add(ops.sum(looked), ops.sum(dense_use))
+        loss.backward()
+        expected = np.full((4, 2), 3.0, dtype=np.float32)
+        expected[0] += 2.0
+        np.testing.assert_allclose(table.grad, expected)
+
+    def test_empty_batch_backward(self):
+        table = Parameter(np.ones((5, 3), dtype=np.float32))
+        out = ops.embedding_lookup(table, np.zeros((0,), dtype=np.int64))
+        ops.sum(out).backward()
+        sg = table.sparse_grad
+        assert sg is not None and sg.rows.size == 0
+        np.testing.assert_array_equal(table.grad, np.zeros((5, 3)))
+
+    def test_toggle_restores_state(self):
+        assert sparse_grads_enabled()
+        with sparse_grads(False):
+            assert not sparse_grads_enabled()
+            with sparse_grads(True):
+                assert sparse_grads_enabled()
+            assert not sparse_grads_enabled()
+        assert sparse_grads_enabled()
+
+    def test_repeated_backward_matches_dense_path(self):
+        """backward() twice on a lookup output: the root's grad buffer is
+        never freed, so the stored sparse values must not alias it (aliasing
+        double-counted the first contribution).  The oracle is the dense
+        path — both inherit the engine's root-seed accumulation semantics."""
+
+        def run(sparse):
+            table = Parameter(np.ones((6, 2), dtype=np.float32))
+            with sparse_grads(sparse):
+                out = ops.embedding_lookup(table, np.array([0, 1]))
+                seed = np.ones_like(out.data)
+                out.backward(seed)
+                out.backward(seed)
+            return table.grad
+
+        np.testing.assert_allclose(run(True), run(False))
+
+    def test_index_buffer_reuse_between_backward_and_step(self):
+        """Refilling a preallocated id buffer after backward() must not
+        retarget the gradient rows (the sparse grad snapshots the ids)."""
+        table = Parameter(np.ones((10, 2), dtype=np.float32))
+        buf = np.array([1, 2])
+        ops.sum(ops.embedding_lookup(table, buf)).backward()
+        buf[:] = [7, 8]  # next batch loaded into the same buffer
+        dense = table.grad
+        np.testing.assert_allclose(dense[[1, 2]], 1.0)
+        np.testing.assert_allclose(dense[[7, 8]], 0.0)
+
+    def test_zero_grad_clears_sparse(self):
+        table = Parameter(np.ones((5, 2), dtype=np.float32))
+        ops.sum(ops.embedding_lookup(table, np.array([1]))).backward()
+        assert table.raw_grad is not None
+        table.zero_grad()
+        assert table.raw_grad is None

@@ -38,6 +38,30 @@ class TestDPTrainer:
         assert hist.train_loss[-1] < hist.train_loss[0]
         assert trainer.steps_taken > 0
 
+    def test_zero_noise_uses_dense_optimizer_semantics(self, tiny_classification_dataset):
+        """Every Figure 5 sweep point — including the σ=0 origin — must train
+        with dense Adam: the σ>0 points densify via noise injection, so the
+        origin densifies too or the curve conflates privacy noise with
+        lazy-vs-dense Adam drift."""
+        from repro.nn.optim import Adam
+        from repro.nn.sparse_grad import SparseRowGrad
+
+        ds = tiny_classification_dataset
+        trainer = DPTrainer(TrainConfig(epochs=1, batch_size=64, lr=3e-3), DPConfig(0.0))
+        seen: list[bool] = []
+        original = Adam.step
+
+        def spying_step(self):
+            seen.extend(isinstance(p.raw_grad, SparseRowGrad) for p in self.params)
+            return original(self)
+
+        Adam.step = spying_step
+        try:
+            trainer.fit(_model(ds.spec), ds.x_train, ds.y_train)
+        finally:
+            Adam.step = original
+        assert seen and not any(seen)
+
     def test_heavy_noise_degrades_metric(self, tiny_classification_dataset):
         ds = tiny_classification_dataset
         cfg = TrainConfig(epochs=3, batch_size=64, lr=3e-3, seed=0)
