@@ -68,6 +68,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--seed", type=int, default=0)
     p_train.set_defaults(func=_cmd_train)
 
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="measure batched serving throughput (requests/sec) under Zipf traffic",
+    )
+    p_serve.add_argument(
+        "--technique", choices=["memcom", "full", "tt_rec", "factorized"], default="memcom",
+        help="embedding technique of the served model",
+    )
+    p_serve.add_argument("--vocab", type=int, default=50_000)
+    p_serve.add_argument("--embedding-dim", type=int, default=64)
+    p_serve.add_argument("--input-length", type=int, default=32)
+    p_serve.add_argument("--num-items", type=int, default=100, help="output catalog size")
+    p_serve.add_argument(
+        "--hash-fraction", type=int, default=16,
+        help="MEmCom hash size = vocab / fraction",
+    )
+    p_serve.add_argument("--requests", type=int, default=4096)
+    p_serve.add_argument("--batch-size", type=int, default=64)
+    p_serve.add_argument(
+        "--cache-rows", type=int, default=4096,
+        help="LRU hot-row cache capacity (composed embedding rows)",
+    )
+    p_serve.add_argument("--shards", type=int, default=4, help="shard count for the sharded run")
+    p_serve.add_argument("--alpha", type=float, default=1.1, help="Zipf exponent of the traffic")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(func=_cmd_serve_bench)
+
     return parser
 
 
@@ -151,6 +178,84 @@ def _cmd_train(args: argparse.Namespace) -> int:
         ["dataset", "technique", "hyper", "params", metric_name],
         [(args.dataset, args.technique, str(hyper), params, f"{metric:.4f}")],
     ))
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    # Import lazily: serving pulls in the model stack.
+    from repro.models.builder import build_pointwise_ranker, shard_model
+    from repro.serve.bench import measure_throughput, zipf_requests
+    from repro.serve.engine import InferenceEngine
+
+    hyper = {
+        "memcom": {"num_hash_embeddings": max(2, args.vocab // args.hash_fraction)},
+        "tt_rec": {"tt_rank": max(2, args.embedding_dim // 8)},
+        "factorized": {"hidden_dim": max(2, args.embedding_dim // 4)},
+        "full": {},
+    }[args.technique]
+    shardable = args.technique in ("memcom", "full")
+
+    def build():
+        # Weights are untrained — throughput depends on shapes, not values.
+        return build_pointwise_ranker(
+            args.technique,
+            args.vocab,
+            args.num_items,
+            input_length=args.input_length,
+            embedding_dim=args.embedding_dim,
+            rng=args.seed,
+            **hyper,
+        )
+
+    requests = zipf_requests(
+        args.vocab, args.input_length, args.requests, alpha=args.alpha, rng=args.seed
+    )
+    num_batches = max(1, args.requests // args.batch_size)
+    # Cached engines warm for half the traffic so the timed window measures
+    # the steady-state hit rate, not the cold fill (DESIGN.md §6 protocol).
+    warm_uncached = max(1, num_batches // 16)
+    warm_cached = max(1, num_batches // 2)
+    configs = [
+        ("monolithic", InferenceEngine(build()), warm_uncached),
+        (
+            "monolithic+cache",
+            InferenceEngine(build(), cache_rows=args.cache_rows),
+            warm_cached,
+        ),
+    ]
+    if shardable:
+        configs += [
+            (
+                f"sharded x{args.shards}",
+                InferenceEngine(shard_model(build(), args.shards)),
+                warm_uncached,
+            ),
+            (
+                f"sharded x{args.shards}+cache",
+                InferenceEngine(shard_model(build(), args.shards), cache_rows=args.cache_rows),
+                warm_cached,
+            ),
+        ]
+    reports = [
+        measure_throughput(
+            engine, requests, batch_size=args.batch_size, label=label,
+            warmup_batches=warm,
+        )
+        for label, engine, warm in configs
+    ]
+    print(format_table(
+        ["engine", "requests", "batch", "req/s", "ms/batch", "cache hit"],
+        [r.row() for r in reports],
+        title=(
+            f"serve-bench: {args.technique} pointwise, v={args.vocab}, "
+            f"e={args.embedding_dim}, L={args.input_length}, Zipf({args.alpha})"
+        ),
+    ))
+    base, cached = reports[0], reports[1]
+    print(
+        f"\ncached vs uncached: {cached.requests_per_sec / base.requests_per_sec:.2f}× "
+        f"requests/sec at {100.0 * (cached.cache_hit_rate or 0.0):.1f}% hit rate"
+    )
     return 0
 
 

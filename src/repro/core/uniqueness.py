@@ -62,14 +62,29 @@ def count_close_pairs(values: np.ndarray, tolerance: float) -> int:
     ``left(j)`` is the first index with ``v[i] >= v[j] − tol`` — one
     ``np.searchsorted`` of the array against its shifted self replaces the
     former O(v) Python two-pointer sweep (kept as
-    :func:`_count_close_pairs_loop` for the regression test) while counting
+    :func:`_count_close_pairs_loop` for the regression tests) while counting
     exactly the same pairs.
+
+    Non-finite values (a diverged multiplier is still auditable data):
+    **NaN** is within tolerance of nothing, itself included, and contributes
+    no pairs — it is dropped up front, which also keeps the sorted-array
+    boundary search well-defined (NaNs sort last and would otherwise poison
+    the searchsorted invariant).  **Equal infinities** are distance 0 and
+    count as close; an infinity and any finite value are never close.
+    ``tests/core/test_close_pairs_edges.py`` pins these edges against the
+    loop and a brute-force reference.
     """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
-    v = np.sort(np.asarray(values, dtype=np.float64))
+    v = np.asarray(values, dtype=np.float64)
+    v = np.sort(v[~np.isnan(v)])
     if v.size < 2:
         return 0
+    if np.isinf(tolerance):
+        # Every pair is within an infinite tolerance — and the shifted
+        # search below would produce inf − inf = NaN keys, which break the
+        # sorted-search invariant.
+        return v.size * (v.size - 1) // 2
     left = np.searchsorted(v, v - tolerance, side="left")
     idx = np.arange(v.size)
     # ``v - tolerance`` rounds, so near the boundary the candidate can sit
@@ -78,30 +93,39 @@ def count_close_pairs(values: np.ndarray, tolerance: float) -> int:
     # until it agrees exactly, jumping over whole runs of equal values per
     # pass (the predicate depends on ``v[i]`` only, so a run flips as one) —
     # passes are bounded by distinct values crossed, almost always 0.
-    while True:
-        over = (left < idx) & (v - v[left] > tolerance)
-        if not over.any():
-            break
-        left[over] = np.searchsorted(v, v[left[over]], side="right")
-    while True:
-        expand = (left > 0) & (v - v[np.maximum(left - 1, 0)] <= tolerance)
-        if not expand.any():
-            break
-        left[expand] = np.searchsorted(v, v[left[expand] - 1], side="left")
+    # ``inf − inf = NaN`` compares false on both predicates, which is what
+    # keeps equal-infinity runs intact (distance 0, close).
+    with np.errstate(invalid="ignore"):
+        while True:
+            over = (left < idx) & (v - v[left] > tolerance)
+            if not over.any():
+                break
+            left[over] = np.searchsorted(v, v[left[over]], side="right")
+        while True:
+            expand = (left > 0) & (v - v[np.maximum(left - 1, 0)] <= tolerance)
+            if not expand.any():
+                break
+            left[expand] = np.searchsorted(v, v[left[expand] - 1], side="left")
     return int((idx - left).sum())
 
 
 def _count_close_pairs_loop(values: np.ndarray, tolerance: float) -> int:
-    """Reference implementation: the original Python two-pointer sweep."""
+    """Reference implementation: the original Python two-pointer sweep.
+
+    Shares :func:`count_close_pairs`' non-finite semantics (NaNs dropped;
+    ``inf − inf = NaN > tol`` is false, so equal infinities stay close).
+    """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
-    v = np.sort(np.asarray(values, dtype=np.float64))
+    v = np.asarray(values, dtype=np.float64)
+    v = np.sort(v[~np.isnan(v)])
     close = 0
     left = 0
-    for j in range(v.size):
-        while v[j] - v[left] > tolerance:
-            left += 1
-        close += j - left
+    with np.errstate(invalid="ignore"):
+        for j in range(v.size):
+            while v[j] - v[left] > tolerance:
+                left += 1
+            close += j - left
     return close
 
 

@@ -23,14 +23,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.base import CompressedEmbedding
-from repro.core.full import FullEmbedding
+from repro.core.full import FullEmbedding, ShardedFullEmbedding
 from repro.core.hashing import (
     DoubleHashEmbedding,
     FrequencyDoubleHashEmbedding,
     NaiveHashEmbedding,
 )
 from repro.core.low_rank import FactorizedEmbedding, ReducedDimEmbedding
-from repro.core.memcom import MEmComEmbedding
+from repro.core.memcom import MEmComEmbedding, ShardedMEmComEmbedding
 from repro.core.mixed_dim import MixedDimEmbedding
 from repro.core.onehot import HashedOneHotEncoder
 from repro.core.quotient_remainder import QREmbedding
@@ -134,6 +134,10 @@ def _export_embedding(
     em: ExportedModel, emb: CompressedEmbedding, b: int, length: int
 ) -> int:
     """Emit the embedding stage's weights+ops; returns the output width."""
+    if isinstance(emb, (ShardedMEmComEmbedding, ShardedFullEmbedding)):
+        # Sharding is a host-side training/serving layout; a single device
+        # ships the reassembled tables, so export the monolithic form.
+        emb = emb.to_monolithic()
     e = emb.output_dim
     act = b * length * e * _F32
 

@@ -1,0 +1,24 @@
+"""`repro.serve` — batched inference serving over frozen models.
+
+The request-time half of the ROADMAP's north star: freeze a trained model
+into a forward-only NumPy plan (:class:`InferenceEngine`), coalesce many
+single requests into batched lookups (:class:`Batcher`), and absorb Zipf
+traffic with an LRU hot-row cache (:class:`LRUCache`).  Sharded tables
+(:mod:`repro.nn.sharding`) serve through the same routed gather they train
+with.  See DESIGN.md §6 and ``repro serve-bench``.
+"""
+
+from repro.serve.batcher import Batcher, PendingRequest
+from repro.serve.bench import ServeReport, measure_throughput, zipf_requests
+from repro.serve.cache import LRUCache
+from repro.serve.engine import InferenceEngine
+
+__all__ = [
+    "Batcher",
+    "InferenceEngine",
+    "LRUCache",
+    "PendingRequest",
+    "ServeReport",
+    "measure_throughput",
+    "zipf_requests",
+]

@@ -1,0 +1,101 @@
+"""Request coalescing: many single requests → one batched engine call.
+
+Serving traffic arrives as independent requests (one user's id sequence, or
+a single id when ``input_length`` is 1).  Running the engine per request
+wastes the substrate's vectorization; the :class:`Batcher` queues requests
+and serves the whole queue in ``(max_batch, L)`` stacked batches, then
+hands each request exactly the score row it would have received alone —
+coalescing changes throughput, never results
+(``tests/serve/test_batcher_cache.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.engine import InferenceEngine
+
+__all__ = ["Batcher", "PendingRequest"]
+
+
+class PendingRequest:
+    """A submitted request; ``result`` is populated by the next ``flush()``."""
+
+    __slots__ = ("ids", "result")
+
+    def __init__(self, ids: np.ndarray) -> None:
+        self.ids = ids
+        self.result: np.ndarray | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+
+class Batcher:
+    """Coalesce single requests into batched :meth:`InferenceEngine.predict` calls."""
+
+    def __init__(self, engine: InferenceEngine, max_batch: int = 256) -> None:
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self._pending: list[PendingRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, ids: np.ndarray | int) -> PendingRequest:
+        """Queue one request: an ``(input_length,)`` id sequence, or a bare
+        id when the model's input length is 1.
+
+        Invalid requests are rejected *here* — shape and id range — so one
+        bad request can never poison a later batched flush for everyone
+        coalesced with it.
+        """
+        ids = np.asarray(ids)
+        if ids.ndim == 0:
+            ids = ids[None]
+        if ids.ndim != 1 or ids.shape[0] != self.engine.input_length:
+            raise ValueError(
+                f"request must be ({self.engine.input_length},) ids, got shape {ids.shape}"
+            )
+        if ids.size and (ids.min() < 0 or ids.max() >= self.engine.vocab_size):
+            raise ValueError(
+                f"request ids out of range [0, {self.engine.vocab_size}): "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        request = PendingRequest(ids)
+        self._pending.append(request)
+        return request
+
+    def flush(self) -> list[np.ndarray]:
+        """Serve every pending request in ``max_batch``-sized stacked batches.
+
+        Returns the per-request score rows in submission order (also set on
+        each request's ``.result``) and clears the queue.  Results are
+        assigned per sub-batch as computed; if the engine fails mid-flush,
+        already-served requests keep their results and the unserved
+        remainder goes back on the queue.
+        """
+        pending, self._pending = self._pending, []
+        if not pending:
+            return []
+        batch = np.stack([r.ids for r in pending])
+        results: list[np.ndarray] = []
+        for start in range(0, batch.shape[0], self.max_batch):
+            try:
+                scores = self.engine.predict(batch[start : start + self.max_batch])
+            except Exception:
+                self._pending = pending[start:] + self._pending
+                raise
+            for request, row in zip(pending[start:], scores):
+                request.result = row
+            results.extend(scores)
+        return results
+
+    def serve(self, requests) -> list[np.ndarray]:
+        """Convenience: submit an iterable of requests and flush once."""
+        for ids in requests:
+            self.submit(ids)
+        return self.flush()

@@ -1,0 +1,110 @@
+"""Serving-throughput measurement under Zipf traffic.
+
+The measurement protocol: generate ``num_requests`` independent requests
+whose ids follow the bounded Zipf law of the paper's §4 (head entities
+dominate — the regime the LRU hot-row cache exploits), stream them through
+a :class:`~repro.serve.batcher.Batcher` one batch at a time, and report
+steady-state requests/sec.  A warmup pass (untimed) primes allocator pools
+and the cache, so cached numbers reflect the steady hit rate rather than a
+cold start — the same convention the on-device cost model uses
+("initialization/compilation excluded", §5.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.zipf import ZipfSampler
+from repro.serve.batcher import Batcher
+from repro.serve.engine import InferenceEngine
+from repro.utils.rng import ensure_rng
+
+__all__ = ["ServeReport", "zipf_requests", "measure_throughput"]
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Wall-clock serving outcome for one engine configuration."""
+
+    label: str
+    num_requests: int
+    batch_size: int
+    elapsed_s: float
+    requests_per_sec: float
+    mean_batch_latency_ms: float
+    #: LRU hit rate over the timed window, or None when uncached
+    cache_hit_rate: float | None = None
+
+    def row(self) -> tuple:
+        """(label, requests, batch, req/s, ms/batch, hit%) for table rendering."""
+        hit = f"{100.0 * self.cache_hit_rate:.1f}%" if self.cache_hit_rate is not None else "—"
+        return (
+            self.label,
+            self.num_requests,
+            self.batch_size,
+            f"{self.requests_per_sec:,.0f}",
+            f"{self.mean_batch_latency_ms:.2f}",
+            hit,
+        )
+
+
+def zipf_requests(
+    vocab: int,
+    input_length: int,
+    num_requests: int,
+    alpha: float = 1.1,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """``(num_requests, input_length)`` ids drawn from bounded Zipf(alpha)."""
+    sampler = ZipfSampler(vocab, alpha)
+    return sampler.sample(ensure_rng(rng), (num_requests, input_length))
+
+
+def measure_throughput(
+    engine: InferenceEngine,
+    requests: np.ndarray,
+    batch_size: int = 64,
+    label: str = "engine",
+    warmup_batches: int = 1,
+) -> ServeReport:
+    """Stream ``requests`` through a Batcher; report steady-state req/s.
+
+    The first ``warmup_batches`` batches run untimed (cache/allocator
+    warmup); the remaining requests are timed batch by batch.
+    """
+    requests = np.asarray(requests)
+    if requests.ndim != 2:
+        raise ValueError(f"requests must be (R, L), got shape {requests.shape}")
+    batcher = Batcher(engine, max_batch=batch_size)
+    warm = min(warmup_batches * batch_size, requests.shape[0])
+    for ids in requests[:warm]:
+        batcher.submit(ids)
+    batcher.flush()
+
+    timed = requests[warm:]
+    if timed.shape[0] == 0:
+        raise ValueError("no timed requests left after warmup; lower warmup_batches")
+    if engine.cache is not None:
+        # Hit rate should describe the timed window, not the cold warmup.
+        engine.cache.hits = engine.cache.misses = 0
+    num_batches = 0
+    start = time.perf_counter()
+    for batch_start in range(0, timed.shape[0], batch_size):
+        for ids in timed[batch_start : batch_start + batch_size]:
+            batcher.submit(ids)
+        batcher.flush()
+        num_batches += 1
+    elapsed = time.perf_counter() - start
+
+    return ServeReport(
+        label=label,
+        num_requests=int(timed.shape[0]),
+        batch_size=batch_size,
+        elapsed_s=elapsed,
+        requests_per_sec=timed.shape[0] / elapsed,
+        mean_batch_latency_ms=1e3 * elapsed / num_batches,
+        cache_hit_rate=engine.cache.hit_rate if engine.cache is not None else None,
+    )

@@ -1,0 +1,173 @@
+"""LRU hot-row cache for embedding serving.
+
+Request traffic over a frequency-sorted vocabulary is Zipf-distributed
+(§4 of the paper), so a small cache of composed embedding rows absorbs most
+lookups: the head ids recur in nearly every batch.  The cache stores *final*
+per-id embedding vectors (for MEmCom, ``U[i mod m] ⊙ V[i] + W[i]`` already
+composed), keyed on the raw id.
+
+The layout is built so the hot path is pure vectorized NumPy:
+
+* rows live in one preallocated ``(capacity, dim)`` array, so a batch of
+  hits assembles with a single fancy-index gather;
+* when the id universe is known (``id_range``, the serving engine always
+  passes the vocabulary size), the id→slot map is a flat int32 array and a
+  batch lookup is one gather — no per-id Python at all.  Without
+  ``id_range`` a dict map is used (generic, slower);
+* recency is a per-slot timestamp updated vectorized, and eviction picks
+  the least-recent slots with one ``argpartition`` per insert.  This is
+  exact LRU at *batch* granularity: every id touched by the same lookup
+  call shares a timestamp (ties broken arbitrarily), which is the natural
+  grain when requests arrive batched.
+
+Stored rows are exact copies of the computed rows, which is what makes the
+hit path bit-identical to the miss path
+(``tests/serve/test_batcher_cache.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Fixed-capacity LRU of embedding rows keyed by integer id."""
+
+    def __init__(
+        self,
+        capacity: int,
+        dim: int,
+        dtype: np.dtype = np.float32,
+        id_range: int | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        if dim <= 0:
+            raise ValueError(f"row dim must be positive, got {dim}")
+        self.capacity = int(capacity)
+        self.dim = int(dim)
+        self._store = np.empty((capacity, dim), dtype=dtype)
+        #: vectorized id→slot map when the universe is known, else a dict
+        self._map: np.ndarray | None = (
+            np.full(int(id_range), -1, dtype=np.int32) if id_range is not None else None
+        )
+        self._slot: dict[int, int] = {}
+        #: id occupying each slot (−1 = free); mirrors the map for eviction
+        self._slot_id = np.full(capacity, -1, dtype=np.int64)
+        #: batch-granularity recency: tick of the last lookup/insert touch
+        self._last_used = np.full(capacity, -1, dtype=np.int64)
+        self._next_free = 0  # slots [next_free, capacity) never used yet
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._slot) if self._map is None else int(np.count_nonzero(self._map >= 0))
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of looked-up ids served from the cache (0 if unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Slot of each id, or −1 for a miss; hits are marked most-recent.
+
+        ``ids`` may contain duplicates (stats count per occurrence; the
+        engine looks up per lookup occurrence and coalesces misses only).
+        """
+        self._tick += 1
+        ids = np.asarray(ids)
+        if self._map is not None:
+            slots = self._map[ids].astype(np.int64)
+        else:
+            slot_map = self._slot
+            slots = np.fromiter(
+                (slot_map.get(i, -1) for i in ids.tolist()),
+                dtype=np.int64,
+                count=ids.size,
+            )
+        hit = slots >= 0
+        n_hits = int(np.count_nonzero(hit))
+        self.hits += n_hits
+        self.misses += ids.size - n_hits
+        if n_hits:
+            self._last_used[slots[hit]] = self._tick
+        return slots
+
+    def rows(self, slots: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Gather stored rows by slot (callers filter out −1 first)."""
+        return self._store.take(slots, axis=0, out=out)
+
+    def insert(self, ids: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Store freshly computed rows, evicting least-recent ids as needed.
+
+        ``ids`` must be unique within the call and not already cached (the
+        engine coalesces and inserts misses only).  Returns the slot
+        assigned to each id, or −1 where a row was *not* stored — eviction
+        never touches a slot used in the current tick (the rows a batch hit
+        must stay valid until the batch assembles), so when the incoming
+        rows outnumber the older slots the overflow is dropped.  Ids come in
+        ascending order from the engine's coalescing, which on a
+        frequency-sorted vocabulary means the overflow that drops is the
+        least-popular tail.
+        """
+        ids = np.asarray(ids)
+        rows = np.asarray(rows)
+        k = int(ids.size)
+        if rows.shape != (k, self.dim):
+            raise ValueError(f"rows shape {rows.shape} != ({k}, {self.dim})")
+        out_slots = np.full(k, -1, dtype=np.int64)
+        if k == 0:
+            return out_slots
+        n_fresh = min(self.capacity - self._next_free, k)
+        fresh = np.arange(self._next_free, self._next_free + n_fresh)
+        self._next_free += n_fresh
+        n_evict = min(k, self.capacity) - n_fresh
+        if n_evict:
+            # Least-recently-used slots, found in one vectorized pass.  Two
+            # exclusions: the slots just allocated above (their
+            # ``_last_used`` is only written below) and any slot touched in
+            # the current tick (a row this batch already hit).
+            order_key = self._last_used.copy()
+            if n_fresh:
+                order_key[fresh] = np.iinfo(np.int64).max
+            evictable = int(np.count_nonzero(order_key < self._tick))
+            n_evict = min(n_evict, evictable)
+        if n_evict:
+            victims = np.argpartition(order_key, n_evict - 1)[:n_evict]
+            evicted = self._slot_id[victims]
+            if self._map is not None:
+                self._map[evicted] = -1
+            else:
+                for old_id in evicted.tolist():
+                    del self._slot[old_id]
+            self.evictions += n_evict
+            slots = np.concatenate([fresh, victims]) if n_fresh else victims
+        else:
+            slots = fresh
+        stored = n_fresh + n_evict
+        ids, rows = ids[:stored], rows[:stored]
+        out_slots[:stored] = slots
+        self._store[slots] = rows
+        self._slot_id[slots] = ids
+        self._last_used[slots] = self._tick
+        if self._map is not None:
+            self._map[ids] = slots
+        else:
+            slot_map = self._slot
+            for i, s in zip(ids.tolist(), slots.tolist()):
+                slot_map[i] = s
+        return out_slots
+
+    def clear(self) -> None:
+        if self._map is not None:
+            self._map.fill(-1)
+        self._slot.clear()
+        self._slot_id.fill(-1)
+        self._last_used.fill(-1)
+        self._next_free = 0
+        self._tick = 0

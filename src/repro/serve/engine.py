@@ -1,0 +1,345 @@
+"""Freeze a trained model into a forward-only NumPy serving plan.
+
+Training needs the autograd graph; serving does not.  ``InferenceEngine``
+walks a paper model once at construction, snapshots its weights, and builds
+a chain of plain-ndarray closures that mirror the eval-mode forward pass
+operation for operation (same primitives, same association order, same
+dtypes), so engine outputs match ``model.eval()`` + ``forward`` without
+paying graph construction per request — and keep matching after the live
+model trains on, because the plan owns copies of the weights.
+
+The embedding stage is the serving hot path and gets two extra mechanisms:
+
+* **Sharded tables** (:class:`repro.nn.sharding.ShardedTable`) are served
+  through the same routed per-shard gather they train with — the bytes read
+  are identical to a monolithic gather, the addressing is per-shard.
+* An optional **LRU hot-row cache** (:class:`repro.serve.cache.LRUCache`)
+  keyed on id stores *composed* embedding rows.  Each batch coalesces its
+  ids, serves hits from the cache, computes only the misses and inserts
+  them.  Because embedding composition is per-id (every technique except the
+  pooled one-hot encoder), a cached row is byte-for-byte the row the miss
+  path computes — Zipf traffic then skips most of the per-request embedding
+  arithmetic (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.core.memcom import MEmComEmbedding
+from repro.core.onehot import HashedOneHotEncoder
+from repro.models.classifier import EmbeddingClassifier
+from repro.models.pointwise import PointwiseRanker
+from repro.models.ranknet import RankNet
+from repro.nn.layers import BatchNorm, Dense
+from repro.nn.sharding import ShardedTable
+from repro.nn.tensor import no_grad
+from repro.serve.cache import LRUCache
+
+__all__ = ["InferenceEngine"]
+
+
+# -- frozen weight access -------------------------------------------------------
+
+
+class _RowScratch:
+    """Grow-only ``(n, dim)`` scratch reused across batches.
+
+    Serving allocates the same large row buffers every batch; recycling one
+    arena keeps the engine in steady state instead of bouncing on the
+    allocator's mmap threshold (which measurably bimodalizes batch latency).
+    The buffer is only valid until the next request for the same scratch.
+    """
+
+    __slots__ = ("dim", "dtype", "_arr")
+
+    def __init__(self, dim: int, dtype: np.dtype = np.float32) -> None:
+        self.dim = dim
+        self.dtype = dtype
+        self._arr: np.ndarray | None = None
+
+    def get(self, n: int) -> np.ndarray:
+        if self._arr is None or self._arr.shape[0] < n:
+            self._arr = np.empty((n, self.dim), self.dtype)
+        return self._arr[:n]
+
+
+def _freeze_table(table) -> "callable":
+    """Row getter over a snapshot of a Parameter or ShardedTable.
+
+    The getter accepts an optional preallocated ``out`` buffer.  Sharded
+    tables keep their partitioned layout: lookups route per shard, exactly
+    as a multi-host deployment would, returning the same bytes a monolithic
+    gather yields.
+    """
+    if isinstance(table, ShardedTable):
+        shards = [p.data.copy() for p in table.shards]
+        shard_of = table._shard_of.copy()
+        local_of = table._local_of.copy()
+        dim = table.num_cols
+        dtype = table.dtype
+
+        def take(ids: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+            if out is None:
+                out = np.empty((ids.size, dim), dtype=dtype)
+            sid = shard_of[ids]
+            loc = local_of[ids]
+            for s, arr in enumerate(shards):
+                sel = np.flatnonzero(sid == s)
+                if sel.size:
+                    out[sel] = arr[loc[sel]]
+            return out
+
+        return take
+    arr = table.data.copy()
+
+    def take_dense(ids: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        return arr.take(ids, axis=0, out=out)
+
+    return take_dense
+
+
+def _freeze_batch_norm(bn: BatchNorm) -> "callable":
+    """Eval-mode batch norm, mirroring the layer's op sequence exactly."""
+    inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
+    running_mean = bn.running_mean.copy()
+    gamma = bn.gamma.data.copy()
+    beta = bn.beta.data.copy()
+    return lambda x: ((x - running_mean) * inv_std) * gamma + beta
+
+
+def _freeze_dense(dense: Dense) -> "callable":
+    weight = dense.weight.data.copy()
+    bias = dense.bias.data.copy() if dense.bias is not None else None
+    activation = dense.activation
+
+    def apply(x: np.ndarray) -> np.ndarray:
+        out = x @ weight
+        if bias is not None:
+            out = out + bias
+        if activation == "relu":
+            out = np.maximum(out, 0.0)
+        elif activation == "tanh":
+            out = np.tanh(out)
+        elif activation == "sigmoid":
+            a = np.abs(out)
+            out = np.where(out >= 0, 1.0 / (1.0 + np.exp(-a)), np.exp(-a) / (1.0 + np.exp(-a))).astype(out.dtype)
+        return out
+
+    return apply
+
+
+def _pool_flatten(x: np.ndarray, pool_size: int) -> np.ndarray:
+    """AveragePooling1D + Flatten, as the models compose them."""
+    b, length, e = x.shape
+    return x.reshape(b, length // pool_size, pool_size, e).mean(axis=2).reshape(b, -1)
+
+
+class InferenceEngine:
+    """Forward-only serving plan for a classifier / pointwise / RankNet model.
+
+    Parameters
+    ----------
+    model:
+        A trained (or freshly built) paper model.  It is switched to eval
+        mode; its weights are snapshotted, so later training does not change
+        the plan.
+    cache_rows:
+        Capacity of the LRU hot-row cache (number of composed embedding
+        rows).  ``None`` disables caching.  Ignored for the pooled one-hot
+        encoder, whose output is not per-id.
+    """
+
+    def __init__(self, model, cache_rows: int | None = None) -> None:
+        if not hasattr(model, "embedding") or not hasattr(model, "input_length"):
+            raise TypeError(f"no serving plan for model type {type(model).__name__}")
+        model.eval()
+        self.model_name = type(model).__name__
+        self.input_length = model.input_length
+        self.requests_served = 0
+        self.batches_served = 0
+
+        emb = model.embedding
+        self.embedding_dim = emb.output_dim
+        self.vocab_size = int(
+            getattr(emb, "vocab_size", None) or emb.num_embeddings
+        )
+        self._embed_rows, self._embed_pooled = self._freeze_embedding(emb)
+        self._rows_scratch = _RowScratch(self.embedding_dim)
+        self.cache: LRUCache | None = None
+        if cache_rows is not None and self._embed_rows is not None:
+            self.cache = LRUCache(
+                cache_rows, self.embedding_dim, id_range=self.vocab_size
+            )
+        self._tower = self._freeze_tower(model)
+
+    # -- freezing --------------------------------------------------------------
+
+    def _freeze_embedding(self, emb):
+        """Return ``(row_fn, pooled_fn)`` — exactly one is non-None.
+
+        ``row_fn(flat_ids) -> (N, e)`` composes one row per id (cacheable);
+        ``pooled_fn(ids_2d) -> (B, e)`` is the fallback for encoders whose
+        output is not per-id (the hashed one-hot 'matrix approach').
+        """
+        if isinstance(emb, MEmComEmbedding):
+            shared = emb.shared.data.copy()
+            m = emb.num_hash_embeddings
+            take_mult = _freeze_table(emb.multiplier)
+            take_bias = _freeze_table(emb.bias_table) if emb.bias_table is not None else None
+
+            def rows(flat: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+                # Mirrors ops.muladd elementwise: U-row gather, in-place
+                # multiplier broadcast, in-place bias add.
+                out = shared.take(flat % m, axis=0, out=out)
+                np.multiply(out, take_mult(flat), out=out)
+                if take_bias is not None:
+                    np.add(out, take_bias(flat), out=out)
+                return out
+
+            return rows, None
+        from repro.core.full import FullEmbedding
+        from repro.nn.embedding import Embedding
+        from repro.nn.sharding import ShardedEmbedding
+
+        if isinstance(emb, (FullEmbedding, ShardedEmbedding)):
+            # Forward is exactly ``table[ids]`` for these (hash/truncate
+            # techniques remap ids first and take the module fallback below).
+            return _freeze_table(emb.table), None
+        if isinstance(emb, Embedding):
+            return _freeze_table(emb.weight), None
+        # Remaining techniques compose through the module itself.  Deep-copy
+        # it so the plan owns its weights like every other path — otherwise
+        # a cache filled before further training would mix stale cached rows
+        # with fresh live-weight composes in one batch.
+        frozen = copy.deepcopy(emb)
+        frozen.eval()
+
+        if isinstance(frozen, HashedOneHotEncoder):
+            def pooled(ids: np.ndarray) -> np.ndarray:
+                with no_grad():
+                    return frozen(ids).numpy()
+
+            return None, pooled
+
+        # Generic per-id fallback: every remaining technique composes rows
+        # independently per id, so this stays cache-compatible.
+        def rows_fallback(flat: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+            with no_grad():
+                return frozen(flat).numpy()  # module owns its buffers; out unused
+
+        return rows_fallback, None
+
+    def _freeze_tower(self, model):
+        pool = model.input_length  # all three models pool the full sequence
+
+        if isinstance(model, EmbeddingClassifier):
+            norm1 = _freeze_batch_norm(model.norm1)
+            hidden = _freeze_dense(model.hidden)
+            norm2 = _freeze_batch_norm(model.norm2)
+            out = _freeze_dense(model.out)
+
+            def tower(h: np.ndarray) -> np.ndarray:
+                if h.ndim == 3:
+                    h = _pool_flatten(h, pool)
+                h = np.maximum(h, 0.0)
+                return out(norm2(hidden(norm1(h))))
+
+            return tower
+
+        if isinstance(model, PointwiseRanker):
+            norm = _freeze_batch_norm(model.norm)
+            out = _freeze_dense(model.out)
+
+            def tower(h: np.ndarray) -> np.ndarray:
+                if h.ndim == 3:
+                    h = _pool_flatten(h, pool)
+                return out(norm(np.maximum(h, 0.0)))
+
+            return tower
+
+        if isinstance(model, RankNet):
+            norm = _freeze_batch_norm(model.norm)
+            items_t = model.item_table.data.T.copy()
+            item_bias = model.item_bias.data.reshape(-1).copy()
+
+            def tower(h: np.ndarray) -> np.ndarray:
+                if h.ndim == 3:
+                    h = _pool_flatten(h, pool)
+                user = norm(np.maximum(h, 0.0))
+                return user @ items_t + item_bias
+
+            return tower
+
+        raise TypeError(f"no serving plan for model type {type(model).__name__}")
+
+    # -- embedding with the hot-row cache --------------------------------------
+
+    def _embed(self, flat: np.ndarray) -> np.ndarray:
+        scratch = self._rows_scratch.get(flat.size)
+        if self.cache is None:
+            return self._embed_rows(flat, scratch)
+        # Misses — the Zipf tail — are coalesced, composed, and inserted
+        # first; the whole batch then assembles with ONE gather from the row
+        # store (the hit path's only per-request work).
+        slots = self.cache.lookup(flat)
+        miss_at = np.flatnonzero(slots < 0)
+        if not miss_at.size:
+            return self.cache.rows(slots, out=scratch)
+        miss_ids, inverse = np.unique(flat[miss_at], return_inverse=True)
+        inverse = inverse.ravel()
+        computed = self._embed_rows(miss_ids)
+        miss_slots = self.cache.insert(miss_ids, computed)
+        expanded = miss_slots[inverse]
+        slots[miss_at] = expanded
+        dropped = np.flatnonzero(expanded < 0)
+        if not dropped.size:
+            return self.cache.rows(slots, out=scratch)
+        # Rows the cache declined to store (overflow beyond the evictable
+        # slots): splice their computed values in directly.
+        out = self.cache.rows(np.where(slots >= 0, slots, 0), out=scratch)
+        out[miss_at[dropped]] = computed[inverse[dropped]]
+        return out
+
+    # -- serving ---------------------------------------------------------------
+
+    def predict(self, ids: np.ndarray) -> np.ndarray:
+        """Scores/logits for a ``(B, input_length)`` batch of id sequences.
+
+        Matches the eval-mode ``model.forward`` output on the same batch
+        (``tests/serve/test_engine.py`` pins the agreement per architecture
+        and technique).
+        """
+        ids = np.asarray(ids)
+        if ids.ndim == 1:
+            ids = ids[None, :]
+        if ids.ndim != 2 or ids.shape[1] != self.input_length:
+            raise ValueError(
+                f"expected (batch, {self.input_length}) ids, got shape {ids.shape}"
+            )
+        if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
+            raise IndexError(
+                f"id out of range [0, {self.vocab_size}): "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        if self._embed_pooled is not None:
+            h = self._embed_pooled(ids)
+        else:
+            rows = self._embed(ids.ravel())
+            h = rows.reshape(ids.shape + (self.embedding_dim,))
+        self.requests_served += ids.shape[0]
+        self.batches_served += 1
+        return self._tower(h)
+
+    def predict_one(self, ids: np.ndarray) -> np.ndarray:
+        """Scores for a single request (an ``(input_length,)`` id sequence)."""
+        return self.predict(np.asarray(ids)[None, :])[0]
+
+    def __repr__(self) -> str:
+        cache = f", cache={self.cache.capacity} rows" if self.cache else ""
+        return (
+            f"InferenceEngine({self.model_name}, L={self.input_length}, "
+            f"e={self.embedding_dim}{cache})"
+        )
