@@ -90,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-rows", type=int, default=4096,
         help="LRU hot-row cache capacity (composed embedding rows)",
     )
+    p_serve.add_argument(
+        "--cache-min-count", type=int, default=1,
+        help="cache admission: insert an id only after this many missed attempts",
+    )
+    p_serve.add_argument(
+        "--bits", type=int, choices=(32, 8, 4), default=32,
+        help="also serve the repro.quant integer-storage plan at this width "
+        "(quantized tables + cache of codes) alongside the FP32 engines",
+    )
     p_serve.add_argument("--shards", type=int, default=4, help="shard count for the sharded run")
     p_serve.add_argument("--alpha", type=float, default=1.1, help="Zipf exponent of the traffic")
     p_serve.add_argument("--seed", type=int, default=0)
@@ -219,7 +228,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         ("monolithic", InferenceEngine(build()), warm_uncached),
         (
             "monolithic+cache",
-            InferenceEngine(build(), cache_rows=args.cache_rows),
+            InferenceEngine(
+                build(), cache_rows=args.cache_rows, cache_min_count=args.cache_min_count
+            ),
             warm_cached,
         ),
     ]
@@ -236,6 +247,23 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 warm_cached,
             ),
         ]
+    if args.bits != 32:
+        # The repro.quant integer-storage plan: quantized tables served via
+        # fused gather→dequant, LRU cache of codes (DESIGN.md §7).
+        configs += [
+            (f"int{args.bits}", InferenceEngine(build(), bits=args.bits), warm_uncached),
+            (
+                f"int{args.bits}+cache",
+                InferenceEngine(
+                    build(),
+                    cache_rows=args.cache_rows,
+                    bits=args.bits,
+                    cache_min_count=args.cache_min_count,
+                ),
+                warm_cached,
+            ),
+        ]
+    engines = {label: engine for label, engine, _ in configs}
     reports = [
         measure_throughput(
             engine, requests, batch_size=args.batch_size, label=label,
@@ -256,6 +284,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"\ncached vs uncached: {cached.requests_per_sec / base.requests_per_sec:.2f}× "
         f"requests/sec at {100.0 * (cached.cache_hit_rate or 0.0):.1f}% hit rate"
     )
+    if args.bits != 32:
+        fp32_bytes = engines["monolithic"].table_resident_bytes()
+        q_bytes = engines[f"int{args.bits}"].table_resident_bytes()
+        print(
+            f"int{args.bits} table-resident bytes: {q_bytes:,} "
+            f"({q_bytes / fp32_bytes:.2f}× FP32's {fp32_bytes:,})"
+        )
     return 0
 
 

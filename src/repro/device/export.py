@@ -39,6 +39,7 @@ from repro.core.tt_rec import TTRecEmbedding
 from repro.models.classifier import EmbeddingClassifier
 from repro.models.pointwise import PointwiseRanker
 from repro.models.ranknet import RankNet
+from repro.quant.kernels import codes_bytes_per_row
 
 __all__ = ["WeightTensor", "Op", "ExportedModel", "export_model"]
 
@@ -66,7 +67,46 @@ class WeightTensor:
 
     @property
     def bytes(self) -> int:
-        return self.num_params * self.bits // 8
+        """Honest shipped size of the payload.
+
+        FP32/FP16 are plain dtype casts.  Integer modes (8/4/2 bits) price
+        what the :mod:`repro.quant` storage actually ships: each row's codes
+        ceil-packed to whole bytes plus one FP32 dequantization scale per
+        row — multi-column 2-D tables carry per-row scales, single columns
+        and 1-D vectors one per-tensor scale (the same layout rule
+        ``QuantizedTable`` uses).  Before this accounting the exporter
+        merely relabeled FP32 payload bits, so int4 "sizes" ignored both
+        packing granularity and scale overhead.
+        """
+        if self.bits >= 16:
+            return self.num_params * self.bits // 8
+        if len(self.shape) >= 2 and self.shape[1] > 1:
+            rows = self.shape[0]
+            row_elems = self.num_params // rows
+        else:
+            rows, row_elems = 1, self.num_params
+        # the storage runtime's own pricing, so export sizes can't drift
+        # from what repro.quant actually ships
+        return rows * codes_bytes_per_row(row_elems, self.bits)
+
+    @property
+    def row_width(self) -> int:
+        """Elements one gathered row reads (1 for columns/vectors)."""
+        return self.shape[1] if len(self.shape) >= 2 else 1
+
+    def gathered_row_bytes(self) -> int:
+        """Bytes one row gather moves at this payload width.
+
+        FP16/FP32 rows are plain element bytes.  Integer rows move their
+        ceil-packed codes plus the per-row scale; single-column tables
+        share one per-tensor scale, so a gathered row is just its codes —
+        floored at one whole byte (sub-byte reads don't exist)."""
+        d = self.row_width
+        if self.bits >= 16:
+            return d * self.bits // 8
+        if d > 1:
+            return codes_bytes_per_row(d, self.bits)
+        return -(-self.bits // 8)
 
 
 @dataclass(frozen=True)
@@ -92,6 +132,8 @@ class ExportedModel:
     batch_size: int
     ops: list[Op] = field(default_factory=list)
     weights: dict[str, WeightTensor] = field(default_factory=dict)
+    #: payload width of the export (32 = FP32; set by :meth:`quantized`)
+    bits: int = 32
 
     def add_weight(self, name: str, shape: tuple[int, ...], storage: str, bits: int = 32) -> str:
         if name in self.weights:
@@ -118,9 +160,39 @@ class ExportedModel:
         return max(best, pairwise)
 
     def quantized(self, bits: int) -> "ExportedModel":
-        """A re-quantized copy (weight payloads at ``bits`` per parameter)."""
-        out = ExportedModel(name=f"{self.name}@{bits}bit", batch_size=self.batch_size)
-        out.ops = list(self.ops)
+        """A re-quantized copy: genuinely packed payloads at ``bits``.
+
+        Weight bytes follow the packed accounting of
+        :attr:`WeightTensor.bytes` (ceil-packed codes + scale overhead),
+        and each gather op's ``touched_bytes`` is re-priced row by row —
+        rows touched × :meth:`WeightTensor.gathered_row_bytes` at the new
+        width, so ceil packing holds per *row* too (a ``(v, 1)`` column
+        still moves one whole byte per touched row at int4, never half).
+        Activations stay FP32: arithmetic is dequantized, per §5.3 /
+        DESIGN.md §7.  Re-pricing derives the row count from this export's
+        own width, so re-quantizing a quantized export stays consistent
+        with quantizing the FP32 one directly.
+        """
+        out = ExportedModel(
+            name=f"{self.name}@{bits}bit", batch_size=self.batch_size, bits=bits
+        )
+
+        def requantize_gather(op: Op) -> Op:
+            if op.kind != "gather" or not op.weights or not op.touched_bytes:
+                return op
+            table = self.weights[op.weights[0]]
+            rows = op.touched_bytes // table.gathered_row_bytes()
+            quantized_table = WeightTensor(table.name, table.shape, table.storage, bits)
+            return Op(
+                op.kind,
+                op.name,
+                op.flops,
+                op.activation_bytes,
+                op.weights,
+                touched_bytes=rows * quantized_table.gathered_row_bytes(),
+            )
+
+        out.ops = [requantize_gather(op) for op in self.ops]
         out.weights = {
             k: WeightTensor(w.name, w.shape, w.storage, bits) for k, w in self.weights.items()
         }

@@ -1,14 +1,18 @@
 """Post-training weight quantization (Appendix A.2 / Figure 4).
 
-Mirrors CoreML's ``linear`` quantization mode: per-tensor symmetric linear
+Mirrors CoreML's ``linear`` quantization mode: symmetric linear
 quantization of each weight to ``bits`` ∈ {16, 8, 4, 2}.  fp16 is a dtype
 cast; integer modes map ``w → round(w / scale)`` with
 ``scale = max|w| / (2^(bits−1) − 1)`` and clamp to the signed range.
+``axis=0`` switches from one per-tensor scale to one scale per table *row*
+— the layout the :mod:`repro.quant` integer-storage runtime ships, shared
+here so Figure 4 can evaluate the same grid the serving engine uses.
 
 The experiment evaluates the *dequantized* model — exactly what an on-device
 runtime computes when weights are stored quantized but arithmetic stays
 FP32 ("the models were not quantized during compilation" applies to Table 3;
-Figure 4 re-quantizes them).
+Figure 4 re-quantizes them).  The *actually packed* storage lives in
+:mod:`repro.quant`; this module remains the FP32-resident simulation.
 """
 
 from __future__ import annotations
@@ -38,16 +42,36 @@ class QuantizationReport:
         return self.bits / 8.0
 
 
-def quantize_array(w: np.ndarray, bits: int) -> np.ndarray:
+def quantize_array(w: np.ndarray, bits: int, axis: int | None = None) -> np.ndarray:
     """Quantize-dequantize one tensor; returns the FP32 array the device
-    would effectively compute with."""
+    would effectively compute with.
+
+    ``axis=None`` (default) uses one symmetric scale for the whole tensor.
+    ``axis=0`` gives every row of a 2-D table its own absmax-derived scale
+    — rows with disparate magnitudes stop sharing one grid, so the
+    round-trip error of a quiet row no longer depends on the loudest row.
+    The per-row path delegates to the :mod:`repro.quant` kernels, so its
+    values are bit-identical to what the integer-storage serving runtime
+    decodes.
+    """
     if bits not in SUPPORTED_BITS:
         raise ValueError(f"bits must be one of {SUPPORTED_BITS}, got {bits}")
+    if axis not in (None, 0):
+        raise ValueError(f"axis must be None (per-tensor) or 0 (per-row), got {axis}")
     w = np.asarray(w)
     if bits == 32:
         return w.astype(np.float32, copy=True)
     if bits == 16:
         return w.astype(np.float16).astype(np.float32)
+    if axis == 0:
+        if w.ndim != 2:
+            raise ValueError(
+                f"axis=0 (per-row) quantization needs a 2-D table, got shape {w.shape}"
+            )
+        from repro.quant.kernels import decode_rows, encode_rows
+
+        codes, scales = encode_rows(w.astype(np.float32, copy=False), bits)
+        return decode_rows(codes, scales, bits, w.shape[1])
     qmax = 2 ** (bits - 1) - 1
     max_abs = float(np.abs(w).max()) if w.size else 0.0
     if max_abs == 0.0:

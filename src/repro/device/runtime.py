@@ -42,6 +42,7 @@ class DeviceRuntime:
         batch_size: int = 64,
         alpha: float = 1.1,
         cache_rows: int | None = None,
+        bits: int | None = None,
         rng: np.random.Generator | int | None = None,
     ):
         """Measure batched serving throughput (requests/sec) for ``model``.
@@ -52,17 +53,22 @@ class DeviceRuntime:
         request traffic through a batcher, measuring host wall-clock.  The
         profile names the deployment target in the report label; absolute
         req/s is a host number (DESIGN.md §1's relative-claims rule applies).
+
+        ``bits`` ∈ {8, 4} serves the :mod:`repro.quant` integer-storage
+        plan (quantized tables, cache of codes) instead of FP32.
         """
         from repro.serve.bench import measure_throughput, zipf_requests
         from repro.serve.engine import InferenceEngine
 
-        engine = InferenceEngine(model, cache_rows=cache_rows)
+        engine = InferenceEngine(model, cache_rows=cache_rows, bits=bits)
         vocab = model.embedding.vocab_size
         requests = zipf_requests(
             vocab, engine.input_length, num_requests, alpha=alpha, rng=rng
         )
-        label = f"{self.profile.device}/{type(model).__name__}" + (
-            f"+cache{cache_rows}" if cache_rows else ""
+        label = (
+            f"{self.profile.device}/{type(model).__name__}"
+            + (f"@int{engine.bits}" if engine.bits != 32 else "")
+            + (f"+cache{cache_rows}" if cache_rows else "")
         )
         # Cached engines warm for half the traffic so the report reflects
         # the steady-state hit rate, not the cold fill (DESIGN.md §6).

@@ -1,0 +1,288 @@
+"""Calibrate a trained ``CompressedEmbedding`` into integer storage.
+
+``quantize_embedding`` converts any technique into a :class:`QuantizedEmbedding`
+— the serving-side object whose row values are *exactly representable* as
+``(codes, scale)`` pairs.  Three real-storage modes cover the paper's
+techniques:
+
+* **table** — the technique's forward is a (possibly id-remapped) gather
+  from one ``(rows, e)`` table (full, reduce_dim, truncate_rare, sharded
+  full, plain ``nn.Embedding``).  The table itself is stored as a
+  :class:`QuantizedTable`; serving is the fused gather→dequantize kernel and
+  the cache stores the *stored* codes — one rounding, end to end.
+* **memcom** — MEmCom's three tables are stored quantized (per-row scales
+  for the shared ``(m, e)`` table; per-tensor scales for the ``(v, 1)``
+  columns, where a 4-byte per-row scale would outweigh the 1-byte payload).
+  A served row is composed from dequantized components and then
+  *row-quantized* — the composed row is what the cache stores as codes, so
+  the hit and miss paths decode the same ``(codes, scale)``.
+* **tt_rec** — the three TT cores are stored quantized per-row; rows are
+  contracted from dequantized core slices (mirroring the layer's bmm
+  association order) and row-quantized like memcom.
+
+Sharded variants quantize to the same codes as their monolithic forms by
+construction (the shard layout is reassembled row-exact before
+calibration), so *quantize → shard* and *quantize → monolithic* serve
+bit-identical values.
+
+Every other per-id technique (hash families, QR, mixed-dim, factorized)
+falls back to **module** mode: a deep-copied module whose parameters are
+round-tripped through the quantization grid composes rows in FP32, and the
+composed rows are row-quantized.  The fallback's *values* follow the same
+rounding contract, but its working copy stays FP32-resident —
+``storage_bytes()`` reports that honestly (``packed_bytes()`` gives the
+shippable size).  The pooled one-hot encoder is not per-row and cannot be
+served quantized.
+
+``QuantizedEmbedding.dequantized()`` materializes the exact served rows
+into a plain FP32 :class:`~repro.core.full.FullEmbedding` — the reference a
+quantized engine must match bit-for-bit (same rounding path, FP32 tower).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.core.base import CompressedEmbedding
+from repro.core.full import FullEmbedding, ShardedFullEmbedding
+from repro.core.low_rank import ReducedDimEmbedding
+from repro.core.memcom import MEmComEmbedding, ShardedMEmComEmbedding
+from repro.core.onehot import HashedOneHotEncoder
+from repro.core.truncate import TruncateRareEmbedding
+from repro.core.tt_rec import TTRecEmbedding
+from repro.nn.embedding import Embedding
+from repro.nn.sharding import ShardedEmbedding, ShardedTable
+from repro.nn.tensor import no_grad
+from repro.quant.kernels import codes_bytes_per_row, decode_rows, encode_rows
+from repro.quant.table import SUPPORTED_STORAGE_BITS, QuantizedTable
+
+__all__ = ["QuantizedEmbedding", "quantize_embedding"]
+
+_CHUNK = 4096  # row-materialization granularity for dequantized()
+
+
+def _dense_of(table) -> np.ndarray:
+    """Monolithic FP32 values of a Parameter or ShardedTable (row-exact)."""
+    if isinstance(table, ShardedTable):
+        return table.dense()
+    return table.data
+
+
+def _simulate_param(w: np.ndarray, bits: int, percentile: float | None) -> np.ndarray:
+    """Round-trip one parameter through the storage grid (module fallback).
+
+    Multi-column 2-D tables get per-row scales; single columns and 1-D
+    vectors share one scale — the same layout rule the real storage uses.
+    """
+    if w.ndim == 2 and w.shape[1] > 1:
+        codes, scales = encode_rows(w, bits, percentile=percentile)
+        return decode_rows(codes, scales, bits, w.shape[1])
+    flat = w.reshape(1, -1)
+    q = QuantizedTable.from_dense(flat, bits, percentile=percentile, per_row=False)
+    return q.dense().reshape(w.shape)
+
+
+class QuantizedEmbedding:
+    """Integer-storage serving form of one trained embedding technique.
+
+    Not a :class:`~repro.nn.layers.Module` — there is no autograd graph and
+    nothing trains; this is a frozen deployment artifact the
+    :class:`~repro.serve.engine.InferenceEngine` (and the export path)
+    consume.
+    """
+
+    def __init__(
+        self,
+        source: CompressedEmbedding,
+        bits: int,
+        percentile: float | None = None,
+    ) -> None:
+        if bits not in SUPPORTED_STORAGE_BITS:
+            raise ValueError(
+                f"serving storage bits must be one of {SUPPORTED_STORAGE_BITS}, "
+                f"got {bits}"
+            )
+        if isinstance(source, HashedOneHotEncoder):
+            raise TypeError(
+                "HashedOneHotEncoder output is pooled, not per-row; it has no "
+                "quantized row storage (serve it FP32)"
+            )
+        self.bits = int(bits)
+        self.percentile = percentile
+        self.technique = getattr(source, "technique", type(source).__name__)
+        self.vocab_size = int(
+            getattr(source, "vocab_size", None) or source.num_embeddings
+        )
+        self.output_dim = int(source.output_dim)
+        self._remap = None
+        self._module = None
+
+        if isinstance(source, (MEmComEmbedding, ShardedMEmComEmbedding)):
+            self.mode = "memcom"
+            self._num_hash = source.num_hash_embeddings
+            self._q_shared = QuantizedTable.from_dense(
+                source.shared.data, bits, percentile=percentile
+            )
+            self._q_mult = QuantizedTable.from_dense(
+                _dense_of(source.multiplier), bits, percentile=percentile,
+                per_row=False,
+            )
+            self._q_bias = (
+                QuantizedTable.from_dense(
+                    _dense_of(source.bias_table), bits, percentile=percentile,
+                    per_row=False,
+                )
+                if source.bias_table is not None
+                else None
+            )
+        elif isinstance(
+            source,
+            (FullEmbedding, ReducedDimEmbedding, TruncateRareEmbedding),
+        ) or isinstance(source, (Embedding, ShardedEmbedding)):
+            self.mode = "table"
+            if isinstance(source, TruncateRareEmbedding):
+                keep = source.keep
+                self._remap = lambda ids: np.where(ids <= keep, ids, keep + 1)
+            table = (
+                _dense_of(source.table)
+                if hasattr(source, "table")
+                else source.weight.data
+            )
+            self._q_table = QuantizedTable.from_dense(
+                table, bits, percentile=percentile
+            )
+        elif isinstance(source, TTRecEmbedding):
+            self.mode = "tt_rec"
+            self._vocab_shape = source.vocab_shape
+            self._dim_shape = source.dim_shape
+            self._tt_rank = source.tt_rank
+            self._q_cores = tuple(
+                QuantizedTable.from_dense(c.data, bits, percentile=percentile)
+                for c in (source.core1, source.core2, source.core3)
+            )
+        else:
+            self.mode = "module"
+            frozen = copy.deepcopy(source)
+            frozen.eval()
+            for p in frozen.parameters():
+                p.data = _simulate_param(p.data, bits, percentile)
+            self._module = frozen
+
+    # -- row composition --------------------------------------------------------
+
+    def _compose_fp32(self, flat: np.ndarray) -> np.ndarray:
+        """FP32 rows composed from dequantized components (pre row-quant)."""
+        if self.mode == "memcom":
+            out = self._q_shared.gather(flat % self._num_hash)
+            np.multiply(out, self._q_mult.gather(flat), out=out)
+            if self._q_bias is not None:
+                np.add(out, self._q_bias.gather(flat), out=out)
+            return out
+        if self.mode == "tt_rec":
+            _, v2, v3 = self._vocab_shape
+            e1, e2, e3 = self._dim_shape
+            r = self._tt_rank
+            n = flat.size
+            q1, q2, q3 = self._q_cores
+            g1 = q1.gather(flat // (v2 * v3)).reshape(n, e1, r)
+            g2 = q2.gather((flat // v3) % v2).reshape(n, r, e2 * r)
+            g3 = q3.gather(flat % v3).reshape(n, r, e3)
+            left = np.matmul(g1, g2).reshape(n, e1 * e2, r)
+            return np.matmul(left, g3).reshape(n, self.output_dim)
+        # module fallback
+        with no_grad():
+            return self._module(flat).numpy().reshape(flat.size, self.output_dim)
+
+    def encode(self, flat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Storage-form ``(codes, scales)`` for each id — the cache payload.
+
+        Table mode hands back the *stored* codes (no recompute, single
+        rounding); composed modes quantize the freshly composed rows.
+        """
+        flat = np.asarray(flat).ravel()
+        if self.mode == "table":
+            ids = self._remap(flat) if self._remap is not None else flat
+            return self._q_table.gather_codes(ids)
+        return encode_rows(self._compose_fp32(flat), self.bits)
+
+    def rows(self, flat: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Served FP32 rows: ``decode(encode(ids))``, fused per mode.
+
+        Single-row and batched calls run the same elementwise decode, so
+        row values never depend on batch grouping.
+        """
+        codes, scales = self.encode(flat)
+        return decode_rows(codes, scales, self.bits, self.output_dim, out=out)
+
+    # -- reference / accounting -------------------------------------------------
+
+    def dequantized(self) -> FullEmbedding:
+        """Materialize the exact served rows as an FP32 ``FullEmbedding``.
+
+        Serving this through a plain FP32 engine is the bit-for-bit
+        reference for the quantized engine (same rounding path; the tower
+        is FP32 in both).
+        """
+        table = np.empty((self.vocab_size, self.output_dim), dtype=np.float32)
+        for start in range(0, self.vocab_size, _CHUNK):
+            ids = np.arange(start, min(start + _CHUNK, self.vocab_size))
+            table[ids] = self.rows(ids)
+        out = FullEmbedding(self.vocab_size, self.output_dim, rng=0)
+        out.table.data = table
+        return out
+
+    def _tables(self) -> list[QuantizedTable]:
+        if self.mode == "table":
+            return [self._q_table]
+        if self.mode == "memcom":
+            tables = [self._q_shared, self._q_mult]
+            if self._q_bias is not None:
+                tables.append(self._q_bias)
+            return tables
+        if self.mode == "tt_rec":
+            return list(self._q_cores)
+        return []
+
+    def storage_bytes(self) -> int:
+        """Actually-resident bytes of the embedding representation.
+
+        Real-storage modes count codes + scales; the module fallback counts
+        its FP32 working copy (its honesty caveat — see module docstring).
+        """
+        if self.mode == "module":
+            return int(sum(p.data.nbytes for p in self._module.parameters()))
+        return int(sum(q.nbytes for q in self._tables()))
+
+    def packed_bytes(self) -> int:
+        """Shippable size: ceil-packed codes plus scale overhead, all modes."""
+        if self.mode != "module":
+            return self.storage_bytes()
+        total = 0
+        for p in self._module.parameters():
+            w = p.data
+            if w.ndim == 2 and w.shape[1] > 1:
+                total += w.shape[0] * codes_bytes_per_row(w.shape[1], self.bits)
+            else:
+                total += codes_bytes_per_row(w.size, self.bits)
+        return int(total)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantizedEmbedding({self.technique}, v={self.vocab_size}, "
+            f"e={self.output_dim}, bits={self.bits}, mode={self.mode}, "
+            f"{self.storage_bytes()} bytes)"
+        )
+
+
+def quantize_embedding(
+    emb: CompressedEmbedding, bits: int, percentile: float | None = None
+) -> QuantizedEmbedding:
+    """Calibration pass: trained embedding → integer serving storage.
+
+    ``percentile`` enables outlier-clipped calibration (e.g. ``99.9``): each
+    row's scale comes from that percentile of its magnitudes and the tail
+    saturates, tightening the grid for the bulk of the distribution.
+    """
+    return QuantizedEmbedding(emb, bits, percentile=percentile)

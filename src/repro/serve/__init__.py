@@ -5,12 +5,14 @@ into a forward-only NumPy plan (:class:`InferenceEngine`), coalesce many
 single requests into batched lookups (:class:`Batcher`), and absorb Zipf
 traffic with an LRU hot-row cache (:class:`LRUCache`).  Sharded tables
 (:mod:`repro.nn.sharding`) serve through the same routed gather they train
-with.  See DESIGN.md §6 and ``repro serve-bench``.
+with, and ``InferenceEngine(bits=8|4)`` serves :mod:`repro.quant` integer
+storage with a cache of codes (:class:`QuantizedRowCache`).  See DESIGN.md
+§6–§7 and ``repro serve-bench``.
 """
 
 from repro.serve.batcher import Batcher, PendingRequest
 from repro.serve.bench import ServeReport, measure_throughput, zipf_requests
-from repro.serve.cache import LRUCache
+from repro.serve.cache import LRUCache, QuantizedRowCache, rows_for_budget
 from repro.serve.engine import InferenceEngine
 
 __all__ = [
@@ -18,7 +20,9 @@ __all__ = [
     "InferenceEngine",
     "LRUCache",
     "PendingRequest",
+    "QuantizedRowCache",
     "ServeReport",
     "measure_throughput",
+    "rows_for_budget",
     "zipf_requests",
 ]

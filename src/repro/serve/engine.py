@@ -20,6 +20,18 @@ The embedding stage is the serving hot path and gets two extra mechanisms:
   pooled one-hot encoder), a cached row is byte-for-byte the row the miss
   path computes — Zipf traffic then skips most of the per-request embedding
   arithmetic (DESIGN.md §6).
+
+A third mechanism is the **quantized plan** (``bits=8`` or ``bits=4``): the
+embedding is calibrated into :class:`repro.quant.QuantizedEmbedding`
+integer storage (int8 codes + per-row scales; int4 packs two codes per
+byte), rows are served through the fused gather→dequantize kernels, and the
+hot-row cache becomes a :class:`repro.serve.cache.QuantizedRowCache` that
+stores *codes* instead of FP32 rows — the same byte budget holds ≈4× more
+rows at int8.  Hits decode through the same kernel as misses, so cached and
+uncached quantized engines serve bit-identical predictions; the whole plan
+matches a plain FP32 engine over ``QuantizedEmbedding.dequantized()``
+bit-for-bit (DESIGN.md §7).  The tower stays FP32 — the paper's on-device
+setting stores weights quantized but computes in FP32.
 """
 
 from __future__ import annotations
@@ -36,7 +48,9 @@ from repro.models.ranknet import RankNet
 from repro.nn.layers import BatchNorm, Dense
 from repro.nn.sharding import ShardedTable
 from repro.nn.tensor import no_grad
-from repro.serve.cache import LRUCache
+from repro.quant.embedding import quantize_embedding
+from repro.quant.kernels import decode_rows
+from repro.serve.cache import LRUCache, QuantizedRowCache
 
 __all__ = ["InferenceEngine"]
 
@@ -150,14 +164,34 @@ class InferenceEngine:
         Capacity of the LRU hot-row cache (number of composed embedding
         rows).  ``None`` disables caching.  Ignored for the pooled one-hot
         encoder, whose output is not per-id.
+    bits:
+        ``None``/``32`` serves FP32 (the default).  ``8`` or ``4`` builds
+        the quantized plan: integer-storage embedding tables, fused
+        gather→dequantize serving, and a cache of codes.
+    calibration_percentile:
+        Optional outlier-clipped calibration for the quantized plan (e.g.
+        ``99.9``); ``None`` uses per-row absmax.
+    cache_min_count:
+        Cache admission threshold: an id enters the cache only on its
+        ``min_count``-th missed insert attempt (1 = admit immediately).
     """
 
-    def __init__(self, model, cache_rows: int | None = None) -> None:
+    def __init__(
+        self,
+        model,
+        cache_rows: int | None = None,
+        bits: int | None = None,
+        calibration_percentile: float | None = None,
+        cache_min_count: int = 1,
+    ) -> None:
         if not hasattr(model, "embedding") or not hasattr(model, "input_length"):
             raise TypeError(f"no serving plan for model type {type(model).__name__}")
         model.eval()
         self.model_name = type(model).__name__
         self.input_length = model.input_length
+        self.bits = 32 if bits is None else int(bits)
+        if self.bits not in (32, 8, 4):
+            raise ValueError(f"serving bits must be 32, 8 or 4, got {bits}")
         self.requests_served = 0
         self.batches_served = 0
 
@@ -166,13 +200,37 @@ class InferenceEngine:
         self.vocab_size = int(
             getattr(emb, "vocab_size", None) or emb.num_embeddings
         )
-        self._embed_rows, self._embed_pooled = self._freeze_embedding(emb)
+        self._qemb = None
+        if self.bits != 32:
+            # Calibrate into integer storage; rows serve through the fused
+            # gather→dequant kernels (raises for the pooled one-hot encoder,
+            # which has no per-row storage).
+            self._qemb = quantize_embedding(
+                emb, self.bits, percentile=calibration_percentile
+            )
+            self._embed_rows, self._embed_pooled = self._qemb.rows, None
+            self._table_bytes = self._qemb.storage_bytes()
+        else:
+            self._embed_rows, self._embed_pooled = self._freeze_embedding(emb)
+            self._table_bytes = int(sum(p.data.nbytes for p in emb.parameters()))
         self._rows_scratch = _RowScratch(self.embedding_dim)
         self.cache: LRUCache | None = None
         if cache_rows is not None and self._embed_rows is not None:
-            self.cache = LRUCache(
-                cache_rows, self.embedding_dim, id_range=self.vocab_size
-            )
+            if self._qemb is not None:
+                self.cache = QuantizedRowCache(
+                    cache_rows,
+                    self.embedding_dim,
+                    self.bits,
+                    id_range=self.vocab_size,
+                    min_count=cache_min_count,
+                )
+            else:
+                self.cache = LRUCache(
+                    cache_rows,
+                    self.embedding_dim,
+                    id_range=self.vocab_size,
+                    min_count=cache_min_count,
+                )
         self._tower = self._freeze_tower(model)
 
     # -- freezing --------------------------------------------------------------
@@ -277,6 +335,26 @@ class InferenceEngine:
 
     # -- embedding with the hot-row cache --------------------------------------
 
+    def _compute_payload(self, miss_ids: np.ndarray):
+        """Miss-path payload in the cache's storage form.
+
+        FP32 plan: the composed rows themselves.  Quantized plan: the
+        ``(codes, scales)`` pair — what the cache stores and what both the
+        hit and splice paths decode, keeping every route bit-identical.
+        """
+        if self._qemb is not None:
+            return self._qemb.encode(miss_ids)
+        return self._embed_rows(miss_ids)
+
+    def _payload_rows(self, payload, sel: np.ndarray) -> np.ndarray:
+        """FP32 rows for a subset of the miss payload (cache-overflow splice)."""
+        if self._qemb is not None:
+            codes, scales = payload
+            return decode_rows(
+                codes[sel], scales[sel], self.bits, self.embedding_dim
+            )
+        return payload[sel]
+
     def _embed(self, flat: np.ndarray) -> np.ndarray:
         scratch = self._rows_scratch.get(flat.size)
         if self.cache is None:
@@ -290,18 +368,30 @@ class InferenceEngine:
             return self.cache.rows(slots, out=scratch)
         miss_ids, inverse = np.unique(flat[miss_at], return_inverse=True)
         inverse = inverse.ravel()
-        computed = self._embed_rows(miss_ids)
-        miss_slots = self.cache.insert(miss_ids, computed)
+        payload = self._compute_payload(miss_ids)
+        miss_slots = self.cache.insert(miss_ids, payload)
         expanded = miss_slots[inverse]
         slots[miss_at] = expanded
         dropped = np.flatnonzero(expanded < 0)
         if not dropped.size:
             return self.cache.rows(slots, out=scratch)
-        # Rows the cache declined to store (overflow beyond the evictable
-        # slots): splice their computed values in directly.
+        # Rows the cache declined to store (admission-rejected, or overflow
+        # beyond the evictable slots): splice their computed values in
+        # directly.
         out = self.cache.rows(np.where(slots >= 0, slots, 0), out=scratch)
-        out[miss_at[dropped]] = computed[inverse[dropped]]
+        out[miss_at[dropped]] = self._payload_rows(payload, inverse[dropped])
         return out
+
+    # -- accounting ------------------------------------------------------------
+
+    def table_resident_bytes(self) -> int:
+        """Bytes resident for the embedding representation this plan serves.
+
+        FP32 plans count the snapshot tables; quantized plans count the
+        integer codes plus scales (`repro.quant` storage).  The hot-row
+        cache is separate — see ``cache.store_nbytes()``.
+        """
+        return self._table_bytes
 
     # -- serving ---------------------------------------------------------------
 
@@ -339,7 +429,8 @@ class InferenceEngine:
 
     def __repr__(self) -> str:
         cache = f", cache={self.cache.capacity} rows" if self.cache else ""
+        quant = f", int{self.bits}" if self.bits != 32 else ""
         return (
             f"InferenceEngine({self.model_name}, L={self.input_length}, "
-            f"e={self.embedding_dim}{cache})"
+            f"e={self.embedding_dim}{quant}{cache})"
         )

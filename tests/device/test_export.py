@@ -95,10 +95,13 @@ class TestSizing:
         )
 
     def test_quantized_copy_shrinks(self):
+        # Honest packed accounting: int8 payloads are ~1/4 of FP32 plus
+        # per-row scale overhead (at this tiny E=16 the scales and the 1 KiB
+        # header keep the on-disk ratio near 0.36, not the relabeled 0.25).
         model = build_pointwise_ranker("full", V, C, input_length=L, embedding_dim=E, rng=0)
         exported = export_model(model)
         q8 = exported.quantized(8)
-        assert q8.on_disk_bytes() < exported.on_disk_bytes() / 3
+        assert q8.on_disk_bytes() < exported.on_disk_bytes() / 2
         assert len(q8.ops) == len(exported.ops)
 
     def test_touched_bytes_scale_with_batch(self):

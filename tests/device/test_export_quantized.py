@@ -1,0 +1,114 @@
+"""Honest quantized export sizing: ceil-packed codes + per-row scales.
+
+Regression for the relabeled-FP32 accounting bug: ``ExportedModel.quantized``
+used to keep FP32 payload math and only change the ``bits`` label, so int4
+"sizes" ignored packing granularity and scale overhead entirely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device.export import WeightTensor, export_model
+from repro.models.builder import build_pointwise_ranker
+
+V, C, L, E = 200, 12, 8, 16
+
+
+def _exported():
+    model = build_pointwise_ranker("full", V, C, input_length=L, embedding_dim=E, rng=0)
+    return export_model(model)
+
+
+class TestWeightTensorPacking:
+    def test_fp32_and_fp16_stay_dtype_casts(self):
+        w = WeightTensor("t", (100, 16), "lookup")
+        assert w.bytes == 100 * 16 * 4
+        assert WeightTensor("t", (100, 16), "lookup", bits=16).bytes == 100 * 16 * 2
+
+    def test_int8_per_row_scales(self):
+        w = WeightTensor("t", (100, 16), "lookup", bits=8)
+        assert w.bytes == 100 * (16 + 4)
+
+    def test_int4_ceil_packs_odd_rows(self):
+        w = WeightTensor("t", (10, 7), "lookup", bits=4)
+        assert w.bytes == 10 * (4 + 4)  # ceil(7/2)=4 code bytes + scale
+
+    def test_int2_packs_four_per_byte(self):
+        w = WeightTensor("t", (10, 16), "lookup", bits=2)
+        assert w.bytes == 10 * (4 + 4)
+
+    def test_single_column_uses_per_tensor_scale(self):
+        # A (v, 1) table at int8 must cost ~v bytes + one scale, not 5v.
+        w = WeightTensor("t", (200, 1), "lookup", bits=8)
+        assert w.bytes == 200 + 4
+
+    def test_1d_vector_uses_per_tensor_scale(self):
+        w = WeightTensor("t", (33,), "lookup", bits=4)
+        assert w.bytes == -(-33 * 4 // 8) + 4
+
+
+class TestQuantizedExport:
+    def test_size_ordering_int4_lt_int8_lt_fp32(self):
+        exported = _exported()
+        sizes = {b: exported.quantized(b).on_disk_bytes() for b in (8, 4)}
+        assert sizes[4] < sizes[8] < exported.on_disk_bytes()
+
+    def test_int8_embedding_payload_exact(self):
+        exported = _exported()
+        q8 = exported.quantized(8)
+        assert q8.weights["embedding.table"].bytes == V * (E + 4)
+
+    def test_quantized_gathers_touch_fewer_bytes(self):
+        exported = _exported()
+        for bits in (8, 4):
+            q = exported.quantized(bits)
+            for op, qop in zip(exported.ops, q.ops):
+                if op.kind == "gather":
+                    # row-granular re-pricing: rows × packed row bytes
+                    table = exported.weights[op.weights[0]]
+                    rows = op.touched_bytes // (table.row_width * 4)
+                    expected = rows * q.weights[op.weights[0]].gathered_row_bytes()
+                    assert qop.touched_bytes == expected
+                    assert qop.touched_bytes < op.touched_bytes
+                else:
+                    assert qop.touched_bytes == op.touched_bytes
+                # activations stay FP32: arithmetic is dequantized
+                assert qop.activation_bytes == op.activation_bytes
+
+    def test_single_column_gathers_floor_at_one_byte_per_row(self):
+        # The MEmCom (v, 1) multiplier/bias gathers touch L rows of one
+        # element each; at int4 that must price as L whole bytes, not L/2.
+        model = build_pointwise_ranker(
+            "memcom", V, C, input_length=L, embedding_dim=E, rng=0,
+            num_hash_embeddings=20,
+        )
+        q4 = export_model(model, batch_size=1).quantized(4)
+        for name in ("embedding.mult", "embedding.biasrow"):
+            op = next(o for o in q4.ops if o.name == name)
+            assert op.touched_bytes == L  # one byte per touched row
+
+    def test_requantizing_a_quantized_export_is_consistent(self):
+        exported = _exported()
+        via_int8 = exported.quantized(8).quantized(4)
+        direct = exported.quantized(4)
+        assert via_int8.on_disk_bytes() == direct.on_disk_bytes()
+        for a, b in zip(via_int8.ops, direct.ops):
+            assert a.touched_bytes == b.touched_bytes
+
+    def test_quantized_is_a_copy(self):
+        exported = _exported()
+        q = exported.quantized(4)
+        assert q.name.endswith("@4bit")
+        assert exported.weights["embedding.table"].bits == 32
+        assert np.isclose(
+            exported.on_disk_bytes(),
+            sum(w.num_params * 4 for w in exported.weights.values()) + 1024,
+        )
+
+
+@pytest.mark.parametrize("bits,expected_ratio", [(8, 0.27), (4, 0.15)])
+def test_big_table_ratio_approaches_bits_over_32(bits, expected_ratio):
+    # With a wide row the scale overhead amortizes: ratio → bits/32 + 4/(4e).
+    w = WeightTensor("t", (1000, 64), "lookup", bits=bits)
+    fp32 = 1000 * 64 * 4
+    assert w.bytes / fp32 == pytest.approx(expected_ratio, abs=0.012)

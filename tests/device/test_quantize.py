@@ -82,6 +82,55 @@ class TestQuantizeModule:
                 assert (m.running_var > 0).all()
 
 
+class TestPerRowQuantization:
+    """axis=0: one scale per table row (the repro.quant storage layout)."""
+
+    def test_matches_manual_per_row(self, rng):
+        w = rng.standard_normal((10, 12)).astype(np.float32)
+        q = quantize_array(w, 8, axis=0)
+        for i in range(10):
+            np.testing.assert_array_equal(q[i], quantize_array(w[i : i + 1], 8)[0])
+
+    def test_per_row_beats_per_tensor_on_disparate_rows(self, rng):
+        # One loud row stretches the shared per-tensor grid; per-row scales
+        # keep each quiet row's error bounded by its OWN magnitude.
+        w = rng.uniform(-0.01, 0.01, (8, 32)).astype(np.float32)
+        w[0] *= 1000.0
+        for bits in (8, 4, 2):
+            per_tensor_err = np.abs(quantize_array(w, bits) - w)[1:].max()
+            per_row_err = np.abs(quantize_array(w, bits, axis=0) - w)[1:].max()
+            assert per_row_err <= per_tensor_err
+            qmax = 2 ** (bits - 1) - 1
+            assert per_row_err <= np.abs(w[1:]).max(axis=1).max() / qmax / 2 + 1e-7
+
+    def test_per_row_error_bound_each_row(self, rng):
+        w = rng.standard_normal((20, 9)).astype(np.float32)
+        q = quantize_array(w, 8, axis=0)
+        scales = np.abs(w).max(axis=1) / 127
+        assert (np.abs(q - w) <= scales[:, None] / 2 + 1e-7).all()
+
+    def test_uniform_rows_identical_to_per_tensor(self, rng):
+        # When every row shares the same absmax the two layouts coincide.
+        w = np.tile(rng.standard_normal(6).astype(np.float32), (4, 1))
+        np.testing.assert_allclose(
+            quantize_array(w, 8, axis=0), quantize_array(w, 8), atol=1e-7
+        )
+
+    def test_float_modes_ignore_grid(self, rng):
+        w = rng.standard_normal((5, 4)).astype(np.float32)
+        np.testing.assert_array_equal(quantize_array(w, 32, axis=0), w)
+        np.testing.assert_array_equal(
+            quantize_array(w, 16, axis=0), quantize_array(w, 16)
+        )
+
+    def test_axis_validation(self, rng):
+        w = rng.standard_normal((5, 4)).astype(np.float32)
+        with pytest.raises(ValueError):
+            quantize_array(w, 8, axis=1)
+        with pytest.raises(ValueError):
+            quantize_array(w.ravel(), 8, axis=0)  # 1-D has no rows
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     arrays(np.float32, st.integers(1, 64), elements=st.floats(-100, 100, width=32)),

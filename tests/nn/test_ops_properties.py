@@ -43,8 +43,11 @@ def test_unbroadcast_is_adjoint_of_broadcast(x):
 def test_add_commutes_and_mul_distributes(x):
     a, b = Tensor(x), Tensor(x[::-1].copy())
     np.testing.assert_allclose(ops.add(a, b).data, ops.add(b, a).data)
+    # atol covers the subnormal range: for |x| ~ 1e-162 the two association
+    # orders underflow to denormals a whole ulp apart, where any rtol fails
     np.testing.assert_allclose(
-        ops.mul(a, ops.add(b, b)).data, ops.add(ops.mul(a, b), ops.mul(a, b)).data, rtol=1e-5
+        ops.mul(a, ops.add(b, b)).data, ops.add(ops.mul(a, b), ops.mul(a, b)).data,
+        rtol=1e-5, atol=1e-300,
     )
 
 

@@ -1,0 +1,142 @@
+"""Calibration pass: any trained technique → integer serving storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.full import FullEmbedding
+from repro.core.memcom import MEmComEmbedding
+from repro.core.onehot import HashedOneHotEncoder
+from repro.core.registry import build_embedding
+from repro.core.truncate import TruncateRareEmbedding
+from repro.core.tt_rec import TTRecEmbedding
+from repro.nn.tensor import no_grad
+from repro.quant import quantize_embedding
+
+V, E = 200, 16
+
+TECHNIQUES = {
+    "full": {},
+    "reduce_dim": {"reduced_dim": 8},
+    "truncate_rare": {"keep": 50},
+    "memcom": {"num_hash_embeddings": 32},
+    "memcom_nobias": {"num_hash_embeddings": 32},
+    "tt_rec": {"tt_rank": 4},
+    "qr_mult": {"num_hash_embeddings": 32},
+    "factorized": {"hidden_dim": 4},
+    "double_hash": {"num_hash_embeddings": 32},
+}
+
+EXPECTED_MODE = {
+    "full": "table",
+    "reduce_dim": "table",
+    "truncate_rare": "table",
+    "memcom": "memcom",
+    "memcom_nobias": "memcom",
+    "tt_rec": "tt_rec",
+    "qr_mult": "module",
+    "factorized": "module",
+    "double_hash": "module",
+}
+
+
+def _embedding(technique, seed=0):
+    return build_embedding(technique, V, E, rng=seed, **TECHNIQUES[technique])
+
+
+class TestQuantizeEmbedding:
+    @pytest.mark.parametrize("technique", sorted(TECHNIQUES))
+    @pytest.mark.parametrize("bits", [8, 4])
+    def test_rows_match_dequantized_reference(self, technique, bits):
+        """Served rows ≡ the materialized FP32 reference, bit for bit."""
+        q = quantize_embedding(_embedding(technique), bits)
+        assert q.mode == EXPECTED_MODE[technique]
+        ids = np.array([0, 1, 5, V - 1, 5, 77])
+        rows = q.rows(ids)
+        ref = q.dequantized()
+        with no_grad():
+            np.testing.assert_array_equal(rows, ref(ids).numpy())
+
+    @pytest.mark.parametrize("technique", sorted(TECHNIQUES))
+    def test_single_vs_batched_bit_identity(self, technique):
+        q = quantize_embedding(_embedding(technique), 8)
+        ids = np.array([3, 199, 42])
+        batched = q.rows(ids)
+        for k, i in enumerate(ids):
+            np.testing.assert_array_equal(batched[k], q.rows(np.array([i]))[0])
+
+    @pytest.mark.parametrize("technique", sorted(TECHNIQUES))
+    def test_close_to_fp32_source(self, technique):
+        emb = _embedding(technique)
+        q = quantize_embedding(emb, 8)
+        ids = np.arange(0, V, 7)
+        with no_grad():
+            fp32 = emb.eval()(ids).numpy()
+        # int8 per-row grids keep rows within a tight fraction of the
+        # technique's own row magnitudes.
+        tol = max(1e-4, 0.02 * float(np.abs(fp32).max()))
+        assert np.abs(q.rows(ids) - fp32).max() <= tol
+
+    def test_truncate_rare_shares_oov_row(self):
+        emb = TruncateRareEmbedding(V, E, keep=50, rng=0)
+        q = quantize_embedding(emb, 8)
+        oov = q.rows(np.array([51, 137, V - 1]))
+        np.testing.assert_array_equal(oov[0], oov[1])
+        np.testing.assert_array_equal(oov[0], oov[2])
+
+    def test_memcom_per_entity_columns_use_per_tensor_scales(self):
+        q = quantize_embedding(MEmComEmbedding(V, E, 32, rng=0), 8)
+        assert q._q_shared.per_row and not q._q_mult.per_row
+        # storage must beat FP32 on every component incl. the (v, 1) columns
+        assert q._q_mult.nbytes < V * 4
+
+    def test_sharded_equals_monolithic_codes(self):
+        for build, shard in (
+            (lambda: FullEmbedding(V, E, rng=3), lambda e: e.to_sharded(3)),
+            (lambda: MEmComEmbedding(V, E, 32, rng=3), lambda e: e.to_sharded(3)),
+        ):
+            mono = quantize_embedding(build(), 8)
+            shrd = quantize_embedding(shard(build()), 8)
+            ids = np.arange(V)
+            np.testing.assert_array_equal(mono.rows(ids), shrd.rows(ids))
+
+    def test_tt_rec_mode_contracts_quantized_cores(self):
+        emb = TTRecEmbedding(V, E, 4, rng=1)
+        q = quantize_embedding(emb, 8)
+        assert len(q._q_cores) == 3
+        assert q.storage_bytes() == sum(c.nbytes for c in q._q_cores)
+
+    def test_storage_bytes_shrink_for_real_storage_modes(self):
+        for technique in ("full", "memcom", "tt_rec"):
+            emb = _embedding(technique)
+            fp32 = sum(p.data.nbytes for p in emb.parameters())
+            q8 = quantize_embedding(emb, 8)
+            q4 = quantize_embedding(emb, 4)
+            assert q4.storage_bytes() < q8.storage_bytes() < fp32
+            assert q8.packed_bytes() == q8.storage_bytes()
+
+    def test_module_fallback_reports_fp32_residency_honestly(self):
+        q = quantize_embedding(_embedding("factorized"), 8)
+        emb = _embedding("factorized")
+        assert q.storage_bytes() == sum(p.data.nbytes for p in emb.parameters())
+        assert q.packed_bytes() < q.storage_bytes()
+
+    def test_pooled_onehot_rejected(self):
+        enc = HashedOneHotEncoder(V, E, num_hash_buckets=32, rng=0)
+        with pytest.raises(TypeError, match="pooled"):
+            quantize_embedding(enc, 8)
+
+    def test_unsupported_bits_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_embedding(_embedding("full"), 16)
+
+    def test_percentile_calibration_changes_grid(self):
+        emb = _embedding("full")
+        emb.table.data[:, 0] = 3.0  # outlier column
+        q_abs = quantize_embedding(emb, 8)
+        q_clip = quantize_embedding(emb, 8, percentile=90.0)
+        ids = np.arange(20)
+        with no_grad():
+            fp32 = emb.eval()(ids).numpy()
+        err_abs = np.abs(q_abs.rows(ids)[:, 1:] - fp32[:, 1:]).mean()
+        err_clip = np.abs(q_clip.rows(ids)[:, 1:] - fp32[:, 1:]).mean()
+        assert err_clip < err_abs

@@ -1,0 +1,121 @@
+"""Frequency-based cache admission (``min_count``): one-hit wonders stay out."""
+
+import numpy as np
+import pytest
+
+from repro.models.builder import build_pointwise_ranker
+from repro.serve.cache import LRUCache
+from repro.serve.engine import InferenceEngine
+
+
+def _rows(ids, dim=4):
+    ids = np.asarray(ids, dtype=np.int64)
+    return np.repeat(ids[:, None], dim, axis=1).astype(np.float32)
+
+
+class TestAdmission:
+    def test_first_attempt_rejected_second_admitted(self):
+        cache = LRUCache(8, 4, id_range=100, min_count=2)
+        ids = np.array([1, 2, 3])
+        assert (cache.insert(ids, _rows(ids)) == -1).all()
+        assert len(cache) == 0
+        assert cache.rejected == 3
+        slots = cache.insert(ids, _rows(ids))
+        assert (slots >= 0).all()
+        np.testing.assert_array_equal(cache.rows(slots), _rows(ids))
+
+    def test_min_count_one_admits_immediately(self):
+        cache = LRUCache(8, 4, id_range=100)  # default min_count=1
+        slots = cache.insert(np.array([5]), _rows([5]))
+        assert slots[0] >= 0 and cache.rejected == 0
+
+    def test_partial_admission_within_one_insert(self):
+        cache = LRUCache(8, 4, id_range=100, min_count=2)
+        cache.insert(np.array([1, 2]), _rows([1, 2]))  # counts: {1:1, 2:1}
+        slots = cache.insert(np.array([1, 7]), _rows([1, 7]))
+        assert slots[0] >= 0  # id 1 on its second attempt
+        assert slots[1] == -1  # id 7 on its first
+        lookup = cache.lookup(np.array([1, 7]))
+        assert lookup[0] >= 0 and lookup[1] == -1
+
+    def test_dict_backed_counts_without_id_range(self):
+        cache = LRUCache(8, 4, min_count=3)
+        ids = np.array([42])
+        for expect in (-1, -1):
+            assert cache.insert(ids, _rows(ids))[0] == expect
+        assert cache.insert(ids, _rows(ids))[0] >= 0
+
+    def test_one_hit_wonders_stop_evicting_the_zipf_head(self):
+        head = np.arange(16)
+        protected = LRUCache(16, 4, id_range=10_000, min_count=2)
+        for _ in range(2):  # head ids clear admission and fill the cache
+            protected.lookup(head)
+            protected.insert(head, _rows(head))
+        unprotected = LRUCache(16, 4, id_range=10_000)
+        unprotected.lookup(head)
+        unprotected.insert(head, _rows(head))
+
+        # a long stream of unique one-hit-wonder tail ids
+        for start in range(100, 400, 10):
+            tail = np.arange(start, start + 10)
+            for cache in (protected, unprotected):
+                cache.lookup(tail)
+                cache.insert(tail, _rows(tail))
+
+        # admission keeps every head row resident; plain LRU lost them all
+        assert (protected.lookup(head) >= 0).all()
+        assert protected.evictions == 0
+        assert (unprotected.lookup(head) == -1).all()
+        assert unprotected.evictions > 0
+
+    def test_invalid_min_count(self):
+        with pytest.raises(ValueError):
+            LRUCache(8, 4, min_count=0)
+
+    def test_dict_counters_stay_bounded(self):
+        # Open-ended id universe (no id_range): the one-hit-wonder counter
+        # dict must be swept, not grow one entry per distinct id forever.
+        cache = LRUCache(4, 2, min_count=2)
+        bound = cache._COUNT_SWEEP_FACTOR * cache.capacity
+        for start in range(0, 20 * bound, 4):
+            ids = np.arange(start, start + 4)
+            cache.insert(ids, _rows(ids, dim=2))
+        assert len(cache._count_dict) <= bound + 4
+
+    def test_cold_quantized_cache_splice_has_no_garbage_arithmetic(self):
+        # First batch against a min_count-gated quantized cache: every slot
+        # is -1, so the engine decodes slot 0 before any insert — scales
+        # must be zero-initialized so the dead multiply stays finite.
+        from repro.serve.cache import QuantizedRowCache
+
+        cache = QuantizedRowCache(8, 4, bits=8, id_range=100, min_count=2)
+        with np.errstate(invalid="raise", over="raise"):
+            rows = cache.rows(np.zeros(3, dtype=np.int64))
+        assert np.isfinite(rows).all()
+
+    def test_clear_resets_counters(self):
+        cache = LRUCache(8, 4, id_range=100, min_count=2)
+        cache.insert(np.array([1]), _rows([1]))
+        cache.clear()
+        assert cache.insert(np.array([1]), _rows([1]))[0] == -1  # count restarted
+
+
+class TestEngineWithAdmission:
+    @pytest.mark.parametrize("bits", [None, 8])
+    def test_served_values_unchanged(self, bits):
+        def build():
+            return build_pointwise_ranker(
+                "memcom", 250, 12, input_length=8, embedding_dim=16, rng=3,
+                num_hash_embeddings=32,
+            )
+
+        ids = np.random.default_rng(1).integers(0, 250, (64, 8))
+        plain = InferenceEngine(build(), bits=bits)
+        admitted = InferenceEngine(
+            build(), bits=bits, cache_rows=64, cache_min_count=2
+        )
+        first = admitted.predict(ids).copy()
+        np.testing.assert_array_equal(first, plain.predict(ids))
+        # second pass: some rows now come from the cache, values identical
+        np.testing.assert_array_equal(first, admitted.predict(ids))
+        assert admitted.cache.rejected > 0
