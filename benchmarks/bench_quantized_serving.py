@@ -20,6 +20,12 @@ request skew, against the FP32 engine on the same traffic:
   off table; the only gate is a loose sanity floor (quantized serving pays
   a decode multiply per gathered row, so it trades some throughput for
   3–4× memory: it must stay within 4× of FP32, not beat it).
+* **artifact size** — each technique's model is exported as a
+  :mod:`repro.artifact` container at FP32/int8/int4 and the on-disk bytes
+  ride along in the bench JSON, so the *shipped* size trajectory is
+  tracked next to throughput.  Gate: the int8 artifact ≤ 0.35× the FP32
+  artifact (the deployment-contract counterpart of the resident-bytes
+  ceiling), int4 strictly below int8.
 
 Run as a script for the CI smoke gate::
 
@@ -31,9 +37,11 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import tempfile
 
 import numpy as np
 
+from repro.artifact import save_artifact
 from repro.models.builder import build_pointwise_ranker
 from repro.serve.bench import measure_throughput, zipf_requests
 from repro.serve.cache import rows_for_budget
@@ -54,6 +62,7 @@ CACHE_ROWS_FLOOR = 3.5  # codes cache rows vs FP32 cache rows at equal bytes
 INT8_PRED_TOL = 5e-3  # documented |Δlogit| tolerances (DESIGN.md §7)
 INT4_PRED_TOL = 1e-1
 THROUGHPUT_SANITY_FLOOR = 0.25  # quantized ≥ 0.25× FP32 cached req/s
+INT8_ARTIFACT_CEIL = 0.35  # acceptance: int8 artifact ≤ 0.35× FP32 artifact bytes
 
 
 def _vocab(scale: float) -> int:
@@ -76,8 +85,25 @@ def _build(technique: str, vocab: int, seed: int = 0):
     )
 
 
+def _artifact_sizes(technique: str, vocab: int) -> dict[str, int]:
+    """On-disk container bytes for one model at every storage width."""
+    model = _build(technique, vocab)
+    sizes = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for bits, label in ((32, "fp32"), (8, "int8"), (4, "int4")):
+            artifact = save_artifact(
+                model, os.path.join(tmp, f"{technique}-{label}"), bits=bits
+            )
+            sizes[label] = artifact.total_bytes()
+    return sizes
+
+
 def _sweep(scale: float = 1.0, num_batches: int = 64) -> list[dict]:
-    """One row per (technique, engine config): throughput, memory, accuracy."""
+    """One row per (technique, engine config): throughput, memory, accuracy.
+
+    Each row also carries its technique's ``artifact_bytes`` map (FP32 /
+    int8 / int4 container sizes) so downstream JSON keeps size next to
+    speed."""
     requests = zipf_requests(
         _vocab(scale), INPUT_LENGTH, num_batches * BATCH, alpha=ZIPF_ALPHA, rng=0
     )
@@ -103,6 +129,7 @@ def _sweep(scale: float = 1.0, num_batches: int = 64) -> list[dict]:
                     warm_cached,
                 ),
             ]
+        artifact_bytes = _artifact_sizes(technique, vocab)
         fp32_pred = None
         fp32_bytes = None
         for label, kwargs, warm in configs:
@@ -125,6 +152,7 @@ def _sweep(scale: float = 1.0, num_batches: int = 64) -> list[dict]:
                     "table_bytes": engine.table_resident_bytes(),
                     "mem_ratio": engine.table_resident_bytes() / fp32_bytes,
                     "max_abs_err": float(np.abs(pred - fp32_pred).max()),
+                    "artifact_bytes": artifact_bytes,
                 }
             )
     return rows
@@ -142,6 +170,17 @@ def _render(rows: list[dict]) -> str:
             f"{r['technique']:>9} {r['config']:>11} {r['requests_per_sec']:>10,.0f} "
             f"{hit:>6} {r['table_bytes']:>12,} {r['mem_ratio']:>8.3f} "
             f"{cache:>10} {r['max_abs_err']:>12.2e}"
+        )
+    seen = set()
+    for r in rows:
+        if r["technique"] in seen:
+            continue
+        seen.add(r["technique"])
+        sizes = r["artifact_bytes"]
+        lines.append(
+            f"{r['technique']:>9} artifact bytes: fp32 {sizes['fp32']:,} | "
+            f"int8 {sizes['int8']:,} ({sizes['int8'] / sizes['fp32']:.3f}×) | "
+            f"int4 {sizes['int4']:,} ({sizes['int4'] / sizes['fp32']:.3f}×)"
         )
     return "\n".join(lines)
 
@@ -183,6 +222,16 @@ def _assert_gates(rows: list[dict], mem_ceil: float) -> None:
             f"{technique}: int8 cached serving collapsed to {rps_ratio:.2f}× the "
             f"FP32 cached requests/sec (sanity floor {THROUGHPUT_SANITY_FLOOR}×)"
         )
+        sizes = int8["artifact_bytes"]
+        art_ratio = sizes["int8"] / sizes["fp32"]
+        assert art_ratio <= INT8_ARTIFACT_CEIL, (
+            f"{technique}: int8 artifact is {art_ratio:.3f}× the FP32 artifact "
+            f"on disk (ceiling {INT8_ARTIFACT_CEIL}×)"
+        )
+        assert sizes["int4"] < sizes["int8"], (
+            f"{technique}: int4 artifact {sizes['int4']} not below int8's "
+            f"{sizes['int8']}"
+        )
 
 
 def test_quantized_serving(benchmark):
@@ -198,6 +247,13 @@ def test_quantized_serving(benchmark):
         benchmark.extra_info[f"{key}_rps"] = round(r["requests_per_sec"])
         benchmark.extra_info[f"{key}_mem_ratio"] = round(r["mem_ratio"], 4)
         benchmark.extra_info[f"{key}_max_abs_err"] = float(r["max_abs_err"])
+    seen = set()
+    for r in rows:
+        if r["technique"] in seen:
+            continue
+        seen.add(r["technique"])
+        for label, size in r["artifact_bytes"].items():
+            benchmark.extra_info[f"{r['technique']}_artifact_bytes_{label}"] = size
     _assert_gates(rows, INT8_MEM_CEIL)
 
 

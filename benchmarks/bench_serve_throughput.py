@@ -24,7 +24,12 @@ Run as a script for the CI smoke gate::
     python benchmarks/bench_serve_throughput.py --smoke
 
 which shrinks the sweep and asserts cached-Zipf ≥ uncached throughput for
-the compute-heavy compose.
+the compute-heavy compose.  ``--artifact`` additionally drives the sweep's
+tt_rec engine through the on-disk deployment contract — export the model
+as a :mod:`repro.artifact` container, reload it via
+:class:`~repro.serve.ServeSession`, measure it on the same traffic, and
+assert the loaded plan's predictions are bit-identical to the in-memory
+engine's (the export → load → serve → compare loop, end to end).
 """
 
 from __future__ import annotations
@@ -32,12 +37,15 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import tempfile
 
 import numpy as np
 
+from repro.artifact import load_artifact, save_artifact
 from repro.models.builder import build_pointwise_ranker, shard_model
 from repro.serve.bench import measure_throughput, zipf_requests
 from repro.serve.engine import InferenceEngine
+from repro.serve.session import ServeConfig, ServeSession
 
 EMBEDDING_DIM = 128
 INPUT_LENGTH = 64
@@ -120,6 +128,50 @@ def _sweep(scale: float = 1.0, num_batches: int = 96) -> list[dict]:
     return rows
 
 
+def _artifact_sweep(scale: float, num_batches: int) -> list[dict]:
+    """Export → load → serve → compare, on the sweep's tt_rec model.
+
+    Returns bench rows for the artifact-served engine (uncached + cached)
+    and asserts the loaded plan is bit-identical to the in-memory one —
+    the round trip a real deployment takes before any device sees traffic.
+    """
+    vocab = _vocab(scale)
+    cache_rows = int(CACHE_ROWS * min(1.0, scale) if scale < 1.0 else CACHE_ROWS)
+    model = _build("tt_rec", vocab)
+    reference = InferenceEngine(model)
+    requests = zipf_requests(
+        vocab, INPUT_LENGTH, num_batches * BATCH, alpha=ZIPF_ALPHA, rng=0
+    )
+    eval_ids = requests[: 2 * BATCH]
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "tt_rec-artifact")
+        save_artifact(model, path)
+        # One disk read + hash verification, shared by both sessions.
+        artifact = load_artifact(path)
+        loaded = ServeSession.load(artifact)
+        assert np.array_equal(loaded.predict(eval_ids), reference.predict(eval_ids)), (
+            "artifact-loaded serving plan diverged from the in-memory engine"
+        )
+        cached = ServeSession.load(artifact, ServeConfig(cache_rows=cache_rows))
+        for label, session, warm in (
+            ("artifact", loaded, max(2, num_batches // 16)),
+            ("artifact+cache", cached, num_batches // 2),
+        ):
+            report = _measure(session.engine, requests, f"tt_rec/{label}", warm)
+            rows.append(
+                {
+                    "technique": "tt_rec",
+                    "config": label,
+                    "requests_per_sec": report.requests_per_sec,
+                    "ms_per_batch": report.mean_batch_latency_ms,
+                    "cache_hit_rate": report.cache_hit_rate,
+                    "artifact_bytes": artifact.total_bytes(),
+                }
+            )
+    return rows
+
+
 def _render(rows: list[dict]) -> str:
     lines = [
         f"{'technique':>9} {'engine':>12} {'req/s':>10} {'ms/batch':>9} {'hit':>6}"
@@ -185,19 +237,35 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="reduced sweep; assert cached-Zipf ≥ uncached throughput (CI gate)",
     )
+    parser.add_argument(
+        "--artifact",
+        action="store_true",
+        help="also run the export → load → serve → compare round trip and "
+        "bench the artifact-served engine (bit-identity asserted)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
-        rows = _sweep(scale=0.25, num_batches=32)
-        print(_render(rows))
-        # Smoke floor: the cached engine must at least match uncached on the
-        # compute-heavy compose (full-scale floor is 2×; smoke is noise-safe).
-        _assert_gates(rows, cached_floor=1.0)
-        print("\nsmoke gates passed: cached-Zipf ≥ uncached (tt_rec), memcom cache ~neutral")
+        scale, num_batches, floor = 0.25, 32, 1.0
     else:
-        rows = _sweep(float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
-        print(_render(rows))
-        _assert_gates(rows, CACHED_SPEEDUP_FLOOR)
-        print("\ngates passed")
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+        num_batches, floor = 96, CACHED_SPEEDUP_FLOOR
+    rows = _sweep(scale, num_batches)
+    if args.artifact:
+        artifact_rows = _artifact_sweep(scale, num_batches)
+        rows += artifact_rows
+    print(_render(rows))
+    # Smoke floor: the cached engine must at least match uncached on the
+    # compute-heavy compose (full-scale floor is 2×; smoke is noise-safe).
+    _assert_gates(rows, cached_floor=floor)
+    if args.artifact:
+        print(
+            f"\nartifact round trip passed: loaded plan bit-identical, "
+            f"{artifact_rows[0]['artifact_bytes']:,} bytes on disk"
+        )
+    print(
+        "\ngates passed: cached-Zipf ≥ "
+        f"{floor}× uncached (tt_rec), memcom cache ~neutral"
+    )
     return 0
 
 

@@ -1,0 +1,48 @@
+"""`repro.artifact` — the versioned on-disk serving container.
+
+The deployment contract: :func:`save_artifact` flattens a trained model
+into a ``manifest.json`` + raw-binary-payload container (directory or
+zip), :func:`load_artifact` verifies and reopens it, and
+:class:`repro.serve.ServeSession` serves from either form.  FP32 plans
+store the embedding's rebuild spec + state; int8/int4 plans store real
+:class:`~repro.quant.QuantizedTable` codes + scales, so artifact bytes
+shrink with the storage width.  See DESIGN.md §8.
+"""
+
+from repro.artifact.container import (
+    FORMAT_MAGIC,
+    FORMAT_VERSION,
+    ModelArtifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.artifact.errors import (
+    ArtifactError,
+    ArtifactFormatError,
+    ArtifactIntegrityError,
+    ArtifactVersionError,
+)
+from repro.artifact.plan import (
+    TowerPlan,
+    build_embedding_from_spec,
+    build_tower,
+    embedding_spec,
+    tower_plan_of,
+)
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactFormatError",
+    "ArtifactIntegrityError",
+    "ArtifactVersionError",
+    "FORMAT_MAGIC",
+    "FORMAT_VERSION",
+    "ModelArtifact",
+    "TowerPlan",
+    "build_embedding_from_spec",
+    "build_tower",
+    "embedding_spec",
+    "load_artifact",
+    "save_artifact",
+    "tower_plan_of",
+]

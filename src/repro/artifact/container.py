@@ -1,0 +1,456 @@
+"""The versioned on-disk model container: ``manifest.json`` + raw payloads.
+
+The deployment contract of the paper's on-device story is the *exported
+artifact*, not the in-memory model: what ships to a phone is a directory
+(or zip) the serving runtime can open, verify, and serve from.  The layout
+is deliberately boring:
+
+::
+
+    artifact/
+      manifest.json           # format version, shapes, technique, hashes
+      payloads/<name>.bin     # raw C-order array bytes, one file per tensor
+
+* **manifest.json** carries everything structural: format magic + version,
+  the payload index (dtype, shape, byte count, sha256 content hash per
+  payload), the tower plan (kind, pooling, scalar metadata, array names),
+  and the embedding section — either an FP32 rebuild spec + state-dict
+  names, or the quantized metadata (mode, per-table layout, calibration
+  percentile) of a :class:`repro.quant.QuantizedEmbedding`.
+* **payloads** are raw bytes — ``np.ndarray.tobytes()`` on save,
+  ``np.frombuffer`` on load — so an int8 table costs one byte per code on
+  disk, which is what makes the int8 artifact ≤ 0.35× its FP32 sibling.
+
+Every load verifies the per-payload sha256 before any array is handed to
+the serving stack; failures raise the typed errors of
+:mod:`repro.artifact.errors` so callers can distinguish damage from
+version skew from producer bugs.
+
+Saving at ``bits ∈ {8, 4}`` runs the normal calibration pass and stores
+the resulting integer codes + scales; loading adopts them *without*
+recalibration.  Both halves therefore sit on the same single-rounding
+path as the in-memory quantized engine, which is why
+``ServeSession.load(save_artifact(model))`` serves bit-identical
+predictions (pinned across techniques × shards × widths in
+``tests/artifact/test_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zipfile
+
+import numpy as np
+
+from repro.artifact.errors import (
+    ArtifactError,
+    ArtifactFormatError,
+    ArtifactIntegrityError,
+    ArtifactVersionError,
+)
+from repro.artifact.plan import (
+    TowerPlan,
+    build_embedding_from_spec,
+    embedding_spec,
+    tower_plan_of,
+)
+from repro.quant.embedding import QuantizedEmbedding, quantize_embedding
+from repro.quant.table import QuantizedTable
+
+__all__ = ["FORMAT_MAGIC", "FORMAT_VERSION", "ModelArtifact", "load_artifact", "save_artifact"]
+
+FORMAT_MAGIC = "repro.model-artifact"
+FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_PAYLOAD_DIR = "payloads"
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _payload_file(name: str) -> str:
+    """Manifest payload name → archive member path (stable, collision-free:
+    names are state-dict-style dotted keys under unique slash prefixes)."""
+    return f"{_PAYLOAD_DIR}/{name.replace('/', '.')}.bin"
+
+
+# -- writing ----------------------------------------------------------------------
+
+
+class _Store:
+    """Payload accumulator shared by the dir and zip writers."""
+
+    def __init__(self) -> None:
+        self.arrays: dict[str, np.ndarray] = {}
+
+    def add(self, name: str, array: np.ndarray) -> str:
+        if name in self.arrays:
+            raise ValueError(f"duplicate payload {name!r}")
+        self.arrays[name] = np.ascontiguousarray(array)
+        return name
+
+
+def _write_container(path: str, manifest: dict, store: _Store) -> int:
+    """Write dir (default) or zip (``*.zip`` path); returns manifest bytes.
+
+    Each tensor is serialized exactly once — hashed and written from the
+    same byte string, one payload at a time (a large table would otherwise
+    materialize twice) — and the payload index lands in ``manifest``
+    before the manifest itself is written last.
+    """
+    def entry(arr: np.ndarray, data: bytes) -> dict:
+        return {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "nbytes": len(data),
+            "sha256": _sha256(data),
+        }
+
+    index: dict[str, dict] = {}
+
+    def manifest_bytes() -> bytes:
+        manifest["payloads"] = index
+        # Compact separators: the manifest rides along with every shipped
+        # model, so its bytes count against the same budget the payloads do.
+        return json.dumps(manifest, sort_keys=True, separators=(",", ":")).encode()
+
+    if path.endswith(".zip"):
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as zf:
+            for name, arr in store.arrays.items():
+                data = arr.tobytes()
+                index[name] = {"file": _payload_file(name), **entry(arr, data)}
+                zf.writestr(_payload_file(name), data)
+            raw = manifest_bytes()
+            zf.writestr(_MANIFEST, raw)
+    else:
+        os.makedirs(os.path.join(path, _PAYLOAD_DIR), exist_ok=True)
+        for name, arr in store.arrays.items():
+            data = arr.tobytes()
+            index[name] = {"file": _payload_file(name), **entry(arr, data)}
+            with open(os.path.join(path, _payload_file(name)), "wb") as fh:
+                fh.write(data)
+        raw = manifest_bytes()
+        with open(os.path.join(path, _MANIFEST), "wb") as fh:
+            fh.write(raw)
+    return len(raw)
+
+
+# -- reading ----------------------------------------------------------------------
+
+
+class _Reader:
+    """Uniform byte access over a directory or zip container."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._zip: zipfile.ZipFile | None = None
+        if os.path.isdir(path):
+            pass
+        elif zipfile.is_zipfile(path):
+            self._zip = zipfile.ZipFile(path, "r")
+        elif not os.path.exists(path):
+            raise ArtifactFormatError(f"no artifact at {path!r}")
+        else:
+            raise ArtifactFormatError(
+                f"{path!r} is neither an artifact directory nor a zip container"
+            )
+
+    def read(self, member: str) -> bytes:
+        try:
+            if self._zip is not None:
+                with self._zip.open(member) as fh:
+                    return fh.read()
+            with open(os.path.join(self.path, member), "rb") as fh:
+                return fh.read()
+        except (KeyError, FileNotFoundError):
+            raise ArtifactIntegrityError(
+                f"artifact member {member!r} missing from {self.path!r}"
+            ) from None
+
+    def close(self) -> None:
+        if self._zip is not None:
+            self._zip.close()
+
+
+def _check_manifest(raw: bytes, path: str) -> dict:
+    try:
+        manifest = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ArtifactFormatError(f"unparseable manifest in {path!r}: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_MAGIC:
+        raise ArtifactFormatError(
+            f"{path!r} manifest does not declare format {FORMAT_MAGIC!r}"
+        )
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ArtifactVersionError(
+            f"artifact format version {version!r} not readable by this runtime "
+            f"(expected {FORMAT_VERSION})"
+        )
+    for key in ("bits", "model", "embedding", "tower", "payloads"):
+        if key not in manifest:
+            raise ArtifactFormatError(f"manifest missing required field {key!r}")
+    return manifest
+
+
+# -- the artifact object ----------------------------------------------------------
+
+
+class ModelArtifact:
+    """A loaded (or freshly written) container: manifest + named arrays.
+
+    Handed out by :func:`save_artifact` and :func:`load_artifact`; consumed
+    by :meth:`repro.serve.ServeSession.load`.  The arrays here are the
+    *storage* forms — FP32 state tensors, or int8/int4 codes plus scales —
+    and :meth:`serving_embedding` / :meth:`tower_plan` reconstitute the
+    serving-side objects from them.
+    """
+
+    def __init__(self, manifest: dict, arrays: dict[str, np.ndarray], path: str,
+                 manifest_nbytes: int) -> None:
+        self.manifest = manifest
+        self.path = path
+        self._arrays = arrays
+        self._manifest_nbytes = int(manifest_nbytes)
+
+    # -- metadata ---------------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        return int(self.manifest["bits"])
+
+    @property
+    def technique(self) -> str:
+        return self.manifest["embedding"]["technique"]
+
+    @property
+    def architecture(self) -> str:
+        return self.manifest["model"]["architecture"]
+
+    @property
+    def input_length(self) -> int:
+        return int(self.manifest["model"]["input_length"])
+
+    def payload_bytes(self) -> int:
+        """Raw tensor bytes (what dominates the shipped size)."""
+        return int(sum(p["nbytes"] for p in self.manifest["payloads"].values()))
+
+    def total_bytes(self) -> int:
+        """Shipped container size: payloads plus the manifest itself."""
+        return self.payload_bytes() + self._manifest_nbytes
+
+    def array(self, name: str) -> np.ndarray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise ArtifactFormatError(f"manifest references no payload {name!r}") from None
+
+    # -- reconstruction ---------------------------------------------------------
+
+    def tower_plan(self) -> TowerPlan:
+        tower = self.manifest["tower"]
+        meta = dict(tower["meta"])
+        arrays = {key: self.array(f"tower/{key}") for key in tower["arrays"]}
+        return TowerPlan(tower["kind"], int(tower["pool"]), meta=meta, arrays=arrays)
+
+    def _module_from_state(self, spec: dict, prefix: str):
+        emb = build_embedding_from_spec(spec)
+        state_keys = self.manifest["embedding"]["state"]
+        state = {key: self.array(f"{prefix}{key}") for key in state_keys}
+        try:
+            emb.load_state_dict(state)
+        except (KeyError, ValueError) as exc:
+            raise ArtifactFormatError(
+                f"embedding state does not fit spec {spec.get('class')!r}: {exc}"
+            ) from exc
+        emb.eval()
+        return emb
+
+    def serving_embedding(self):
+        """The embedding in its serving form.
+
+        FP32 artifacts return the rebuilt technique module (exact floats via
+        its state dict); quantized artifacts return a
+        :class:`~repro.quant.QuantizedEmbedding` adopting the stored codes.
+        """
+        section = self.manifest["embedding"]
+        kind = section.get("kind")
+        if kind == "fp32":
+            return self._module_from_state(section["spec"], "embedding/")
+        if kind != "quantized":
+            raise ArtifactFormatError(f"unknown embedding kind {kind!r}")
+        # The payload hashes only prove the tensors are intact; a manifest
+        # whose *structure* lies (missing table entries, absent meta keys)
+        # must still fail typed, never with a raw KeyError.
+        try:
+            meta = section["quant"]
+            if meta["mode"] == "module":
+                module = self._module_from_state(section["spec"], "embedding/module/")
+                return QuantizedEmbedding.from_state(meta, module=module)
+            tables: dict[str, QuantizedTable] = {}
+            for name, tmeta in section["tables"].items():
+                tables[name] = QuantizedTable(
+                    self.array(f"embedding/{name}.codes"),
+                    self.array(f"embedding/{name}.scales"),
+                    int(tmeta["bits"]),
+                    int(tmeta["dim"]),
+                    per_row=bool(tmeta["per_row"]),
+                )
+            return QuantizedEmbedding.from_state(meta, tables=tables)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactFormatError(
+                f"malformed quantized embedding section: {exc!r}"
+            ) from exc
+
+    def describe(self) -> str:
+        """One-paragraph human summary (the CLI's post-export report)."""
+        kind = f"int{self.bits}" if self.bits != 32 else "fp32"
+        return (
+            f"ModelArtifact[{self.architecture}/{self.technique} {kind}] "
+            f"v{self.manifest['format_version']} at {self.path}: "
+            f"{len(self.manifest['payloads'])} payloads, "
+            f"{self.total_bytes():,} bytes"
+        )
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+# -- save / load ------------------------------------------------------------------
+
+
+def save_artifact(
+    model,
+    path: str,
+    bits: int = 32,
+    percentile: float | None = None,
+) -> ModelArtifact:
+    """Export ``model`` as a serving artifact at ``path`` (dir, or ``*.zip``).
+
+    ``bits=32`` stores the FP32 embedding state plus its rebuild spec;
+    ``bits ∈ {8, 4}`` calibrates through :func:`repro.quant.quantize_embedding`
+    (optionally percentile-clipped) and stores the integer codes + scales.
+    The tower is stored FP32 in all cases — the paper's on-device setting
+    quantizes storage, not arithmetic.
+    """
+    if bits not in (32, 8, 4):
+        raise ValueError(f"artifact bits must be 32, 8 or 4, got {bits}")
+    if not hasattr(model, "embedding"):
+        raise TypeError(f"no artifact export for model type {type(model).__name__}")
+    model.eval()
+    plan = tower_plan_of(model)
+    emb = model.embedding
+    store = _Store()
+
+    for key, arr in plan.arrays.items():
+        store.add(f"tower/{key}", arr)
+    tower_section = {
+        "kind": plan.kind,
+        "pool": plan.pool,
+        "meta": plan.meta,
+        "arrays": sorted(plan.arrays),
+    }
+
+    embedding_section: dict = {
+        "technique": getattr(emb, "technique", type(emb).__name__),
+        "vocab_size": int(getattr(emb, "vocab_size", 0)),
+        "output_dim": int(emb.output_dim),
+    }
+    if bits == 32:
+        spec = embedding_spec(emb)
+        state = emb.state_dict()
+        for key, arr in state.items():
+            store.add(f"embedding/{key}", arr)
+        embedding_section.update(
+            {"kind": "fp32", "spec": spec, "state": sorted(state)}
+        )
+    else:
+        qemb = quantize_embedding(emb, bits, percentile=percentile)
+        meta, tables, module = qemb.state()
+        embedding_section.update({"kind": "quantized", "quant": meta})
+        if module is not None:
+            spec = embedding_spec(module)
+            state = module.state_dict()
+            for key, arr in state.items():
+                store.add(f"embedding/module/{key}", arr)
+            embedding_section.update({"spec": spec, "state": sorted(state)})
+        else:
+            table_metas = {}
+            for name, table in tables.items():
+                store.add(f"embedding/{name}.codes", table.codes)
+                store.add(f"embedding/{name}.scales", table.scales)
+                table_metas[name] = {
+                    "bits": table.bits,
+                    "dim": table.dim,
+                    "per_row": table.per_row,
+                    "num_rows": table.num_rows,
+                }
+            embedding_section["tables"] = table_metas
+
+    manifest = {
+        "format": FORMAT_MAGIC,
+        "format_version": FORMAT_VERSION,
+        "bits": int(bits),
+        "model": {
+            "architecture": type(model).__name__,
+            "kind": plan.kind,
+            "input_length": int(model.input_length),
+        },
+        "embedding": embedding_section,
+        "tower": tower_section,
+        # "payloads" is filled by the writer, which hashes while writing.
+    }
+    manifest_nbytes = _write_container(path, manifest, store)
+    return ModelArtifact(manifest, dict(store.arrays), path, manifest_nbytes)
+
+
+def load_artifact(path: str) -> ModelArtifact:
+    """Open, validate and integrity-check an artifact written by
+    :func:`save_artifact`.
+
+    Raises :class:`ArtifactFormatError` for malformed containers,
+    :class:`ArtifactVersionError` for unreadable format versions, and
+    :class:`ArtifactIntegrityError` when any payload's bytes disagree with
+    the manifest's sha256 (or are missing).
+    """
+    reader = _Reader(path)
+    try:
+        raw_manifest = reader.read(_MANIFEST)
+    except ArtifactIntegrityError:
+        reader.close()
+        raise ArtifactFormatError(f"{path!r} has no {_MANIFEST}") from None
+    try:
+        manifest = _check_manifest(raw_manifest, path)
+        payload_index = manifest["payloads"]
+        if not isinstance(payload_index, dict):
+            raise ArtifactFormatError("manifest 'payloads' must be an object")
+        arrays: dict[str, np.ndarray] = {}
+        for name, meta in payload_index.items():
+            data = reader.read(meta["file"])
+            if len(data) != int(meta["nbytes"]):
+                raise ArtifactIntegrityError(
+                    f"payload {name!r}: {len(data)} bytes on disk, manifest "
+                    f"says {meta['nbytes']}"
+                )
+            if _sha256(data) != meta["sha256"]:
+                raise ArtifactIntegrityError(
+                    f"payload {name!r} content hash mismatch — artifact is corrupted"
+                )
+            try:
+                arr = np.frombuffer(data, dtype=np.dtype(meta["dtype"]))
+                arr = arr.reshape([int(s) for s in meta["shape"]])
+            except (TypeError, ValueError) as exc:
+                raise ArtifactFormatError(
+                    f"payload {name!r} has inconsistent dtype/shape metadata: {exc}"
+                ) from exc
+            # frombuffer views are read-only; serving scratch paths may write.
+            arrays[name] = arr.copy()
+    except ArtifactError:
+        reader.close()
+        raise
+    reader.close()
+    return ModelArtifact(manifest, arrays, path, len(raw_manifest))

@@ -68,6 +68,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--seed", type=int, default=0)
     p_train.set_defaults(func=_cmd_train)
 
+    p_export = sub.add_parser(
+        "export-artifact",
+        help="export a model as a versioned on-disk serving artifact "
+        "(manifest.json + binary payloads; directory or .zip)",
+    )
+    p_export.add_argument("out", help="artifact path (directory, or *.zip for one file)")
+    p_export.add_argument(
+        "--technique", choices=["memcom", "full", "tt_rec", "factorized"], default="memcom",
+        help="embedding technique of the exported model",
+    )
+    p_export.add_argument(
+        "--architecture", choices=["pointwise", "classifier", "ranknet"],
+        default="pointwise",
+    )
+    p_export.add_argument("--vocab", type=int, default=50_000)
+    p_export.add_argument("--embedding-dim", type=int, default=64)
+    p_export.add_argument("--input-length", type=int, default=32)
+    p_export.add_argument("--num-items", type=int, default=100, help="output catalog/label size")
+    p_export.add_argument(
+        "--hash-fraction", type=int, default=16,
+        help="MEmCom hash size = vocab / fraction",
+    )
+    p_export.add_argument(
+        "--shards", type=int, default=0,
+        help="shard the per-entity tables before export (0 = monolithic)",
+    )
+    p_export.add_argument(
+        "--bits", type=int, choices=(32, 8, 4), default=32,
+        help="storage width: 32 stores FP32 state, 8/4 store real "
+        "QuantizedTable codes + scales",
+    )
+    p_export.add_argument(
+        "--percentile", type=float, default=None,
+        help="outlier-clipped calibration percentile for quantized export",
+    )
+    p_export.add_argument("--seed", type=int, default=0)
+    p_export.set_defaults(func=_cmd_export_artifact)
+
     p_serve = sub.add_parser(
         "serve-bench",
         help="measure batched serving throughput (requests/sec) under Zipf traffic",
@@ -88,16 +126,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--batch-size", type=int, default=64)
     p_serve.add_argument(
         "--cache-rows", type=int, default=4096,
-        help="LRU hot-row cache capacity (composed embedding rows)",
+        help="LRU hot-row cache capacity (composed embedding rows); 0 disables "
+        "the cached configurations' cache",
     )
     p_serve.add_argument(
         "--cache-min-count", type=int, default=1,
         help="cache admission: insert an id only after this many missed attempts",
     )
     p_serve.add_argument(
+        "--cache-ttl-batches", type=int, default=None,
+        help="decay the admission counters by half every N batches so stale "
+        "popularity can't permanently grease admission (default: no decay)",
+    )
+    p_serve.add_argument(
+        "--artifact", default=None, metavar="PATH",
+        help="serve an exported artifact (repro export-artifact) instead of "
+        "building a model; traffic shape comes from its manifest",
+    )
+    p_serve.add_argument(
         "--bits", type=int, choices=(32, 8, 4), default=32,
         help="also serve the repro.quant integer-storage plan at this width "
-        "(quantized tables + cache of codes) alongside the FP32 engines",
+        "(quantized tables + cache of codes) alongside the FP32 engines; "
+        "with --artifact, 8/4 quantize an FP32 artifact on load (32 = the "
+        "artifact's native width)",
     )
     p_serve.add_argument("--shards", type=int, default=4, help="shard count for the sharded run")
     p_serve.add_argument("--alpha", type=float, default=1.1, help="Zipf exponent of the traffic")
@@ -190,11 +241,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve_bench(args: argparse.Namespace) -> int:
-    # Import lazily: serving pulls in the model stack.
-    from repro.models.builder import build_pointwise_ranker, shard_model
-    from repro.serve.bench import measure_throughput, zipf_requests
-    from repro.serve.engine import InferenceEngine
+def _build_export_model(args: argparse.Namespace):
+    """serve-bench / export-artifact share one model recipe."""
+    from repro.models.builder import (
+        build_classifier,
+        build_pointwise_ranker,
+        build_ranknet,
+    )
 
     hyper = {
         "memcom": {"num_hash_embeddings": max(2, args.vocab // args.hash_fraction)},
@@ -202,95 +255,249 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         "factorized": {"hidden_dim": max(2, args.embedding_dim // 4)},
         "full": {},
     }[args.technique]
-    shardable = args.technique in ("memcom", "full")
-
-    def build():
-        # Weights are untrained — throughput depends on shapes, not values.
-        return build_pointwise_ranker(
-            args.technique,
-            args.vocab,
-            args.num_items,
-            input_length=args.input_length,
-            embedding_dim=args.embedding_dim,
-            rng=args.seed,
-            **hyper,
-        )
-
-    requests = zipf_requests(
-        args.vocab, args.input_length, args.requests, alpha=args.alpha, rng=args.seed
+    builder = {
+        "pointwise": build_pointwise_ranker,
+        "classifier": build_classifier,
+        "ranknet": build_ranknet,
+    }[getattr(args, "architecture", "pointwise")]
+    # Weights are untrained — serving throughput and artifact layout depend
+    # on shapes, not values.
+    return builder(
+        args.technique,
+        args.vocab,
+        args.num_items,
+        input_length=args.input_length,
+        embedding_dim=args.embedding_dim,
+        rng=args.seed,
+        **hyper,
     )
+
+
+def _validate_serve_args(args: argparse.Namespace) -> str | None:
+    """First invalid serving argument, as a one-line message (None = all good).
+
+    serve-bench used to hand bad values straight to engine construction and
+    die deep inside cache/quantizer internals; everything is checked here
+    before any table is built.
+    """
+    from repro.serve.session import ServeConfig
+
+    for flag, value in (
+        ("--vocab", args.vocab),
+        ("--embedding-dim", args.embedding_dim),
+        ("--input-length", args.input_length),
+        ("--num-items", args.num_items),
+        ("--hash-fraction", args.hash_fraction),
+        ("--requests", args.requests),
+        ("--batch-size", args.batch_size),
+        ("--shards", args.shards),
+    ):
+        if value <= 0:
+            return f"{flag} must be positive, got {value}"
+    if args.alpha <= 0:
+        return f"--alpha must be positive, got {args.alpha}"
+    if args.cache_rows < 0:
+        return f"--cache-rows must be >= 0 (0 disables the cache), got {args.cache_rows}"
+    try:
+        ServeConfig(
+            bits=args.bits,
+            cache_rows=args.cache_rows or None,
+            cache_min_count=args.cache_min_count,
+            cache_ttl_batches=args.cache_ttl_batches,
+            max_batch=args.batch_size,
+        ).validate()
+    except ValueError as exc:
+        return str(exc)
+    return None
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    # Import lazily: serving pulls in the model stack.
+    from dataclasses import replace as dc_replace
+
+    from repro.artifact.errors import ArtifactError
+    from repro.models.builder import shard_model
+    from repro.serve.bench import measure_throughput, zipf_requests
+    from repro.serve.session import ServeConfig, ServeSession
+
+    error = _validate_serve_args(args)
+    if error is not None:
+        print(f"repro serve-bench: error: {error}", file=sys.stderr)
+        return 2
+
+    cache_rows = args.cache_rows or None
+    base = ServeConfig(
+        cache_min_count=args.cache_min_count,
+        cache_ttl_batches=args.cache_ttl_batches,
+        max_batch=args.batch_size,
+    )
+    cached_cfg = dc_replace(base, cache_rows=cache_rows)
     num_batches = max(1, args.requests // args.batch_size)
     # Cached engines warm for half the traffic so the timed window measures
     # the steady-state hit rate, not the cold fill (DESIGN.md §6 protocol).
     warm_uncached = max(1, num_batches // 16)
     warm_cached = max(1, num_batches // 2)
-    configs = [
-        ("monolithic", InferenceEngine(build()), warm_uncached),
-        (
-            "monolithic+cache",
-            InferenceEngine(
-                build(), cache_rows=args.cache_rows, cache_min_count=args.cache_min_count
-            ),
-            warm_cached,
-        ),
-    ]
-    if shardable:
-        configs += [
-            (
-                f"sharded x{args.shards}",
-                InferenceEngine(shard_model(build(), args.shards)),
-                warm_uncached,
-            ),
-            (
-                f"sharded x{args.shards}+cache",
-                InferenceEngine(shard_model(build(), args.shards), cache_rows=args.cache_rows),
-                warm_cached,
-            ),
-        ]
-    if args.bits != 32:
-        # The repro.quant integer-storage plan: quantized tables served via
-        # fused gather→dequant, LRU cache of codes (DESIGN.md §7).
-        configs += [
-            (f"int{args.bits}", InferenceEngine(build(), bits=args.bits), warm_uncached),
-            (
-                f"int{args.bits}+cache",
-                InferenceEngine(
-                    build(),
-                    cache_rows=args.cache_rows,
-                    bits=args.bits,
-                    cache_min_count=args.cache_min_count,
+
+    if args.artifact is not None:
+        # Serve the exported container itself — the deployment contract.
+        # --bits 32 means "the artifact's native width"; 8/4 quantize an
+        # FP32 artifact on load (a stored-width conflict is a typed error).
+        session_bits = None if args.bits == 32 else args.bits
+        try:
+            from repro.artifact import load_artifact
+
+            # One disk read + hash verification, shared by both sessions.
+            artifact = load_artifact(args.artifact)
+            configs = [
+                (
+                    "artifact",
+                    ServeSession.load(artifact, dc_replace(base, bits=session_bits)),
+                    warm_uncached,
                 ),
+                (
+                    "artifact+cache",
+                    ServeSession.load(
+                        artifact, dc_replace(cached_cfg, bits=session_bits)
+                    ),
+                    warm_cached,
+                ),
+            ]
+        except ArtifactError as exc:
+            print(f"repro serve-bench: error: {exc}", file=sys.stderr)
+            return 2
+        engine = configs[0][1].engine
+        vocab, input_length = engine.vocab_size, engine.input_length
+        title = (
+            f"serve-bench: artifact {args.artifact} ({engine.model_name}, "
+            f"int{engine.bits}), v={vocab}, L={input_length}, Zipf({args.alpha})"
+        )
+    else:
+        def build():
+            return _build_export_model(args)
+
+        vocab, input_length = args.vocab, args.input_length
+        shardable = args.technique in ("memcom", "full")
+        configs = [
+            ("monolithic", ServeSession.from_model(build(), base), warm_uncached),
+            (
+                "monolithic+cache",
+                ServeSession.from_model(build(), cached_cfg),
                 warm_cached,
             ),
         ]
-    engines = {label: engine for label, engine, _ in configs}
+        if shardable:
+            configs += [
+                (
+                    f"sharded x{args.shards}",
+                    ServeSession.from_model(shard_model(build(), args.shards), base),
+                    warm_uncached,
+                ),
+                (
+                    f"sharded x{args.shards}+cache",
+                    ServeSession.from_model(
+                        shard_model(build(), args.shards), cached_cfg
+                    ),
+                    warm_cached,
+                ),
+            ]
+        if args.bits != 32:
+            # The repro.quant integer-storage plan: quantized tables served
+            # via fused gather→dequant, LRU cache of codes (DESIGN.md §7).
+            configs += [
+                (
+                    f"int{args.bits}",
+                    ServeSession.from_model(build(), dc_replace(base, bits=args.bits)),
+                    warm_uncached,
+                ),
+                (
+                    f"int{args.bits}+cache",
+                    ServeSession.from_model(
+                        build(), dc_replace(cached_cfg, bits=args.bits)
+                    ),
+                    warm_cached,
+                ),
+            ]
+        title = (
+            f"serve-bench: {args.technique} {getattr(args, 'architecture', 'pointwise')}, "
+            f"v={vocab}, e={args.embedding_dim}, L={input_length}, Zipf({args.alpha})"
+        )
+
+    requests = zipf_requests(
+        vocab, input_length, args.requests, alpha=args.alpha, rng=args.seed
+    )
+    sessions = {label: session for label, session, _ in configs}
     reports = [
         measure_throughput(
-            engine, requests, batch_size=args.batch_size, label=label,
+            session.engine, requests, batch_size=args.batch_size, label=label,
             warmup_batches=warm,
         )
-        for label, engine, warm in configs
+        for label, session, warm in configs
     ]
     print(format_table(
         ["engine", "requests", "batch", "req/s", "ms/batch", "cache hit"],
         [r.row() for r in reports],
-        title=(
-            f"serve-bench: {args.technique} pointwise, v={args.vocab}, "
-            f"e={args.embedding_dim}, L={args.input_length}, Zipf({args.alpha})"
-        ),
+        title=title,
     ))
-    base, cached = reports[0], reports[1]
+    first, cached = reports[0], reports[1]
     print(
-        f"\ncached vs uncached: {cached.requests_per_sec / base.requests_per_sec:.2f}× "
+        f"\ncached vs uncached: {cached.requests_per_sec / first.requests_per_sec:.2f}× "
         f"requests/sec at {100.0 * (cached.cache_hit_rate or 0.0):.1f}% hit rate"
     )
-    if args.bits != 32:
-        fp32_bytes = engines["monolithic"].table_resident_bytes()
-        q_bytes = engines[f"int{args.bits}"].table_resident_bytes()
+    if args.artifact is None and args.bits != 32:
+        fp32_bytes = sessions["monolithic"].engine.table_resident_bytes()
+        q_bytes = sessions[f"int{args.bits}"].engine.table_resident_bytes()
         print(
             f"int{args.bits} table-resident bytes: {q_bytes:,} "
             f"({q_bytes / fp32_bytes:.2f}× FP32's {fp32_bytes:,})"
         )
+    return 0
+
+
+def _cmd_export_artifact(args: argparse.Namespace) -> int:
+    # Import lazily: export pulls in the model + quant stack.
+    from repro.artifact import save_artifact
+    from repro.models.builder import shard_model
+    from repro.serve.session import ServeSession
+
+    for flag, value in (
+        ("--vocab", args.vocab),
+        ("--embedding-dim", args.embedding_dim),
+        ("--input-length", args.input_length),
+        ("--num-items", args.num_items),
+        ("--hash-fraction", args.hash_fraction),
+    ):
+        if value <= 0:
+            print(
+                f"repro export-artifact: error: {flag} must be positive, got {value}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.shards < 0:
+        print(
+            f"repro export-artifact: error: --shards must be >= 0, got {args.shards}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.percentile is not None and not 0.0 < args.percentile <= 100.0:
+        print(
+            f"repro export-artifact: error: --percentile must be in (0, 100], "
+            f"got {args.percentile}",
+            file=sys.stderr,
+        )
+        return 2
+    model = _build_export_model(args)
+    if args.shards:
+        model = shard_model(model, args.shards)
+    artifact = save_artifact(model, args.out, bits=args.bits, percentile=args.percentile)
+    print(artifact.describe())
+    # Reopen through the session front door: verifies every payload hash and
+    # rebuilds the serving plan, so a bad export dies here, not on-device.
+    session = ServeSession.load(args.out)
+    print(
+        f"verified: reload OK — int{session.bits} serving plan, "
+        f"{artifact.payload_bytes():,} payload bytes "
+        f"(+{artifact.total_bytes() - artifact.payload_bytes():,} manifest)"
+    )
     return 0
 
 

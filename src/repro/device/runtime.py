@@ -48,19 +48,25 @@ class DeviceRuntime:
         """Measure batched serving throughput (requests/sec) for ``model``.
 
         Unlike :meth:`benchmark` — which is the paper's *analytic* Table 3
-        latency/footprint model — this freezes the model into a real
-        :class:`repro.serve.InferenceEngine` and streams Zipf(``alpha``)
-        request traffic through a batcher, measuring host wall-clock.  The
-        profile names the deployment target in the report label; absolute
-        req/s is a host number (DESIGN.md §1's relative-claims rule applies).
+        latency/footprint model — this freezes the model through
+        :class:`repro.serve.ServeSession` (the canonical serving front
+        door; this method is a thin shim over it) and streams
+        Zipf(``alpha``) request traffic through a batcher, measuring host
+        wall-clock.  The profile names the deployment target in the report
+        label; absolute req/s is a host number (DESIGN.md §1's
+        relative-claims rule applies).
 
         ``bits`` ∈ {8, 4} serves the :mod:`repro.quant` integer-storage
         plan (quantized tables, cache of codes) instead of FP32.
         """
         from repro.serve.bench import measure_throughput, zipf_requests
-        from repro.serve.engine import InferenceEngine
+        from repro.serve.session import ServeConfig, ServeSession
 
-        engine = InferenceEngine(model, cache_rows=cache_rows, bits=bits)
+        session = ServeSession.from_model(
+            model,
+            ServeConfig(bits=bits, cache_rows=cache_rows, max_batch=batch_size),
+        )
+        engine = session.engine
         vocab = model.embedding.vocab_size
         requests = zipf_requests(
             vocab, engine.input_length, num_requests, alpha=alpha, rng=rng

@@ -117,6 +117,7 @@ class QuantizedEmbedding:
         )
         self.output_dim = int(source.output_dim)
         self._remap = None
+        self._remap_keep: int | None = None
         self._module = None
 
         if isinstance(source, (MEmComEmbedding, ShardedMEmComEmbedding)):
@@ -145,6 +146,7 @@ class QuantizedEmbedding:
             if isinstance(source, TruncateRareEmbedding):
                 keep = source.keep
                 self._remap = lambda ids: np.where(ids <= keep, ids, keep + 1)
+                self._remap_keep = int(keep)
             table = (
                 _dense_of(source.table)
                 if hasattr(source, "table")
@@ -169,6 +171,100 @@ class QuantizedEmbedding:
             for p in frozen.parameters():
                 p.data = _simulate_param(p.data, bits, percentile)
             self._module = frozen
+
+    # -- persistence ------------------------------------------------------------
+
+    def state(self) -> tuple[dict, dict[str, QuantizedTable], object]:
+        """``(meta, tables, module)`` — the persistable decomposition.
+
+        ``meta`` is JSON-serializable; ``tables`` holds the integer-storage
+        payloads by stable name; ``module`` is the FP32 working copy (only
+        non-None in ``module`` mode, where the caller persists its rebuild
+        spec + state dict).  :meth:`from_state` inverts this exactly, so a
+        round-tripped embedding serves bit-identical rows — no
+        recalibration happens on load.
+        """
+        meta = {
+            "bits": self.bits,
+            "percentile": self.percentile,
+            "technique": self.technique,
+            "vocab_size": self.vocab_size,
+            "output_dim": self.output_dim,
+            "mode": self.mode,
+        }
+        tables: dict[str, QuantizedTable] = {}
+        if self.mode == "table":
+            meta["remap_keep"] = self._remap_keep
+            tables["table"] = self._q_table
+        elif self.mode == "memcom":
+            meta["num_hash"] = self._num_hash
+            tables["shared"] = self._q_shared
+            tables["multiplier"] = self._q_mult
+            if self._q_bias is not None:
+                tables["bias"] = self._q_bias
+        elif self.mode == "tt_rec":
+            meta["vocab_shape"] = list(self._vocab_shape)
+            meta["dim_shape"] = list(self._dim_shape)
+            meta["tt_rank"] = self._tt_rank
+            for i, core in enumerate(self._q_cores, start=1):
+                tables[f"core{i}"] = core
+        return meta, tables, self._module
+
+    @classmethod
+    def from_state(
+        cls,
+        meta: dict,
+        tables: dict[str, QuantizedTable] | None = None,
+        module=None,
+    ) -> "QuantizedEmbedding":
+        """Reconstitute a serving embedding from :meth:`state` output.
+
+        The inverse of calibration-then-:meth:`state`: integer payloads are
+        adopted as-is (single rounding, done at save time), so a loaded
+        artifact's rows match the freshly calibrated embedding bit for bit.
+        """
+        bits = int(meta["bits"])
+        if bits not in SUPPORTED_STORAGE_BITS:
+            raise ValueError(
+                f"serving storage bits must be one of {SUPPORTED_STORAGE_BITS}, "
+                f"got {bits}"
+            )
+        tables = tables or {}
+        self = object.__new__(cls)
+        self.bits = bits
+        self.percentile = meta.get("percentile")
+        self.technique = meta["technique"]
+        self.vocab_size = int(meta["vocab_size"])
+        self.output_dim = int(meta["output_dim"])
+        self.mode = meta["mode"]
+        self._remap = None
+        self._remap_keep = None
+        self._module = None
+        if self.mode == "table":
+            keep = meta.get("remap_keep")
+            if keep is not None:
+                keep = int(keep)
+                self._remap = lambda ids: np.where(ids <= keep, ids, keep + 1)
+                self._remap_keep = keep
+            self._q_table = tables["table"]
+        elif self.mode == "memcom":
+            self._num_hash = int(meta["num_hash"])
+            self._q_shared = tables["shared"]
+            self._q_mult = tables["multiplier"]
+            self._q_bias = tables.get("bias")
+        elif self.mode == "tt_rec":
+            self._vocab_shape = tuple(int(v) for v in meta["vocab_shape"])
+            self._dim_shape = tuple(int(d) for d in meta["dim_shape"])
+            self._tt_rank = int(meta["tt_rank"])
+            self._q_cores = tuple(tables[f"core{i}"] for i in (1, 2, 3))
+        elif self.mode == "module":
+            if module is None:
+                raise ValueError("module-mode state needs the rebuilt module")
+            module.eval()
+            self._module = module
+        else:
+            raise ValueError(f"unknown quantized mode {self.mode!r}")
+        return self
 
     # -- row composition --------------------------------------------------------
 

@@ -1,19 +1,23 @@
 """`repro.serve` — batched inference serving over frozen models.
 
-The request-time half of the ROADMAP's north star: freeze a trained model
-into a forward-only NumPy plan (:class:`InferenceEngine`), coalesce many
-single requests into batched lookups (:class:`Batcher`), and absorb Zipf
-traffic with an LRU hot-row cache (:class:`LRUCache`).  Sharded tables
-(:mod:`repro.nn.sharding`) serve through the same routed gather they train
-with, and ``InferenceEngine(bits=8|4)`` serves :mod:`repro.quant` integer
-storage with a cache of codes (:class:`QuantizedRowCache`).  See DESIGN.md
-§6–§7 and ``repro serve-bench``.
+The request-time half of the ROADMAP's north star, fronted by one API:
+build a :class:`ServeConfig`, then :meth:`ServeSession.from_model` (freeze
+a live model) or :meth:`ServeSession.load` (serve a
+:mod:`repro.artifact` container straight off disk).  The session wires the
+forward-only :class:`InferenceEngine` plan, the coalescing
+:class:`Batcher`, the LRU hot-row caches (:class:`LRUCache` /
+:class:`QuantizedRowCache` with admission + TTL decay) and the
+:mod:`repro.quant` integer-storage widths from that single config.  The
+engine/batcher/cache classes remain public — they are the moving parts,
+the session is the front door.  See DESIGN.md §6–§8 and
+``repro serve-bench`` / ``repro export-artifact``.
 """
 
 from repro.serve.batcher import Batcher, PendingRequest
 from repro.serve.bench import ServeReport, measure_throughput, zipf_requests
 from repro.serve.cache import LRUCache, QuantizedRowCache, rows_for_budget
 from repro.serve.engine import InferenceEngine
+from repro.serve.session import ServeConfig, ServeSession
 
 __all__ = [
     "Batcher",
@@ -21,7 +25,9 @@ __all__ = [
     "LRUCache",
     "PendingRequest",
     "QuantizedRowCache",
+    "ServeConfig",
     "ServeReport",
+    "ServeSession",
     "measure_throughput",
     "rows_for_budget",
     "zipf_requests",

@@ -11,6 +11,8 @@ coalescing changes throughput, never results
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.serve.engine import InferenceEngine
@@ -33,14 +35,33 @@ class PendingRequest:
 
 
 class Batcher:
-    """Coalesce single requests into batched :meth:`InferenceEngine.predict` calls."""
+    """Coalesce single requests into batched :meth:`InferenceEngine.predict` calls.
 
-    def __init__(self, engine: InferenceEngine, max_batch: int = 256) -> None:
+    By default flushing is explicit (the measurement loops own their batch
+    boundaries).  With ``max_delay_ms`` set, the batcher self-flushes on
+    :meth:`submit` once the batch is full **or** the oldest queued request
+    has waited past the deadline — a latency SLO for trickling traffic: no
+    request waits longer than ``max_delay_ms`` for co-riders, and a full
+    batch never waits at all.  Auto-flushed requests carry their results on
+    ``PendingRequest.result`` exactly as a manual flush would set them.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        max_batch: int = 256,
+        max_delay_ms: float | None = None,
+    ) -> None:
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_delay_ms is not None and max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be non-negative, got {max_delay_ms}")
         self.engine = engine
         self.max_batch = int(max_batch)
+        self.max_delay_ms = float(max_delay_ms) if max_delay_ms is not None else None
         self._pending: list[PendingRequest] = []
+        self._oldest_pending_at: float | None = None
+        self.auto_flushes = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -67,6 +88,15 @@ class Batcher:
             )
         request = PendingRequest(ids)
         self._pending.append(request)
+        if self.max_delay_ms is not None:
+            if self._oldest_pending_at is None:
+                self._oldest_pending_at = time.monotonic()
+            overdue = (
+                1e3 * (time.monotonic() - self._oldest_pending_at) >= self.max_delay_ms
+            )
+            if len(self._pending) >= self.max_batch or overdue:
+                self.auto_flushes += 1
+                self.flush()
         return request
 
     def flush(self) -> list[np.ndarray]:
@@ -79,6 +109,7 @@ class Batcher:
         remainder goes back on the queue.
         """
         pending, self._pending = self._pending, []
+        self._oldest_pending_at = None
         if not pending:
             return []
         batch = np.stack([r.ids for r in pending])

@@ -25,6 +25,15 @@ insert attempt — one-hit-wonder tail traffic then stops evicting the Zipf
 head (rejected inserts return slot −1 and the engine splices the computed
 row in directly, so admission never changes served values).
 
+**Admission TTL** (``count_ttl=n``): the attempt counters otherwise grow
+forever, so an id that was hot last week clears ``min_count`` on its first
+re-appearance indefinitely — stale popularity permanently greases
+admission under non-stationary traffic.  With a TTL, every ``n`` lookup
+batches the counters decay by half (exponential forgetting at batch
+granularity): sustained traffic keeps its ids admitted, lapsed ids must
+re-earn their count.  Decay touches bookkeeping only — served values never
+change, exactly like admission itself.
+
 **Cache of codes** (:class:`QuantizedRowCache`): the quantized serving plan
 stores integer codes plus one FP32 scale per row instead of FP32 rows —
 ``dim + 4`` bytes per int8 row against ``4·dim`` FP32, so the same byte
@@ -63,6 +72,7 @@ class LRUCache:
         dtype: np.dtype = np.float32,
         id_range: int | None = None,
         min_count: int = 1,
+        count_ttl: int | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
@@ -70,9 +80,13 @@ class LRUCache:
             raise ValueError(f"row dim must be positive, got {dim}")
         if min_count <= 0:
             raise ValueError(f"min_count must be positive, got {min_count}")
+        if count_ttl is not None and count_ttl <= 0:
+            raise ValueError(f"count_ttl must be positive, got {count_ttl}")
         self.capacity = int(capacity)
         self.dim = int(dim)
         self.min_count = int(min_count)
+        self.count_ttl = int(count_ttl) if count_ttl is not None else None
+        self._last_decay_tick = 0
         self._alloc_store(dtype)
         #: vectorized id→slot map when the universe is known, else a dict
         self._map: np.ndarray | None = (
@@ -142,6 +156,7 @@ class LRUCache:
         engine looks up per lookup occurrence and coalesces misses only).
         """
         self._tick += 1
+        self._maybe_decay()
         ids = np.asarray(ids)
         if self._map is not None:
             slots = self._map[ids].astype(np.int64)
@@ -159,6 +174,24 @@ class LRUCache:
         if n_hits:
             self._last_used[slots[hit]] = self._tick
         return slots
+
+    def _maybe_decay(self) -> None:
+        """Halve the admission counters once per elapsed ``count_ttl`` ticks.
+
+        Exponential forgetting: an id's effective count is dominated by its
+        attempts within the last few TTL windows, so admission tracks the
+        *current* traffic mix.  Cached rows are untouched — LRU eviction
+        already ages those out.
+        """
+        if self.count_ttl is None or self._tick - self._last_decay_tick < self.count_ttl:
+            return
+        self._last_decay_tick = self._tick
+        if self._counts is not None:
+            np.right_shift(self._counts, 1, out=self._counts)
+        if self._count_dict:
+            self._count_dict = {
+                i: c >> 1 for i, c in self._count_dict.items() if c >> 1
+            }
 
     # -- insertion -------------------------------------------------------------
 
@@ -275,6 +308,7 @@ class LRUCache:
         self._last_used.fill(-1)
         self._next_free = 0
         self._tick = 0
+        self._last_decay_tick = 0
 
 
 class QuantizedRowCache(LRUCache):
@@ -294,13 +328,15 @@ class QuantizedRowCache(LRUCache):
         bits: int,
         id_range: int | None = None,
         min_count: int = 1,
+        count_ttl: int | None = None,
     ) -> None:
         if bits not in (8, 4):
             raise ValueError(f"quantized cache bits must be 8 or 4, got {bits}")
         self.bits = int(bits)
         self._packed_dim = -(-dim * bits // 8)
         super().__init__(
-            capacity, dim, id_range=id_range, min_count=min_count
+            capacity, dim, id_range=id_range, min_count=min_count,
+            count_ttl=count_ttl,
         )
 
     def _alloc_store(self, dtype: np.dtype) -> None:

@@ -32,6 +32,12 @@ uncached quantized engines serve bit-identical predictions; the whole plan
 matches a plain FP32 engine over ``QuantizedEmbedding.dequantized()``
 bit-for-bit (DESIGN.md §7).  The tower stays FP32 — the paper's on-device
 setting stores weights quantized but computes in FP32.
+
+The tower freeze itself lives in :mod:`repro.artifact.plan` as plain data
+(:class:`~repro.artifact.plan.TowerPlan`), so :meth:`InferenceEngine.from_parts`
+can assemble the identical closure chain from an on-disk
+:class:`~repro.artifact.ModelArtifact` — no model object required
+(DESIGN.md §8).
 """
 
 from __future__ import annotations
@@ -40,15 +46,12 @@ import copy
 
 import numpy as np
 
+from repro.artifact.plan import TowerPlan, build_tower, tower_plan_of
 from repro.core.memcom import MEmComEmbedding
 from repro.core.onehot import HashedOneHotEncoder
-from repro.models.classifier import EmbeddingClassifier
-from repro.models.pointwise import PointwiseRanker
-from repro.models.ranknet import RankNet
-from repro.nn.layers import BatchNorm, Dense
 from repro.nn.sharding import ShardedTable
 from repro.nn.tensor import no_grad
-from repro.quant.embedding import quantize_embedding
+from repro.quant.embedding import QuantizedEmbedding, quantize_embedding
 from repro.quant.kernels import decode_rows
 from repro.serve.cache import LRUCache, QuantizedRowCache
 
@@ -115,42 +118,6 @@ def _freeze_table(table) -> "callable":
     return take_dense
 
 
-def _freeze_batch_norm(bn: BatchNorm) -> "callable":
-    """Eval-mode batch norm, mirroring the layer's op sequence exactly."""
-    inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
-    running_mean = bn.running_mean.copy()
-    gamma = bn.gamma.data.copy()
-    beta = bn.beta.data.copy()
-    return lambda x: ((x - running_mean) * inv_std) * gamma + beta
-
-
-def _freeze_dense(dense: Dense) -> "callable":
-    weight = dense.weight.data.copy()
-    bias = dense.bias.data.copy() if dense.bias is not None else None
-    activation = dense.activation
-
-    def apply(x: np.ndarray) -> np.ndarray:
-        out = x @ weight
-        if bias is not None:
-            out = out + bias
-        if activation == "relu":
-            out = np.maximum(out, 0.0)
-        elif activation == "tanh":
-            out = np.tanh(out)
-        elif activation == "sigmoid":
-            a = np.abs(out)
-            out = np.where(out >= 0, 1.0 / (1.0 + np.exp(-a)), np.exp(-a) / (1.0 + np.exp(-a))).astype(out.dtype)
-        return out
-
-    return apply
-
-
-def _pool_flatten(x: np.ndarray, pool_size: int) -> np.ndarray:
-    """AveragePooling1D + Flatten, as the models compose them."""
-    b, length, e = x.shape
-    return x.reshape(b, length // pool_size, pool_size, e).mean(axis=2).reshape(b, -1)
-
-
 class InferenceEngine:
     """Forward-only serving plan for a classifier / pointwise / RankNet model.
 
@@ -174,6 +141,11 @@ class InferenceEngine:
     cache_min_count:
         Cache admission threshold: an id enters the cache only on its
         ``min_count``-th missed insert attempt (1 = admit immediately).
+    cache_ttl:
+        TTL (in lookup batches) for the admission counters: every
+        ``cache_ttl`` batches the per-id attempt counts decay by half, so
+        ids hot under yesterday's traffic must re-earn admission under
+        today's (``None`` disables decay).
     """
 
     def __init__(
@@ -183,34 +155,119 @@ class InferenceEngine:
         bits: int | None = None,
         calibration_percentile: float | None = None,
         cache_min_count: int = 1,
+        cache_ttl: int | None = None,
     ) -> None:
         if not hasattr(model, "embedding") or not hasattr(model, "input_length"):
             raise TypeError(f"no serving plan for model type {type(model).__name__}")
         model.eval()
-        self.model_name = type(model).__name__
-        self.input_length = model.input_length
-        self.bits = 32 if bits is None else int(bits)
-        if self.bits not in (32, 8, 4):
+        bits = 32 if bits is None else int(bits)
+        if bits not in (32, 8, 4):
             raise ValueError(f"serving bits must be 32, 8 or 4, got {bits}")
-        self.requests_served = 0
-        self.batches_served = 0
-
         emb = model.embedding
-        self.embedding_dim = emb.output_dim
-        self.vocab_size = int(
-            getattr(emb, "vocab_size", None) or emb.num_embeddings
-        )
-        self._qemb = None
-        if self.bits != 32:
+        qemb = None
+        if bits != 32:
             # Calibrate into integer storage; rows serve through the fused
             # gather→dequant kernels (raises for the pooled one-hot encoder,
             # which has no per-row storage).
-            self._qemb = quantize_embedding(
-                emb, self.bits, percentile=calibration_percentile
-            )
-            self._embed_rows, self._embed_pooled = self._qemb.rows, None
-            self._table_bytes = self._qemb.storage_bytes()
+            qemb = quantize_embedding(emb, bits, percentile=calibration_percentile)
+            emb = None
+        self._init_plan(
+            embedding_module=emb,
+            qemb=qemb,
+            tower_plan=tower_plan_of(model),
+            model_name=type(model).__name__,
+            input_length=model.input_length,
+            bits=bits,
+            cache_rows=cache_rows,
+            cache_min_count=cache_min_count,
+            cache_ttl=cache_ttl,
+        )
+
+    @classmethod
+    def from_parts(
+        cls,
+        embedding,
+        tower_plan: TowerPlan,
+        *,
+        input_length: int,
+        model_name: str = "artifact",
+        cache_rows: int | None = None,
+        bits: int | None = None,
+        calibration_percentile: float | None = None,
+        cache_min_count: int = 1,
+        cache_ttl: int | None = None,
+    ) -> "InferenceEngine":
+        """Assemble an engine from pre-frozen parts — the artifact load path.
+
+        ``embedding`` is either a technique module (FP32 serving, or
+        freshly calibrated here when ``bits`` is 8/4) or an already-stored
+        :class:`~repro.quant.QuantizedEmbedding`, whose codes are adopted
+        *without* recalibration — that is what keeps a loaded artifact
+        bit-identical to the engine it was saved from.
+        """
+        self = object.__new__(cls)
+        if isinstance(embedding, QuantizedEmbedding):
+            if bits is not None and int(bits) != embedding.bits:
+                raise ValueError(
+                    f"bits={bits} conflicts with the quantized embedding's "
+                    f"int{embedding.bits} storage"
+                )
+            module, qemb, bits = None, embedding, embedding.bits
         else:
+            bits = 32 if bits is None else int(bits)
+            if bits not in (32, 8, 4):
+                raise ValueError(f"serving bits must be 32, 8 or 4, got {bits}")
+            module, qemb = embedding, None
+            module.eval()
+            if bits != 32:
+                qemb = quantize_embedding(
+                    module, bits, percentile=calibration_percentile
+                )
+                module = None
+        self._init_plan(
+            embedding_module=module,
+            qemb=qemb,
+            tower_plan=tower_plan,
+            model_name=model_name,
+            input_length=input_length,
+            bits=bits,
+            cache_rows=cache_rows,
+            cache_min_count=cache_min_count,
+            cache_ttl=cache_ttl,
+        )
+        return self
+
+    def _init_plan(
+        self,
+        *,
+        embedding_module,
+        qemb,
+        tower_plan: TowerPlan,
+        model_name: str,
+        input_length: int,
+        bits: int,
+        cache_rows: int | None,
+        cache_min_count: int,
+        cache_ttl: int | None,
+    ) -> None:
+        """Shared tail of both constructors: wire plan, cache and tower."""
+        self.model_name = model_name
+        self.input_length = int(input_length)
+        self.bits = int(bits)
+        self.requests_served = 0
+        self.batches_served = 0
+        self._qemb = qemb
+        if qemb is not None:
+            self.embedding_dim = qemb.output_dim
+            self.vocab_size = qemb.vocab_size
+            self._embed_rows, self._embed_pooled = qemb.rows, None
+            self._table_bytes = qemb.storage_bytes()
+        else:
+            emb = embedding_module
+            self.embedding_dim = emb.output_dim
+            self.vocab_size = int(
+                getattr(emb, "vocab_size", None) or emb.num_embeddings
+            )
             self._embed_rows, self._embed_pooled = self._freeze_embedding(emb)
             self._table_bytes = int(sum(p.data.nbytes for p in emb.parameters()))
         self._rows_scratch = _RowScratch(self.embedding_dim)
@@ -223,6 +280,7 @@ class InferenceEngine:
                     self.bits,
                     id_range=self.vocab_size,
                     min_count=cache_min_count,
+                    count_ttl=cache_ttl,
                 )
             else:
                 self.cache = LRUCache(
@@ -230,8 +288,9 @@ class InferenceEngine:
                     self.embedding_dim,
                     id_range=self.vocab_size,
                     min_count=cache_min_count,
+                    count_ttl=cache_ttl,
                 )
-        self._tower = self._freeze_tower(model)
+        self._tower = build_tower(tower_plan)
 
     # -- freezing --------------------------------------------------------------
 
@@ -289,49 +348,6 @@ class InferenceEngine:
                 return frozen(flat).numpy()  # module owns its buffers; out unused
 
         return rows_fallback, None
-
-    def _freeze_tower(self, model):
-        pool = model.input_length  # all three models pool the full sequence
-
-        if isinstance(model, EmbeddingClassifier):
-            norm1 = _freeze_batch_norm(model.norm1)
-            hidden = _freeze_dense(model.hidden)
-            norm2 = _freeze_batch_norm(model.norm2)
-            out = _freeze_dense(model.out)
-
-            def tower(h: np.ndarray) -> np.ndarray:
-                if h.ndim == 3:
-                    h = _pool_flatten(h, pool)
-                h = np.maximum(h, 0.0)
-                return out(norm2(hidden(norm1(h))))
-
-            return tower
-
-        if isinstance(model, PointwiseRanker):
-            norm = _freeze_batch_norm(model.norm)
-            out = _freeze_dense(model.out)
-
-            def tower(h: np.ndarray) -> np.ndarray:
-                if h.ndim == 3:
-                    h = _pool_flatten(h, pool)
-                return out(norm(np.maximum(h, 0.0)))
-
-            return tower
-
-        if isinstance(model, RankNet):
-            norm = _freeze_batch_norm(model.norm)
-            items_t = model.item_table.data.T.copy()
-            item_bias = model.item_bias.data.reshape(-1).copy()
-
-            def tower(h: np.ndarray) -> np.ndarray:
-                if h.ndim == 3:
-                    h = _pool_flatten(h, pool)
-                user = norm(np.maximum(h, 0.0))
-                return user @ items_t + item_bias
-
-            return tower
-
-        raise TypeError(f"no serving plan for model type {type(model).__name__}")
 
     # -- embedding with the hot-row cache --------------------------------------
 

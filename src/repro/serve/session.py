@@ -1,0 +1,286 @@
+"""`ServeSession` — the one front door to the serving stack.
+
+Serving grew organically across PRs 1–3: the engine takes one set of
+kwargs, the batcher another, the cache a third, the CLI and the device
+runtime each re-plumb all of them.  The session collapses that into a
+single declarative :class:`ServeConfig` and two constructors:
+
+* :meth:`ServeSession.from_model` — freeze a live (trained or built) model;
+* :meth:`ServeSession.load` — open a :mod:`repro.artifact` container and
+  serve from its stored payloads, no model object required.
+
+Both yield the same object: an :class:`~repro.serve.engine.InferenceEngine`
+plus a :class:`~repro.serve.batcher.Batcher` wired from the config, with
+``predict`` / ``submit`` / ``flush`` passthroughs and a ``stats()`` view of
+the counters every prior entry point reported separately.  The old entry
+points — engine/batcher constructors, ``repro serve-bench`` kwargs,
+``DeviceRuntime.benchmark_serving`` — remain as thin shims over this path.
+
+The session also owns the persistence contract: ``from_model`` sessions
+can :meth:`save` themselves as artifacts, and for every technique and
+width, ``ServeSession.load(save(...))`` serves bit-identical predictions
+to the in-memory engine (DESIGN.md §8, ``tests/artifact/test_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.artifact.container import ModelArtifact, load_artifact, save_artifact
+from repro.artifact.errors import ArtifactFormatError
+from repro.quant.embedding import QuantizedEmbedding
+from repro.serve.batcher import Batcher, PendingRequest
+from repro.serve.engine import InferenceEngine
+
+__all__ = ["ServeConfig", "ServeSession"]
+
+_VALID_BITS = (32, 8, 4)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Declarative serving configuration — every knob in one place.
+
+    Parameters
+    ----------
+    bits:
+        Serving storage width.  ``None`` means "native": FP32 when freezing
+        a model, the artifact's stored width when loading one.  ``8``/``4``
+        select the :mod:`repro.quant` integer plan (loading an FP32
+        artifact at 8/4 calibrates on load; loading a quantized artifact at
+        a *different* width is an error — codes cannot be re-widened).
+    calibration_percentile:
+        Outlier-clipped calibration for the quantized plan (e.g. ``99.9``);
+        ``None`` uses per-row absmax.
+    cache_rows:
+        LRU hot-row cache capacity (composed rows / code rows).  ``None``
+        disables caching.
+    cache_min_count:
+        Admission threshold: an id enters the cache only on its k-th missed
+        insert attempt.
+    cache_ttl_batches:
+        TTL (in lookup batches) for the admission counters — counts decay
+        by half every this-many batches so stale popularity cannot
+        permanently grease admission (``None`` disables decay).
+    max_batch:
+        Batcher coalescing width.
+    max_delay_ms:
+        Batcher latency deadline: when set, ``submit`` self-flushes once
+        the batch fills or the oldest request has waited this long.
+    """
+
+    bits: int | None = None
+    calibration_percentile: float | None = None
+    cache_rows: int | None = None
+    cache_min_count: int = 1
+    cache_ttl_batches: int | None = None
+    max_batch: int = 256
+    max_delay_ms: float | None = None
+
+    def validate(self) -> "ServeConfig":
+        """Fail fast, before any table is snapshotted or calibrated.
+
+        Engine/cache/batcher constructors validate too, but only after
+        potentially expensive work has started; the CLI and the session
+        front-load this so a typo'd flag dies with a one-line message.
+        """
+        if self.bits is not None and self.bits not in _VALID_BITS:
+            raise ValueError(
+                f"bits must be one of {_VALID_BITS} (or None for native), "
+                f"got {self.bits}"
+            )
+        if self.calibration_percentile is not None and not (
+            0.0 < self.calibration_percentile <= 100.0
+        ):
+            raise ValueError(
+                f"calibration_percentile must be in (0, 100], "
+                f"got {self.calibration_percentile}"
+            )
+        if self.cache_rows is not None and self.cache_rows <= 0:
+            raise ValueError(
+                f"cache_rows must be positive (or None to disable caching), "
+                f"got {self.cache_rows}"
+            )
+        if self.cache_min_count <= 0:
+            raise ValueError(
+                f"cache_min_count must be positive, got {self.cache_min_count}"
+            )
+        if self.cache_ttl_batches is not None and self.cache_ttl_batches <= 0:
+            raise ValueError(
+                f"cache_ttl_batches must be positive (or None to disable decay), "
+                f"got {self.cache_ttl_batches}"
+            )
+        if self.max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+        if self.max_delay_ms is not None and self.max_delay_ms < 0:
+            raise ValueError(
+                f"max_delay_ms must be non-negative, got {self.max_delay_ms}"
+            )
+        return self
+
+
+def _resolve_config(config: ServeConfig | None, overrides: dict) -> ServeConfig:
+    config = config if config is not None else ServeConfig()
+    if overrides:
+        config = replace(config, **overrides)
+    return config.validate()
+
+
+class ServeSession:
+    """A configured serving stack: engine + batcher behind one façade."""
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        config: ServeConfig,
+        source_model=None,
+        artifact: ModelArtifact | None = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.batcher = Batcher(
+            engine, max_batch=config.max_batch, max_delay_ms=config.max_delay_ms
+        )
+        self._source_model = source_model
+        self.artifact = artifact
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_model(
+        cls, model, config: ServeConfig | None = None, **overrides
+    ) -> "ServeSession":
+        """Freeze ``model`` into a session (``**overrides`` patch the config)."""
+        config = _resolve_config(config, overrides)
+        engine = InferenceEngine(
+            model,
+            cache_rows=config.cache_rows,
+            bits=config.bits,
+            calibration_percentile=config.calibration_percentile,
+            cache_min_count=config.cache_min_count,
+            cache_ttl=config.cache_ttl_batches,
+        )
+        return cls(engine, config, source_model=model)
+
+    @classmethod
+    def load(
+        cls,
+        path: str | ModelArtifact,
+        config: ServeConfig | None = None,
+        **overrides,
+    ) -> "ServeSession":
+        """Serve from an on-disk artifact (or an already-loaded one).
+
+        The artifact's stored width is the default; ``config.bits`` may
+        quantize an FP32 artifact at load time, but cannot change the width
+        of an already-quantized one.
+        """
+        config = _resolve_config(config, overrides)
+        artifact = path if isinstance(path, ModelArtifact) else load_artifact(path)
+        embedding = artifact.serving_embedding()
+        if isinstance(embedding, QuantizedEmbedding):
+            if config.bits is not None and config.bits != embedding.bits:
+                raise ArtifactFormatError(
+                    f"artifact stores int{embedding.bits} codes; cannot serve it "
+                    f"at bits={config.bits} (re-export from the FP32 model instead)"
+                )
+        engine = InferenceEngine.from_parts(
+            embedding,
+            artifact.tower_plan(),
+            input_length=artifact.input_length,
+            model_name=artifact.architecture,
+            cache_rows=config.cache_rows,
+            bits=config.bits,
+            calibration_percentile=config.calibration_percentile,
+            cache_min_count=config.cache_min_count,
+            cache_ttl=config.cache_ttl_batches,
+        )
+        return cls(engine, config, artifact=artifact)
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str) -> ModelArtifact:
+        """Export this session's model as an artifact at ``path``.
+
+        Only sessions built with :meth:`from_model` can save — a loaded
+        session holds serving payloads, not the source model, and
+        re-wrapping them would silently launder a lossy chain as fresh.
+        """
+        if self._source_model is None:
+            raise ArtifactFormatError(
+                "only sessions created with from_model() can save an artifact; "
+                "this session was loaded from one"
+            )
+        bits = 32 if self.config.bits is None else self.config.bits
+        return save_artifact(
+            self._source_model,
+            path,
+            bits=bits,
+            percentile=self.config.calibration_percentile,
+        )
+
+    # -- serving passthroughs ---------------------------------------------------
+
+    def predict(self, ids: np.ndarray) -> np.ndarray:
+        """Scores for a ``(B, input_length)`` batch (see engine.predict)."""
+        return self.engine.predict(ids)
+
+    def predict_one(self, ids: np.ndarray) -> np.ndarray:
+        """Scores for a single ``(input_length,)`` request."""
+        return self.engine.predict_one(ids)
+
+    def submit(self, ids: np.ndarray | int) -> PendingRequest:
+        """Queue one request on the batcher (auto-flushes per config)."""
+        return self.batcher.submit(ids)
+
+    def flush(self) -> list[np.ndarray]:
+        """Serve everything pending; returns per-request score rows."""
+        return self.batcher.flush()
+
+    def serve(self, requests) -> list[np.ndarray]:
+        """Submit an iterable of requests and flush once."""
+        return self.batcher.serve(requests)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        return self.engine.bits
+
+    def stats(self) -> dict:
+        """One dict with the counters the old entry points each half-reported."""
+        engine, cache = self.engine, self.engine.cache
+        out = {
+            "model": engine.model_name,
+            "bits": engine.bits,
+            "input_length": engine.input_length,
+            "vocab_size": engine.vocab_size,
+            "embedding_dim": engine.embedding_dim,
+            "requests_served": engine.requests_served,
+            "batches_served": engine.batches_served,
+            "table_resident_bytes": engine.table_resident_bytes(),
+            "pending_requests": len(self.batcher),
+            "auto_flushes": self.batcher.auto_flushes,
+        }
+        if cache is not None:
+            out.update(
+                cache_capacity=cache.capacity,
+                cache_hit_rate=cache.hit_rate,
+                cache_evictions=cache.evictions,
+                cache_rejected=cache.rejected,
+                cache_store_bytes=cache.store_nbytes(),
+            )
+        if self.artifact is not None:
+            out["artifact_path"] = self.artifact.path
+            out["artifact_bytes"] = self.artifact.total_bytes()
+        return out
+
+    def __repr__(self) -> str:
+        origin = (
+            f"artifact={self.artifact.path!r}"
+            if self.artifact is not None
+            else "from_model"
+        )
+        return f"ServeSession({self.engine!r}, {origin})"

@@ -119,3 +119,75 @@ class TestEngineWithAdmission:
         # second pass: some rows now come from the cache, values identical
         np.testing.assert_array_equal(first, admitted.predict(ids))
         assert admitted.cache.rejected > 0
+
+
+class TestAdmissionTTL:
+    """``count_ttl``: admission counters decay so stale popularity expires."""
+
+    def test_counts_halve_after_ttl_batches(self):
+        cache = LRUCache(8, 4, id_range=100, min_count=2, count_ttl=3)
+        ids = np.array([7])
+        cache.insert(ids, _rows(ids))  # count 1 — below min_count
+        for _ in range(3):  # advance 3 lookup ticks -> one decay (1 -> 0)
+            cache.lookup(np.array([50]))
+        # the earlier attempt has decayed away: still not admitted
+        assert cache.insert(ids, _rows(ids))[0] == -1
+        # two attempts close together clear min_count as always
+        assert cache.insert(ids, _rows(ids))[0] >= 0
+
+    def test_sustained_traffic_keeps_admission(self):
+        # Attempts landing within one TTL window accumulate as before.
+        cache = LRUCache(8, 4, id_range=100, min_count=2, count_ttl=10)
+        ids = np.array([3])
+        cache.lookup(ids)
+        cache.insert(ids, _rows(ids))
+        cache.lookup(ids)
+        assert cache.insert(ids, _rows(ids))[0] >= 0  # second attempt, no gap
+
+    def test_stale_id_must_reearn_admission(self):
+        cache = LRUCache(4, 4, id_range=1000, min_count=2, count_ttl=4)
+        hot = np.array([1])
+        for _ in range(3):  # clearly admitted under yesterday's traffic
+            if cache.lookup(hot)[0] == -1:
+                cache.insert(hot, _rows(hot))
+        # traffic moves on: recurring new ids clear admission themselves,
+        # evict id 1 by LRU, and its counter decays to zero meanwhile
+        for start in range(100, 200, 4):
+            tail = np.arange(start, start + 4)
+            for _ in range(2):  # recur within the window -> admitted
+                cache.lookup(tail)
+                cache.insert(tail, _rows(tail))
+        assert cache.lookup(hot)[0] == -1  # evicted by LRU
+        assert cache.insert(hot, _rows(hot))[0] == -1  # and must re-earn count
+
+    def test_dict_backed_counts_decay_too(self):
+        cache = LRUCache(8, 4, min_count=2, count_ttl=2)  # no id_range
+        ids = np.array([42])
+        cache.insert(ids, _rows(ids))
+        for _ in range(4):
+            cache.lookup(np.array([9]))
+        assert 42 not in cache._count_dict  # halved to zero and dropped
+        assert cache.insert(ids, _rows(ids))[0] == -1
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError, match="count_ttl"):
+            LRUCache(8, 4, count_ttl=0)
+
+    def test_decay_never_changes_served_values(self):
+        def build():
+            return build_pointwise_ranker(
+                "memcom", 250, 12, input_length=8, embedding_dim=16, rng=3,
+                num_hash_embeddings=32,
+            )
+
+        rng = np.random.default_rng(5)
+        plain = InferenceEngine(build())
+        decaying = InferenceEngine(
+            build(), cache_rows=32, cache_min_count=2, cache_ttl=2
+        )
+        for _ in range(8):  # several decay windows under shifting traffic
+            ids = rng.integers(0, 250, (16, 8))
+            np.testing.assert_array_equal(
+                decaying.predict(ids), plain.predict(ids)
+            )
+        assert decaying.cache.count_ttl == 2

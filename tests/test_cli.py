@@ -79,3 +79,132 @@ class TestDefaultHyper:
 
     def test_tiny_vocab_floors_at_two(self):
         assert _default_hyper("hash", 8, 32, 16)["num_hash_embeddings"] == 2
+
+
+class TestServeBenchValidation:
+    """Bad serving arguments die up front with a one-line message (exit 2)."""
+
+    def _run(self, capsys, *extra):
+        code = main(
+            ["serve-bench", "--vocab", "400", "--embedding-dim", "8",
+             "--input-length", "4", "--requests", "64", "--batch-size", "16",
+             *extra]
+        )
+        return code, capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags, fragment",
+        [
+            (("--vocab", "0"), "--vocab"),
+            (("--embedding-dim", "-2"), "--embedding-dim"),
+            (("--requests", "0"), "--requests"),
+            (("--batch-size", "-1"), "--batch-size"),
+            (("--cache-rows", "-5"), "--cache-rows"),
+            (("--cache-min-count", "0"), "cache_min_count"),
+            (("--cache-ttl-batches", "0"), "cache_ttl_batches"),
+            (("--alpha", "-0.5"), "--alpha"),
+            (("--shards", "0"), "--shards"),
+        ],
+    )
+    def test_each_bad_value_names_its_flag(self, capsys, flags, fragment):
+        code, err = self._run(capsys, *flags)
+        assert code == 2
+        assert fragment in err
+        assert "Traceback" not in err
+
+    def test_bits_rejected_by_argparse_choices(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--bits", "16"])
+
+    def test_missing_artifact_is_a_clean_error(self, capsys):
+        code, err = self._run(capsys, "--artifact", "/nonexistent/artifact")
+        assert code == 2
+        assert "artifact" in err
+
+
+class TestArtifactCommands:
+    def _export(self, out, *extra):
+        return main(
+            ["export-artifact", out, "--technique", "memcom", "--vocab", "400",
+             "--embedding-dim", "8", "--input-length", "4", "--num-items", "10",
+             *extra]
+        )
+
+    def test_export_then_serve_bench_artifact(self, tmp_path, capsys):
+        out = str(tmp_path / "artifact")
+        assert self._export(out, "--bits", "8", "--shards", "2") == 0
+        stdout = capsys.readouterr().out
+        assert "ModelArtifact" in stdout and "verified: reload OK" in stdout
+        code = main(
+            ["serve-bench", "--artifact", out, "--requests", "64",
+             "--batch-size", "16", "--cache-rows", "32"]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "artifact" in stdout and "artifact+cache" in stdout
+
+    def test_export_zip(self, tmp_path, capsys):
+        out = str(tmp_path / "artifact.zip")
+        assert self._export(out) == 0
+        assert "verified: reload OK" in capsys.readouterr().out
+
+    def test_export_validates_arguments(self, tmp_path, capsys):
+        assert self._export(str(tmp_path / "a"), "--vocab", "-1") == 2
+        assert "--vocab" in capsys.readouterr().err
+
+    def test_serve_bench_cache_rows_zero_disables_cache(self, capsys):
+        code = main(
+            ["serve-bench", "--vocab", "400", "--embedding-dim", "8",
+             "--input-length", "4", "--requests", "64", "--batch-size", "16",
+             "--cache-rows", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "monolithic+cache" in out  # row exists, cache disabled: no hit%
+
+
+class TestArtifactBits:
+    """serve-bench --artifact honors --bits (review regression)."""
+
+    def _export_fp32(self, out):
+        return main(
+            ["export-artifact", out, "--technique", "memcom", "--vocab", "400",
+             "--embedding-dim", "8", "--input-length", "4", "--num-items", "10"]
+        )
+
+    def test_bits_quantizes_fp32_artifact_on_load(self, tmp_path, capsys):
+        out = str(tmp_path / "fp32")
+        assert self._export_fp32(out) == 0
+        capsys.readouterr()
+        code = main(
+            ["serve-bench", "--artifact", out, "--bits", "8", "--requests", "64",
+             "--batch-size", "16"]
+        )
+        assert code == 0
+        assert "int8" in capsys.readouterr().out  # title names the served width
+
+    def test_width_conflict_exits_2_with_typed_message(self, tmp_path, capsys):
+        out = str(tmp_path / "q8")
+        assert self._export_fp32(out + "-tmp") == 0  # warm the builder path
+        assert main(
+            ["export-artifact", out, "--technique", "memcom", "--vocab", "400",
+             "--embedding-dim", "8", "--input-length", "4", "--num-items", "10",
+             "--bits", "8"]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["serve-bench", "--artifact", out, "--bits", "4", "--requests", "64",
+             "--batch-size", "16"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "int8" in err and "Traceback" not in err
+
+    def test_export_percentile_validated_up_front(self, tmp_path, capsys):
+        code = main(
+            ["export-artifact", str(tmp_path / "p"), "--vocab", "400",
+             "--embedding-dim", "8", "--input-length", "4", "--num-items", "10",
+             "--bits", "8", "--percentile", "150"]
+        )
+        assert code == 2
+        assert "--percentile" in capsys.readouterr().err
