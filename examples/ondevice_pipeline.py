@@ -3,10 +3,13 @@
 Walks the full size-reduction stack the paper builds up across §5.3 and
 Appendix A.2, on one Netflix-shaped ranking model:
 
-1. train the uncompressed baseline and a MEmCom model,
-2. post-training int8 linear quantization (Figure 4's sweet spot),
-3. magnitude pruning on top (§A.2's future work),
-4. export and cost each stage on the simulated iPhone 12 Pro / Pixel 2.
+1. train the uncompressed baseline and a MEmCom model through
+   `repro.pipeline.TrainSession` (one validated spec each),
+2. export the MEmCom session as an int8 serving artifact and verify the
+   reloaded `ServeSession` serves it bit-identically,
+3. post-training int8 linear quantization (Figure 4's sweet spot),
+4. magnitude pruning on top (§A.2's future work),
+5. export and cost each stage on the simulated iPhone 12 Pro / Pixel 2.
 
 The printout shows how each stage trades model quality for shipped bytes.
 
@@ -15,43 +18,64 @@ Run:  python examples/ondevice_pipeline.py
 
 from __future__ import annotations
 
-from repro.data import load_dataset
+import os
+import tempfile
+
+import numpy as np
+
+from repro.data import get_spec
 from repro.device import benchmark_on_all_devices, prune_module, quantize_module
 from repro.metrics import evaluate_ranking, relative_loss_percent
-from repro.models import build_pointwise_ranker
 from repro.nn import on_disk_bytes
-from repro.train import TrainConfig, Trainer
+from repro.pipeline import PipelineSpec, TrainSession
+from repro.serve import ServeConfig, ServeSession
+from repro.train import TrainConfig
 from repro.utils import format_table, set_verbose
+
+SCALE = 0.005  # Netflix at benchmark scale
 
 
 def main() -> None:
     set_verbose(True)
-    data = load_dataset("netflix", scale=0.005, rng=0)
-    spec = data.spec
+    spec = get_spec("netflix", SCALE)
     config = TrainConfig(epochs=5, batch_size=128, lr=2e-3, seed=0)
 
-    def build(technique, **hyper):
-        return build_pointwise_ranker(
-            technique,
-            spec.input_vocab,
-            spec.output_vocab,
-            input_length=spec.input_length,
+    def fit(technique, **hyper) -> TrainSession:
+        session = TrainSession(PipelineSpec(
+            dataset="netflix",
+            scale=SCALE,
+            technique=technique,
+            hyper=hyper,
             embedding_dim=64,
-            rng=0,
-            **hyper,
-        )
+            train=config,
+            seed=0,
+        ))
+        session.fit()
+        return session
+
+    print(f"dataset: {spec.name}  vocab={spec.input_vocab}  train={spec.num_train}")
+
+    base_session = fit("full")
+    baseline = base_session.model
+    base_ndcg = base_session.evaluate()["ndcg"]
+
+    mem_session = fit("memcom", num_hash_embeddings=max(2, spec.input_vocab // 16))
+    model = mem_session.model
+    data = mem_session.data
 
     def ndcg(model):
         return evaluate_ranking(model, data.x_eval, data.y_eval, k=10)["ndcg"]
 
-    print(f"dataset: {spec.name}  vocab={spec.input_vocab}  train={len(data.x_train)}")
-
-    baseline = build("full")
-    Trainer(config).fit(baseline, data.x_train, data.y_train, task="ranking")
-    base_ndcg = ndcg(baseline)
-
-    model = build("memcom", num_hash_embeddings=max(2, spec.input_vocab // 16))
-    Trainer(config).fit(model, data.x_train, data.y_train, task="ranking")
+    # The deployment contract: export → load → serve, no model object needed.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "memcom-int8")
+        artifact = mem_session.export(path, bits=8)
+        loaded = ServeSession.load(path)
+        direct = ServeSession.from_model(model, ServeConfig(bits=8))
+        probe = data.x_eval[:64]
+        assert np.array_equal(loaded.predict(probe), direct.predict(probe))
+        print(f"\nexported {artifact.describe()}")
+        print("reloaded artifact serves bit-identically to the in-memory engine\n")
 
     stages = [("full FP32 baseline", base_ndcg, on_disk_bytes(baseline), 4.0)]
 

@@ -2,58 +2,59 @@
 
 Trains the paper's pointwise ranking network twice on a synthetic
 MovieLens-shaped dataset — once with a full embedding table, once with
-MEmCom at ~16× hash compression — then compares parameters, nDCG, and
-simulated on-device footprint.
+MEmCom at ~16× hash compression — through the `repro.pipeline` front door
+(one validated spec per run, one session per model), then compares
+parameters, nDCG, and simulated on-device footprint.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.data import load_dataset
+from repro.data import get_spec
 from repro.device import benchmark_on_all_devices
-from repro.metrics import evaluate_ranking, relative_loss_percent
-from repro.models import build_pointwise_ranker
-from repro.train import TrainConfig, Trainer
+from repro.metrics import relative_loss_percent
+from repro.pipeline import PipelineSpec, TrainSession
+from repro.train import TrainConfig
 from repro.utils import format_table, set_verbose
+
+SCALE = 0.02  # MovieLens at benchmark scale (Table 2 ratios, CPU-minutes)
 
 
 def main() -> None:
     set_verbose(True)
-    data = load_dataset("movielens", scale=0.02, rng=0)
-    spec = data.spec
+    spec = get_spec("movielens", SCALE)
     print(f"dataset: {spec.name}  vocab={spec.input_vocab}  catalog={spec.output_vocab}  "
-          f"train={len(data.x_train)}")
+          f"train={spec.num_train}")
 
-    config = TrainConfig(epochs=5, batch_size=128, lr=2e-3, seed=0)
+    train = TrainConfig(epochs=5, batch_size=128, lr=2e-3, seed=0)
     rows = []
-    models = {}
+    sessions: dict[str, tuple[TrainSession, float]] = {}
     for technique, hyper in [
         ("full", {}),
         ("memcom", {"num_hash_embeddings": max(2, spec.input_vocab // 16)}),
     ]:
-        model = build_pointwise_ranker(
-            technique,
-            spec.input_vocab,
-            spec.output_vocab,
-            input_length=spec.input_length,
+        session = TrainSession(PipelineSpec(
+            dataset="movielens",
+            scale=SCALE,
+            technique=technique,
+            hyper=hyper,
             embedding_dim=64,
-            rng=0,
-            **hyper,
-        )
-        Trainer(config).fit(model, data.x_train, data.y_train, task="ranking")
-        ndcg = evaluate_ranking(model, data.x_eval, data.y_eval, k=10)["ndcg"]
-        models[technique] = (model, ndcg)
-        rows.append((technique, model.num_parameters(), f"{ndcg:.4f}"))
+            train=train,
+            seed=0,
+        ))
+        session.fit()
+        ndcg = session.evaluate()["ndcg"]
+        sessions[technique] = (session, ndcg)
+        rows.append((technique, session.model.num_parameters(), f"{ndcg:.4f}"))
 
-    base_params, base_ndcg = models["full"][0].num_parameters(), models["full"][1]
-    mem_model, mem_ndcg = models["memcom"]
+    full_session, base_ndcg = sessions["full"]
+    mem_session, mem_ndcg = sessions["memcom"]
+    base_params = full_session.model.num_parameters()
     rows.append(
         (
             "→ memcom vs full",
-            f"{base_params / mem_model.num_parameters():.1f}x smaller",
+            f"{base_params / mem_session.model.num_parameters():.1f}x smaller",
             f"{relative_loss_percent(base_ndcg, mem_ndcg):+.2f}% nDCG",
         )
     )
@@ -63,9 +64,16 @@ def main() -> None:
     print("\nsimulated on-device cost of the MEmCom model (batch 1, FP32):")
     device_rows = [
         (r.device, r.compute_unit, f"{r.latency_ms:.2f} ms", f"{r.footprint_mb:.2f} MB")
-        for r in benchmark_on_all_devices(mem_model)
+        for r in benchmark_on_all_devices(mem_session.model)
     ]
     print(format_table(["device", "unit", "latency", "resident memory"], device_rows))
+
+    # One more line of the lifecycle: the trained session serves directly.
+    serve = mem_session.serve_session(cache_rows=4096)
+    serve.predict(mem_session.data.x_eval[:32])
+    print(f"\nserving: {serve.stats()['requests_served']} requests through "
+          "ServeSession.from_model — see examples/ondevice_pipeline.py for the "
+          "export → load → serve round trip")
 
 
 if __name__ == "__main__":

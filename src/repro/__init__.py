@@ -8,7 +8,13 @@ Public API tour
 * :mod:`repro.data` — synthetic dataset generators matching Table 2.
 * :mod:`repro.models` — the paper's classifier / pointwise / RankNet models.
 * :mod:`repro.metrics` — accuracy and nDCG.
-* :mod:`repro.train` — trainers, DP-SGD, federated simulation.
+* :mod:`repro.train` — the unified task-dispatched trainer, DP-SGD hook,
+  federated simulation, resumable train state.
+* :mod:`repro.pipeline` — the training front door: ``PipelineSpec`` +
+  ``TrainSession`` (fit → evaluate → checkpoint/resume → export → serve).
+* :mod:`repro.artifact` — the versioned on-disk container for serving
+  payloads *and* training checkpoints.
+* :mod:`repro.serve` — the batched serving engine behind ``ServeSession``.
 * :mod:`repro.device` — on-device export, quantization, latency/memory simulator.
 * :mod:`repro.experiments` — one harness per paper table/figure.
 """

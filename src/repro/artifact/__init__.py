@@ -12,6 +12,7 @@ shrink with the storage width.  See DESIGN.md §8.
 from repro.artifact.container import (
     FORMAT_MAGIC,
     FORMAT_VERSION,
+    READABLE_VERSIONS,
     ModelArtifact,
     load_artifact,
     save_artifact,
@@ -37,6 +38,7 @@ __all__ = [
     "ArtifactVersionError",
     "FORMAT_MAGIC",
     "FORMAT_VERSION",
+    "READABLE_VERSIONS",
     "ModelArtifact",
     "TowerPlan",
     "build_embedding_from_spec",

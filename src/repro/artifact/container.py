@@ -59,13 +59,27 @@ from repro.artifact.plan import (
 from repro.quant.embedding import QuantizedEmbedding, quantize_embedding
 from repro.quant.table import QuantizedTable
 
-__all__ = ["FORMAT_MAGIC", "FORMAT_VERSION", "ModelArtifact", "load_artifact", "save_artifact"]
+__all__ = [
+    "FORMAT_MAGIC",
+    "FORMAT_VERSION",
+    "READABLE_VERSIONS",
+    "ModelArtifact",
+    "load_artifact",
+    "save_artifact",
+]
 
 FORMAT_MAGIC = "repro.model-artifact"
-FORMAT_VERSION = 1
+#: Written by this runtime.  v2 = v1 plus an optional ``checkpoint``
+#: manifest section carrying resumable-training payloads; a v2 artifact
+#: without a checkpoint is structurally a v1 artifact with a newer stamp.
+FORMAT_VERSION = 2
+#: Versions this runtime can open.  v1 containers (PR 4) stay loadable —
+#: they simply never carry a checkpoint.
+READABLE_VERSIONS = (1, 2)
 
 _MANIFEST = "manifest.json"
 _PAYLOAD_DIR = "payloads"
+_CHECKPOINT_PREFIX = "checkpoint/"
 
 
 def _sha256(data: bytes) -> str:
@@ -186,10 +200,10 @@ def _check_manifest(raw: bytes, path: str) -> dict:
             f"{path!r} manifest does not declare format {FORMAT_MAGIC!r}"
         )
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise ArtifactVersionError(
             f"artifact format version {version!r} not readable by this runtime "
-            f"(expected {FORMAT_VERSION})"
+            f"(readable: {', '.join(map(str, READABLE_VERSIONS))})"
         )
     for key in ("bits", "model", "embedding", "tower", "payloads"):
         if key not in manifest:
@@ -234,6 +248,34 @@ class ModelArtifact:
     @property
     def input_length(self) -> int:
         return int(self.manifest["model"]["input_length"])
+
+    @property
+    def has_checkpoint(self) -> bool:
+        """Whether this container carries resumable-training state (v2)."""
+        return "checkpoint" in self.manifest
+
+    def checkpoint_meta(self) -> dict:
+        """The checkpoint's JSON metadata (epoch, RNG states, history, …)."""
+        try:
+            return self.manifest["checkpoint"]["meta"]
+        except (KeyError, TypeError):
+            raise ArtifactFormatError(
+                f"artifact at {self.path!r} carries no training checkpoint"
+            ) from None
+
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """The checkpoint's named tensors (model state, optimizer slots).
+
+        Keys are the checkpoint-local names (``model/…``, ``opt/…``);
+        every array was sha256-verified on load like any other payload.
+        """
+        try:
+            names = self.manifest["checkpoint"]["arrays"]
+        except (KeyError, TypeError):
+            raise ArtifactFormatError(
+                f"artifact at {self.path!r} carries no training checkpoint"
+            ) from None
+        return {name: self.array(_CHECKPOINT_PREFIX + name) for name in names}
 
     def payload_bytes(self) -> int:
         """Raw tensor bytes (what dominates the shipped size)."""
@@ -328,6 +370,7 @@ def save_artifact(
     path: str,
     bits: int = 32,
     percentile: float | None = None,
+    checkpoint: tuple[dict, dict] | None = None,
 ) -> ModelArtifact:
     """Export ``model`` as a serving artifact at ``path`` (dir, or ``*.zip``).
 
@@ -336,9 +379,20 @@ def save_artifact(
     (optionally percentile-clipped) and stores the integer codes + scales.
     The tower is stored FP32 in all cases — the paper's on-device setting
     quantizes storage, not arithmetic.
+
+    ``checkpoint`` — a ``(meta, arrays)`` pair as produced by
+    :func:`repro.train.checkpoint.capture_state` — additionally embeds the
+    resumable-training state (format v2).  Checkpoint tensors ride the same
+    sha256-verified payload index as the serving tensors, so a truncated or
+    flipped checkpoint byte raises :class:`ArtifactIntegrityError` on load.
+    A checkpointed artifact is still a complete serving artifact:
+    ``ServeSession.load`` simply ignores the extra section.  Checkpoints
+    require ``bits=32`` — training state is FP32 by definition.
     """
     if bits not in (32, 8, 4):
         raise ValueError(f"artifact bits must be 32, 8 or 4, got {bits}")
+    if checkpoint is not None and bits != 32:
+        raise ValueError("training checkpoints require bits=32 (FP32 state)")
     if not hasattr(model, "embedding"):
         raise TypeError(f"no artifact export for model type {type(model).__name__}")
     model.eval()
@@ -404,6 +458,11 @@ def save_artifact(
         "tower": tower_section,
         # "payloads" is filled by the writer, which hashes while writing.
     }
+    if checkpoint is not None:
+        ckpt_meta, ckpt_arrays = checkpoint
+        for name, arr in ckpt_arrays.items():
+            store.add(_CHECKPOINT_PREFIX + name, np.asarray(arr))
+        manifest["checkpoint"] = {"meta": ckpt_meta, "arrays": sorted(ckpt_arrays)}
     manifest_nbytes = _write_container(path, manifest, store)
     return ModelArtifact(manifest, dict(store.arrays), path, manifest_nbytes)
 

@@ -66,7 +66,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="hash/keep size = vocab / fraction (hash-family techniques)",
     )
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument(
+        "--save-artifact", default=None, metavar="PATH",
+        help="after training: export the model as a serving artifact at PATH "
+        "and reload-verify it (train → export → verify in one command)",
+    )
+    p_train.add_argument(
+        "--bits", type=int, choices=(32, 8, 4), default=32,
+        help="storage width of --save-artifact",
+    )
     p_train.set_defaults(func=_cmd_train)
+
+    p_pipe = sub.add_parser(
+        "pipeline",
+        help="the declarative train pipeline: run / resume / export "
+        "(dataset spec → trained model → resumable checkpoint → serving artifact)",
+    )
+    pipe_sub = p_pipe.add_subparsers(dest="pipeline_command", required=True)
+
+    pp_run = pipe_sub.add_parser(
+        "run", help="train a pipeline, optionally checkpointing every epoch"
+    )
+    pp_run.add_argument("--dataset", choices=sorted(DATASETS), default="movielens")
+    pp_run.add_argument("--technique", choices=available_techniques(), default="memcom")
+    pp_run.add_argument(
+        "--architecture", choices=["auto", "classifier", "pointwise", "ranknet"],
+        default="auto",
+    )
+    pp_run.add_argument("--scale", type=float, default=1.0, help="bench-scale multiplier")
+    pp_run.add_argument("--epochs", type=int, default=5)
+    pp_run.add_argument("--batch-size", type=int, default=128)
+    pp_run.add_argument("--lr", type=float, default=2e-3)
+    pp_run.add_argument(
+        "--optimizer", choices=["adam", "sgd", "adagrad", "rmsprop"], default="adam"
+    )
+    pp_run.add_argument("--embedding-dim", type=int, default=32)
+    pp_run.add_argument("--hash-fraction", type=int, default=16)
+    pp_run.add_argument("--seed", type=int, default=0)
+    pp_run.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a resumable checkpoint artifact here during training",
+    )
+    pp_run.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint every N epochs (the final epoch always checkpoints)",
+    )
+    pp_run.add_argument(
+        "--stop-after-epoch", type=int, default=None, metavar="K",
+        help="interrupt after K epochs without finishing (simulated kill; "
+        "resume from the checkpoint to continue)",
+    )
+    pp_run.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="after training: export a serving artifact and verify it "
+        "serves bit-identically to the in-memory session",
+    )
+    pp_run.add_argument("--bits", type=int, choices=(32, 8, 4), default=32)
+    pp_run.set_defaults(func=_cmd_pipeline_run)
+
+    pp_resume = pipe_sub.add_parser(
+        "resume", help="continue a checkpointed run (bit-identical to uninterrupted)"
+    )
+    pp_resume.add_argument("checkpoint", help="checkpoint artifact path")
+    pp_resume.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="after finishing: export + verify a serving artifact",
+    )
+    pp_resume.add_argument("--bits", type=int, choices=(32, 8, 4), default=32)
+    pp_resume.set_defaults(func=_cmd_pipeline_resume)
+
+    pp_export = pipe_sub.add_parser(
+        "export", help="export a checkpoint's model as a serving artifact (no training)"
+    )
+    pp_export.add_argument("checkpoint", help="checkpoint artifact path")
+    pp_export.add_argument("out", help="serving artifact path (dir or *.zip)")
+    pp_export.add_argument("--bits", type=int, choices=(32, 8, 4), default=32)
+    pp_export.add_argument("--percentile", type=float, default=None)
+    pp_export.set_defaults(func=_cmd_pipeline_export)
 
     p_export = sub.add_parser(
         "export-artifact",
@@ -211,34 +287,221 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_train(args: argparse.Namespace) -> int:
-    # Import lazily: training pulls in the full stack.
-    from repro.experiments.runner import (
-        ExperimentConfig as RunnerConfig,
-        load_bench_dataset,
-        train_point,
-    )
+def _validate_train_args(args: argparse.Namespace, command: str) -> str | None:
+    """First invalid training argument as a one-line message (None = good).
 
-    set_verbose(True)
-    config = RunnerConfig(
-        scale_multiplier=args.scale,
-        embedding_dim=args.embedding_dim,
+    Mirrors ``serve-bench``'s fail-fast contract: a bad value dies here,
+    before any dataset is generated or table allocated.
+    """
+    checks = [
+        ("--scale", args.scale),
+        ("--epochs", args.epochs),
+        ("--embedding-dim", args.embedding_dim),
+        ("--hash-fraction", args.hash_fraction),
+    ]
+    if command == "pipeline run":
+        checks += [
+            ("--batch-size", args.batch_size),
+            ("--lr", args.lr),
+            ("--checkpoint-every", args.checkpoint_every),
+        ]
+    for flag, value in checks:
+        if value is not None and value <= 0:
+            return f"{flag} must be positive, got {value}"
+    stop_after = getattr(args, "stop_after_epoch", None)
+    if stop_after is not None and stop_after <= 0:
+        return f"--stop-after-epoch must be positive, got {stop_after}"
+    return None
+
+
+def _pipeline_spec_from_args(args: argparse.Namespace, architecture: str = "auto"):
+    """Build the validated PipelineSpec a train-ish subcommand describes.
+
+    ``--scale`` is a *bench-scale* multiplier (same unit as ``repro run``),
+    so the default trains in CPU-seconds; spec validation errors propagate
+    as ``ValueError`` for the caller's one-line handler.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.experiments.runner import BENCH_SCALES, ExperimentConfig
+    from repro.pipeline import PipelineSpec
+    from repro.train.trainer import TrainConfig
+
+    train = TrainConfig(
         epochs=args.epochs,
+        batch_size=getattr(args, "batch_size", 128),
+        lr=getattr(args, "lr", 2e-3),
+        optimizer=getattr(args, "optimizer", "adam"),
         seed=args.seed,
     )
-    data = load_bench_dataset(args.dataset, config, rng=args.seed)
-    spec = data.spec
-    architecture = "classifier" if spec.task == "classification" else "pointwise"
-    hyper = _default_hyper(args.technique, spec.input_vocab, args.embedding_dim,
-                           args.hash_fraction)
-    metric, params = train_point(architecture, args.technique, hyper, data, config)
-    metric_name = "accuracy" if architecture == "classifier" else "ndcg"
+    bench = ExperimentConfig()  # the sweeps' example-count caps, shared
+    spec = PipelineSpec(
+        dataset=args.dataset,
+        architecture=architecture,
+        technique=args.technique,
+        embedding_dim=args.embedding_dim,
+        scale=BENCH_SCALES[args.dataset] * args.scale,
+        cap_train=bench.cap_train,
+        cap_eval=bench.cap_eval,
+        train=train,
+        seed=args.seed,
+        bits=args.bits,
+    )
+    hyper = _default_hyper(
+        args.technique, spec.data_spec().input_vocab, args.embedding_dim,
+        args.hash_fraction,
+    )
+    return dc_replace(spec, hyper=hyper)
+
+
+def _export_and_verify(session, path: str, bits: int, percentile: float | None = None) -> int:
+    """session → artifact → ServeSession.load → compare predictions.
+
+    The loaded artifact must serve bit-identically to a session frozen
+    from the in-memory model at the same width (the PR 4 guarantee, now
+    exercised at the end of every pipeline run).
+    """
+    import numpy as np
+
+    artifact = session.export(path, bits=bits, percentile=percentile)
+    print(artifact.describe())
+    from repro.serve.session import ServeConfig, ServeSession
+
+    loaded = ServeSession.load(path)
+    probe = session.data.x_eval[: min(64, len(session.data.x_eval))]
+    session_bits = None if bits == 32 else bits
+    direct = ServeSession.from_model(
+        session.model,
+        ServeConfig(bits=session_bits, calibration_percentile=percentile),
+    )
+    if not np.array_equal(loaded.predict(probe), direct.predict(probe)):
+        print(
+            f"repro pipeline: error: artifact at {path!r} does not serve "
+            "bit-identically to the in-memory model",
+            file=sys.stderr,
+        )
+        return 1
+    width = "fp32" if loaded.bits == 32 else f"int{loaded.bits}"
+    print(
+        f"verified: ServeSession.load({path!r}) matches the in-memory "
+        f"{width} session bit-for-bit on {len(probe)} probe requests"
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    # Import lazily: training pulls in the full stack.
+    from repro.pipeline import TrainSession
+
+    error = _validate_train_args(args, "train")
+    if error is not None:
+        print(f"repro train: error: {error}", file=sys.stderr)
+        return 2
+    set_verbose(True)
+    try:
+        spec = _pipeline_spec_from_args(args)
+        session = TrainSession(spec)
+    except (KeyError, ValueError) as exc:
+        print(f"repro train: error: {exc}", file=sys.stderr)
+        return 2
+    session.fit()
+    metric = session.evaluate()[session.metric_name]
     print()
     print(format_table(
-        ["dataset", "technique", "hyper", "params", metric_name],
-        [(args.dataset, args.technique, str(hyper), params, f"{metric:.4f}")],
+        ["dataset", "technique", "hyper", "params", session.metric_name],
+        [(args.dataset, args.technique, str(spec.hyper),
+          session.model.num_parameters(), f"{metric:.4f}")],
     ))
+    if args.save_artifact is not None:
+        return _export_and_verify(session, args.save_artifact, args.bits)
     return 0
+
+
+def _cmd_pipeline_run(args: argparse.Namespace) -> int:
+    from repro.pipeline import TrainSession
+
+    error = _validate_train_args(args, "pipeline run")
+    if error is not None:
+        print(f"repro pipeline run: error: {error}", file=sys.stderr)
+        return 2
+    if args.stop_after_epoch is not None and args.checkpoint is None:
+        print(
+            "repro pipeline run: error: --stop-after-epoch without --checkpoint "
+            "would lose the run",
+            file=sys.stderr,
+        )
+        return 2
+    set_verbose(True)
+    try:
+        spec = _pipeline_spec_from_args(args, architecture=args.architecture)
+        session = TrainSession(spec)
+    except (KeyError, ValueError) as exc:
+        print(f"repro pipeline run: error: {exc}", file=sys.stderr)
+        return 2
+    history = session.fit(
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        stop_after_epoch=args.stop_after_epoch,
+    )
+    state = "interrupted" if not session.finished else "finished"
+    print(
+        f"\npipeline {state} at epoch {session.state.epoch}/{spec.train.epochs}: "
+        f"{history.steps} steps in {history.seconds:.1f}s"
+        + (f", checkpoint at {args.checkpoint}" if args.checkpoint else "")
+    )
+    if session.finished:
+        metric = session.evaluate()[session.metric_name]
+        print(f"eval {session.metric_name}: {metric:.4f}")
+    if args.export is not None:
+        return _export_and_verify(session, args.export, args.bits)
+    return 0
+
+
+def _cmd_pipeline_resume(args: argparse.Namespace) -> int:
+    from repro.artifact.errors import ArtifactError
+    from repro.pipeline import TrainSession
+
+    set_verbose(True)
+    try:
+        session = TrainSession.resume(args.checkpoint)
+    except ArtifactError as exc:
+        print(f"repro pipeline resume: error: {exc}", file=sys.stderr)
+        return 2
+    start = session.state.epoch
+    history = session.fit(checkpoint_path=args.checkpoint)
+    print(
+        f"\nresumed from epoch {start}, finished {session.state.epoch}/"
+        f"{session.spec.train.epochs}: {history.steps} total steps"
+    )
+    metric = session.evaluate()[session.metric_name]
+    print(f"eval {session.metric_name}: {metric:.4f}")
+    if args.export is not None:
+        return _export_and_verify(session, args.export, args.bits)
+    return 0
+
+
+def _cmd_pipeline_export(args: argparse.Namespace) -> int:
+    from repro.artifact.errors import ArtifactError
+    from repro.pipeline import TrainSession
+
+    if args.percentile is not None and not 0.0 < args.percentile <= 100.0:
+        print(
+            f"repro pipeline export: error: --percentile must be in (0, 100], "
+            f"got {args.percentile}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        session = TrainSession.resume(args.checkpoint)
+    except ArtifactError as exc:
+        print(f"repro pipeline export: error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"loaded checkpoint at epoch {session.state.epoch}/"
+        f"{session.spec.train.epochs} ({session.spec.technique} "
+        f"{session.architecture})"
+    )
+    return _export_and_verify(session, args.out, args.bits, percentile=args.percentile)
 
 
 def _build_export_model(args: argparse.Namespace):

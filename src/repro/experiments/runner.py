@@ -22,13 +22,8 @@ from repro.data.datasets import get_spec
 from repro.data.spec import DatasetSpec
 from repro.data.synthetic import Dataset, PairwiseDataset, generate_dataset, generate_pairwise
 from repro.metrics.accuracy import relative_loss_percent
-from repro.metrics.evaluator import evaluate_classification, evaluate_ranking
-from repro.models.builder import (
-    build_classifier,
-    build_pointwise_ranker,
-    build_ranknet,
-)
-from repro.train.trainer import TrainConfig, Trainer
+from repro.pipeline import PipelineSpec, TrainSession
+from repro.train.trainer import TrainConfig
 from repro.utils.logging import log
 from repro.utils.rng import ensure_rng
 
@@ -230,21 +225,33 @@ def technique_grid(
     return grid
 
 
-def _build(architecture: str, technique: str, spec: DatasetSpec, config: ExperimentConfig, seed, **hyper):
-    kwargs = dict(
-        vocab_size=spec.input_vocab,
-        input_length=spec.input_length,
+def point_spec(
+    architecture: str,
+    technique: str,
+    hyper: dict,
+    dataset: str,
+    config: ExperimentConfig,
+    seed: int,
+) -> PipelineSpec:
+    """The :class:`PipelineSpec` of one sweep point.
+
+    Sweeps disable per-epoch validation (``monitor=False``) — each point is
+    scored once on the eval split after training, exactly as before the
+    pipeline existed — and hand the pre-generated dataset to the session so
+    a grid shares one generation pass.
+    """
+    return PipelineSpec(
+        dataset=dataset,
+        architecture=architecture,
+        technique=technique,
+        hyper=dict(hyper),
         embedding_dim=config.embedding_dim,
         dropout=config.dropout,
-        rng=seed,
+        train=replace(config.train_config(), seed=seed),
+        seed=seed,
+        monitor=False,
+        ndcg_k=config.ndcg_k,
     )
-    if architecture == "classifier":
-        return build_classifier(technique, num_labels=spec.output_vocab, **kwargs, **hyper)
-    if architecture == "pointwise":
-        return build_pointwise_ranker(technique, num_items=spec.output_vocab, **kwargs, **hyper)
-    if architecture == "ranknet":
-        return build_ranknet(technique, num_items=spec.output_vocab, **kwargs, **hyper)
-    raise KeyError(f"unknown architecture {architecture!r}")
 
 
 def train_point(
@@ -256,26 +263,19 @@ def train_point(
 ) -> tuple[float, int]:
     """Train one sweep point; returns (metric, parameter count).
 
-    With ``config.num_seeds > 1`` the metric is the mean over independently
-    seeded trainings on the same data.
+    One :class:`~repro.pipeline.TrainSession` per seed over the shared
+    ``data``; with ``config.num_seeds > 1`` the metric is the mean over
+    independently seeded trainings on the same data.
     """
     metrics = []
     params = 0
     for i in range(max(1, config.num_seeds)):
         seed = config.seed + i
-        model = _build(architecture, technique, data.spec, config, seed, **hyper)
-        trainer = Trainer(replace(config.train_config(), seed=seed))
-        if architecture == "ranknet":
-            trainer.fit_pairwise(model, data.x_train, data.pos_train, data.neg_train)
-            metric = evaluate_ranking(model, data.x_eval, data.pos_eval, k=config.ndcg_k)["ndcg"]
-        elif architecture == "pointwise":
-            trainer.fit(model, data.x_train, data.y_train, task="ranking")
-            metric = evaluate_ranking(model, data.x_eval, data.y_eval, k=config.ndcg_k)["ndcg"]
-        else:
-            trainer.fit(model, data.x_train, data.y_train, task="classification")
-            metric = evaluate_classification(model, data.x_eval, data.y_eval)["accuracy"]
-        metrics.append(metric)
-        params = model.num_parameters()
+        spec = point_spec(architecture, technique, hyper, data.spec.name, config, seed)
+        session = TrainSession(spec, data=data)
+        session.fit()
+        metrics.append(session.evaluate()[session.metric_name])
+        params = session.model.num_parameters()
     return float(np.mean(metrics)), params
 
 

@@ -100,6 +100,63 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    # -- state (for resumable training checkpoints) ---------------------------
+
+    def state_slots(self) -> dict[str, list[np.ndarray] | None]:
+        """Named per-parameter slot lists (``None`` = slot unused).
+
+        Subclasses expose their moment/velocity/accumulator arrays here;
+        the base optimizer keeps no per-parameter state.
+        """
+        return {}
+
+    def state_scalars(self) -> dict[str, float | int]:
+        """Scalar state (step counters) serialized alongside the slots.
+
+        ``lr`` is included so a schedule-mutated rate survives a resume.
+        """
+        return {"lr": float(self.lr)}
+
+    def load_state_scalars(self, scalars: dict) -> None:
+        self.lr = float(scalars["lr"])
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Slot arrays keyed ``<slot>.<param index>`` — the layout a
+        checkpoint stores and :meth:`load_state_dict` restores exactly."""
+        out: dict[str, np.ndarray] = {}
+        for slot, arrays in self.state_slots().items():
+            if arrays is None:
+                continue
+            for i, a in enumerate(arrays):
+                out[f"{slot}.{i}"] = a.copy()
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Adopt slot arrays saved by :meth:`state_dict`.
+
+        The optimizer must have been constructed over the same parameter
+        list (same order, same shapes); mismatches raise ``KeyError`` /
+        ``ValueError`` rather than silently training with fresh slots.
+        """
+        slots = {k: v for k, v in self.state_slots().items() if v is not None}
+        expected = {f"{slot}.{i}" for slot, arrays in slots.items() for i in range(len(arrays))}
+        missing = expected - state.keys()
+        unexpected = state.keys() - expected
+        if missing or unexpected:
+            raise KeyError(
+                f"optimizer state mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for slot, arrays in slots.items():
+            for i, a in enumerate(arrays):
+                value = np.asarray(state[f"{slot}.{i}"])
+                if value.shape != a.shape:
+                    raise ValueError(
+                        f"optimizer slot {slot}.{i}: shape {value.shape} != "
+                        f"expected {a.shape}"
+                    )
+                a[...] = value.astype(a.dtype)
+
 
 class SGD(Optimizer):
     """SGD with optional momentum, Nesterov lookahead and weight decay.
@@ -125,6 +182,9 @@ class SGD(Optimizer):
         self.nesterov = nesterov
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def state_slots(self) -> dict[str, list[np.ndarray] | None]:
+        return {"velocity": self._velocity}
 
     def step(self) -> None:
         for p, v in zip(self.params, self._velocity):
@@ -195,6 +255,16 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
 
+    def state_slots(self) -> dict[str, list[np.ndarray] | None]:
+        return {"m": self._m, "v": self._v}
+
+    def state_scalars(self) -> dict[str, float | int]:
+        return {"lr": float(self.lr), "t": int(self._t)}
+
+    def load_state_scalars(self, scalars: dict) -> None:
+        super().load_state_scalars(scalars)
+        self._t = int(scalars["t"])
+
     def step(self) -> None:
         self._t += 1
         b1, b2 = self.beta1, self.beta2
@@ -262,6 +332,9 @@ class Adagrad(Optimizer):
         self.eps = eps
         self._acc = [np.zeros_like(p.data) for p in self.params]
 
+    def state_slots(self) -> dict[str, list[np.ndarray] | None]:
+        return {"acc": self._acc}
+
     def step(self) -> None:
         for p, acc in zip(self.params, self._acc):
             if p.raw_grad is None:
@@ -308,6 +381,9 @@ class RMSProp(Optimizer):
         self.eps = eps
         self._sq = [np.zeros_like(p.data) for p in self.params]
         self._vel = [np.zeros_like(p.data) for p in self.params] if momentum else None
+
+    def state_slots(self) -> dict[str, list[np.ndarray] | None]:
+        return {"sq": self._sq, "vel": self._vel}
 
     def step(self) -> None:
         for i, (p, sq) in enumerate(zip(self.params, self._sq)):

@@ -1,0 +1,17 @@
+"""`repro.pipeline` — one front door from dataset spec to servable artifact.
+
+The training-side twin of :mod:`repro.serve`'s ``ServeSession``: a
+declarative, up-front-validated :class:`PipelineSpec` (data + model family
++ technique + training hyperparameters + optional DP + export settings)
+drives a :class:`TrainSession` whose lifecycle is
+
+``fit() → evaluate() → save_checkpoint()/resume() → export() → ServeSession``
+
+with durable, sha256-verified checkpoints stored in the same versioned
+artifact container the serving stack loads (DESIGN.md §9).
+"""
+
+from repro.pipeline.spec import ARCHITECTURES, PipelineSpec
+from repro.pipeline.session import TrainSession
+
+__all__ = ["ARCHITECTURES", "PipelineSpec", "TrainSession"]

@@ -1,0 +1,298 @@
+"""`TrainSession` — the one front door to the training stack.
+
+Training grew organically across PRs 1–4: model factories in
+``models/builder``, three loop entry points on ``Trainer``/``DPTrainer``,
+the experiment runner's private ``_build``, and hand-rolled export glue in
+every example.  The session collapses that into one object driven by a
+validated :class:`~repro.pipeline.spec.PipelineSpec`:
+
+* :meth:`fit` — task-dispatched training with optional per-epoch durable
+  checkpoints;
+* :meth:`evaluate` — the task's held-out metrics;
+* :meth:`save_checkpoint` / :meth:`resume` — persist / continue a run
+  through the v2 artifact container, **bit-identically** to a run that was
+  never interrupted;
+* :meth:`export` — the versioned serving artifact
+  (:mod:`repro.artifact`);
+* :meth:`serve_session` — a live :class:`repro.serve.ServeSession` over
+  the trained model.
+
+A checkpoint *is* a serving artifact (FP32) with a ``checkpoint`` manifest
+section on top, so ``ServeSession.load`` can serve any checkpoint directly
+and the training state rides the same sha256-verified payload index
+(DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import numpy as np
+
+from repro.artifact.container import ModelArtifact, load_artifact, save_artifact
+from repro.artifact.errors import ArtifactFormatError
+from repro.data.synthetic import Dataset, PairwiseDataset
+from repro.metrics.evaluator import evaluate_classification, evaluate_ranking
+from repro.pipeline.spec import PipelineSpec
+from repro.train.checkpoint import capture_state, restore_state
+from repro.train.trainer import History, TrainState
+
+__all__ = ["TrainSession"]
+
+_TASK_OF = {"classifier": "classification", "pointwise": "ranking", "ranknet": "pairwise"}
+
+
+class TrainSession:
+    """A configured training run: data + model + trainer behind one façade."""
+
+    def __init__(
+        self,
+        spec: PipelineSpec,
+        data: Dataset | PairwiseDataset | None = None,
+        callbacks: list | None = None,
+    ) -> None:
+        if not isinstance(spec, PipelineSpec):
+            raise TypeError(f"spec must be a PipelineSpec, got {type(spec).__name__}")
+        self.spec = spec
+        self.data = data if data is not None else spec.load_data()
+        self.architecture = spec.resolve_architecture(self.data.spec)
+        needs_pairs = self.architecture == "ranknet"
+        if needs_pairs != isinstance(self.data, PairwiseDataset):
+            raise ValueError(
+                f"architecture {self.architecture!r} "
+                f"{'requires' if needs_pairs else 'cannot train on'} pairwise data"
+            )
+        self.model = spec.build_model(self.data.spec)
+        self.trainer = spec.build_trainer(callbacks)
+        self._state: TrainState | None = None
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def task(self) -> str:
+        return _TASK_OF[self.architecture]
+
+    @property
+    def metric_name(self) -> str:
+        return "accuracy" if self.architecture == "classifier" else "ndcg"
+
+    @property
+    def state(self) -> TrainState | None:
+        """The resumable training state (None before the first ``fit``)."""
+        return self._state
+
+    @property
+    def history(self) -> History | None:
+        return self._state.history if self._state is not None else None
+
+    @property
+    def finished(self) -> bool:
+        return self._state is not None and self._state.finished(self.spec.train.epochs)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def fit(
+        self,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+        stop_after_epoch: int | None = None,
+    ) -> History:
+        """Train (or continue training) per the spec; returns the history.
+
+        ``checkpoint_path`` writes a durable checkpoint every
+        ``checkpoint_every`` epochs (and always at the final one);
+        ``stop_after_epoch`` cuts the run after that many *total* epochs
+        without marking it finished — call ``fit`` again (or
+        :meth:`resume` the checkpoint) to continue.
+        """
+        if checkpoint_every <= 0:
+            raise ValueError(f"checkpoint_every must be positive, got {checkpoint_every}")
+        spec = self.spec
+        total = spec.train.epochs
+
+        hook = None
+        if checkpoint_path is not None:
+            def hook(state: TrainState) -> None:
+                # A finished run checkpoints *after* finalization (below),
+                # so the serving payload carries the restored best weights;
+                # mid-run epochs and simulated kills checkpoint here, with
+                # the continuation state the next epoch needs.
+                due = (
+                    not state.finished(total) and state.epoch % checkpoint_every == 0
+                ) or (stop_after_epoch is not None and state.epoch >= stop_after_epoch)
+                if due:
+                    self.save_checkpoint(checkpoint_path, state=state)
+
+        d = self.data
+        x_val = y_val = None
+        if self.architecture == "ranknet":
+            if spec.monitor:
+                x_val, y_val = d.x_eval, d.pos_eval
+            history = self._run_fit(
+                d.x_train, d.pos_train, x_val, y_val, neg=d.neg_train,
+                epoch_hook=hook, max_epochs=stop_after_epoch,
+            )
+        else:
+            if spec.monitor:
+                x_val, y_val = d.x_eval, d.y_eval
+            history = self._run_fit(
+                d.x_train, d.y_train, x_val, y_val,
+                epoch_hook=hook, max_epochs=stop_after_epoch,
+            )
+        if checkpoint_path is not None and self.finished:
+            # Post-finalization write: the model now holds the best weights
+            # (when early stopping restored them), so ServeSession.load on a
+            # finished checkpoint serves exactly what the session serves.
+            self.save_checkpoint(checkpoint_path)
+        return history
+
+    def _run_fit(self, x, y, x_val, y_val, **kwargs) -> History:
+        history = self.trainer.fit(
+            self.model, x, y, x_val, y_val, task=self.task,
+            state=self._state, **kwargs,
+        )
+        self._state = self.trainer.last_state
+        return history
+
+    def evaluate(self) -> dict[str, float]:
+        """Held-out metrics for the task (accuracy family or nDCG family)."""
+        d = self.data
+        if self.architecture == "classifier":
+            return evaluate_classification(self.model, d.x_eval, d.y_eval)
+        y = d.pos_eval if self.architecture == "ranknet" else d.y_eval
+        return evaluate_ranking(self.model, d.x_eval, y, k=self.spec.ndcg_k)
+
+    # -- persistence ------------------------------------------------------------
+
+    def save_checkpoint(self, path: str, state: TrainState | None = None) -> ModelArtifact:
+        """Write a durable, resumable checkpoint artifact at ``path``.
+
+        The container is a complete FP32 serving artifact plus the
+        training state (optimizer slots, RNG positions, history, early-stop
+        bookkeeping) and the spec itself — everything
+        :meth:`resume` needs, every tensor sha256-verified on load.
+
+        The write is crash-safe: the new checkpoint lands at a sibling
+        temporary path and is swapped in only once fully written, so a
+        kill mid-save never destroys the previous good checkpoint (the
+        exact scenario checkpoints exist for).
+        """
+        state = state if state is not None else self._state
+        if state is None:
+            raise ValueError("nothing to checkpoint yet — call fit() first")
+        meta, arrays = capture_state(self.trainer, self.model, state)
+        ckpt_meta = {"spec": self.spec.to_manifest(), "train_state": meta}
+        # save_artifact flips the model to eval mode while snapshotting the
+        # tower; a mid-fit checkpoint must hand the loop back unchanged.
+        was_training = self.model.training
+        # The container writer picks zip-vs-dir off the path suffix, so the
+        # temporary path must keep it.
+        tmp = path[:-4] + ".tmp.zip" if path.endswith(".zip") else path + ".tmp"
+        if os.path.isdir(tmp):
+            shutil.rmtree(tmp)
+        try:
+            artifact = save_artifact(
+                self.model, tmp, bits=32, checkpoint=(ckpt_meta, arrays)
+            )
+        finally:
+            self.model.train(was_training)
+        if path.endswith(".zip"):
+            os.replace(tmp, path)  # atomic file swap
+        else:
+            # Directory swap: move the old checkpoint aside, the new one in,
+            # then drop the old.  A crash in the (tiny) rename window leaves
+            # a complete checkpoint at ``path + ".old"`` or ``tmp``.
+            old = path + ".old"
+            if os.path.isdir(old):
+                shutil.rmtree(old)
+            if os.path.exists(path):
+                os.rename(path, old)
+            os.rename(tmp, path)
+            if os.path.isdir(old):
+                shutil.rmtree(old)
+        artifact.path = path
+        return artifact
+
+    @classmethod
+    def resume(
+        cls,
+        path: str | ModelArtifact,
+        data: Dataset | PairwiseDataset | None = None,
+        callbacks: list | None = None,
+    ) -> "TrainSession":
+        """Rebuild a session from a checkpoint written by
+        :meth:`save_checkpoint`; ``fit()`` then continues the run
+        bit-identically to one that was never interrupted.
+
+        ``data`` skips dataset regeneration (it must be the same data the
+        checkpointed run trained on — by default it is regenerated from
+        the stored spec, which guarantees that).
+        """
+        artifact = path if isinstance(path, ModelArtifact) else load_artifact(path)
+        if not artifact.has_checkpoint:
+            raise ArtifactFormatError(
+                f"artifact at {artifact.path!r} carries no training checkpoint "
+                "(serving-only export?) — nothing to resume"
+            )
+        meta = artifact.checkpoint_meta()
+        arrays = artifact.checkpoint_arrays()
+        try:
+            spec = PipelineSpec.from_manifest(meta["spec"])
+        except (KeyError, ValueError) as exc:
+            raise ArtifactFormatError(
+                f"checkpoint carries an unusable pipeline spec: {exc}"
+            ) from exc
+        session = cls(spec, data=data, callbacks=callbacks)
+        try:
+            session._state = restore_state(
+                session.trainer, session.model, meta["train_state"], arrays
+            )
+        except (KeyError, ValueError) as exc:
+            raise ArtifactFormatError(
+                f"checkpoint training state does not fit the rebuilt pipeline: {exc}"
+            ) from exc
+        return session
+
+    # -- deployment -------------------------------------------------------------
+
+    def export(
+        self,
+        path: str,
+        bits: int | None = None,
+        percentile: float | None = None,
+    ) -> ModelArtifact:
+        """Export the trained model as a serving artifact (spec defaults).
+
+        Sharding (``spec.shards``) is applied to a forward-bit-compatible
+        copy of the embedding for the export only — the session keeps its
+        monolithic tables so training can continue afterwards.
+        """
+        from repro.models.builder import shard_model
+
+        bits = self.spec.bits if bits is None else bits
+        percentile = self.spec.percentile if percentile is None else percentile
+        original_emb = None
+        was_training = self.model.training
+        try:
+            if self.spec.shards:
+                original_emb = self.model.embedding
+                shard_model(self.model, self.spec.shards)
+            return save_artifact(self.model, path, bits=bits, percentile=percentile)
+        finally:
+            if original_emb is not None:
+                self.model.embedding = original_emb
+            self.model.train(was_training)
+
+    def serve_session(self, config=None, **overrides):
+        """A :class:`repro.serve.ServeSession` frozen from this model."""
+        from repro.serve.session import ServeSession
+
+        return ServeSession.from_model(self.model, config, **overrides)
+
+    def __repr__(self) -> str:
+        epoch = self._state.epoch if self._state is not None else 0
+        return (
+            f"TrainSession({self.spec.dataset}/{self.architecture}/"
+            f"{self.spec.technique}, epoch {epoch}/{self.spec.train.epochs})"
+        )

@@ -1,5 +1,6 @@
-"""`repro.train` — training loops: standard, differentially private
-(Appendix A.3), and simulated federated averaging; epoch callbacks."""
+"""`repro.train` — the unified task-dispatched training loop (standard and
+differentially private, Appendix A.3), simulated federated averaging,
+epoch callbacks, and resumable :class:`TrainState` checkpointing."""
 
 from repro.train.callbacks import (
     Callback,
@@ -9,9 +10,10 @@ from repro.train.callbacks import (
     LambdaCallback,
     StopOnMetric,
 )
+from repro.train.checkpoint import capture_state, restore_state
 from repro.train.dp import DPConfig, DPTrainer, rdp_epsilon
 from repro.train.federated import FederatedConfig, federated_train, split_clients
-from repro.train.trainer import History, TrainConfig, Trainer
+from repro.train.trainer import History, TrainConfig, Trainer, TrainState
 
 __all__ = [
     "CSVLogger",
@@ -25,8 +27,11 @@ __all__ = [
     "LambdaCallback",
     "StopOnMetric",
     "TrainConfig",
+    "TrainState",
     "Trainer",
+    "capture_state",
     "federated_train",
     "rdp_epsilon",
+    "restore_state",
     "split_clients",
 ]

@@ -1,0 +1,173 @@
+"""Snapshot / restore a trainer's :class:`~repro.train.trainer.TrainState`.
+
+A resumable checkpoint is *all* of the loop's mutable context, not just the
+weights: model parameters and buffers, optimizer slot arrays and step
+counters, the LR-scheduler clock, the data-order RNG position, the dropout
+RNG positions inside the model, the running :class:`History`, and the
+early-stopping bookkeeping (best weights, staleness).  :func:`capture_state`
+flattens that into ``(meta, arrays)`` — a JSON-able dict plus named float
+arrays — which is exactly what the v2 artifact container stores
+(:mod:`repro.artifact.container`), and :func:`restore_state` rebuilds a
+:class:`TrainState` that continues **bit-identically** to a run that was
+never interrupted (DESIGN.md §9).
+
+This module is deliberately pipeline-agnostic: it knows trainers and
+models, not datasets or artifact files — :mod:`repro.pipeline.session`
+owns the container glue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.train.trainer import History, Trainer, TrainState
+from repro.utils.rng import (
+    module_rng_states,
+    rng_state,
+    set_module_rng_states,
+    set_rng_state,
+)
+
+__all__ = ["capture_state", "restore_state"]
+
+_MODEL = "model/"
+_OPT = "opt/"
+_BEST = "best/"
+
+
+def _encode_metrics(values: list[float]) -> list[float | None]:
+    """NaN → None: the manifest must stay strict JSON (no NaN tokens)."""
+    return [None if np.isnan(v) else float(v) for v in values]
+
+
+def _decode_metrics(values: list) -> list[float]:
+    return [float("nan") if v is None else float(v) for v in values]
+
+
+def _scheduler_meta(scheduler) -> dict | None:
+    if scheduler is None:
+        return None
+    meta = {"t": int(scheduler.t)}
+    # ReduceOnPlateau keeps decision state beyond the step clock.
+    if hasattr(scheduler, "_best"):
+        meta["best"] = None if not np.isfinite(scheduler._best) else float(scheduler._best)
+        meta["stale"] = int(scheduler._stale)
+    return meta
+
+
+def _restore_scheduler(scheduler, meta: dict) -> None:
+    scheduler.t = int(meta["t"])
+    if hasattr(scheduler, "_best"):
+        best = meta.get("best")
+        scheduler._best = -np.inf if best is None else float(best)
+        scheduler._stale = int(meta.get("stale", 0))
+
+
+def capture_state(trainer: Trainer, model, state: TrainState) -> tuple[dict, dict]:
+    """``(meta, arrays)`` snapshot of a (possibly mid-run) training state.
+
+    ``meta`` is strict-JSON-able; ``arrays`` maps payload names
+    (``model/…``, ``opt/…``, ``best/…``) to ndarrays.  Together they are
+    sufficient for :func:`restore_state` to continue the run bit-exactly.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for key, arr in model.state_dict().items():
+        arrays[_MODEL + key] = arr
+    for key, arr in state.optimizer.state_dict().items():
+        arrays[_OPT + key] = arr
+    if state.best_state is not None:
+        for key, arr in state.best_state.items():
+            arrays[_BEST + key] = arr
+
+    h = state.history
+    meta = {
+        "epoch": int(state.epoch),
+        "stopped": bool(state.stopped),
+        "best_metric": (
+            None if not np.isfinite(state.best_metric) else float(state.best_metric)
+        ),
+        "stale_epochs": int(state.stale_epochs),
+        "has_best_state": state.best_state is not None,
+        "history": {
+            "train_loss": [float(v) for v in h.train_loss],
+            "val_metric": _encode_metrics(h.val_metric),
+            "metric_name": h.metric_name,
+            "best_epoch": int(h.best_epoch),
+            "steps": int(h.steps),
+            "seconds": float(h.seconds),
+        },
+        "rng": rng_state(state.rng),
+        "model_rngs": module_rng_states(model),
+        "optimizer": {
+            "name": trainer.config.optimizer,
+            "scalars": {k: v for k, v in state.optimizer.state_scalars().items()},
+        },
+        "scheduler": _scheduler_meta(state.scheduler),
+        "trainer_extra": trainer.extra_state(),
+    }
+    return meta, arrays
+
+
+def restore_state(trainer: Trainer, model, meta: dict, arrays: dict) -> TrainState:
+    """Rebuild the :class:`TrainState` captured by :func:`capture_state`.
+
+    ``model`` must be a freshly built instance of the checkpointed
+    architecture (same shapes); the trainer must carry the same config
+    (``optimizer`` name is cross-checked).  Raises ``KeyError`` /
+    ``ValueError`` on any structural mismatch — the caller wraps those in
+    typed artifact errors.
+    """
+    declared = meta["optimizer"]["name"]
+    if declared != trainer.config.optimizer:
+        raise ValueError(
+            f"checkpoint was taken with optimizer {declared!r}, trainer "
+            f"config says {trainer.config.optimizer!r}"
+        )
+
+    model.load_state_dict(
+        {k[len(_MODEL):]: v for k, v in arrays.items() if k.startswith(_MODEL)}
+    )
+    set_module_rng_states(model, meta["model_rngs"])
+
+    # init_state wires optimizer + scheduler exactly as a fresh fit would
+    # (scheduler base_lr = config.lr); the captured state then overwrites
+    # every mutable part, including a schedule-decayed optimizer lr.
+    state = trainer.init_state(model)
+    state.optimizer.load_state_dict(
+        {k[len(_OPT):]: v for k, v in arrays.items() if k.startswith(_OPT)}
+    )
+    sched_meta = meta.get("scheduler")
+    if (sched_meta is None) != (state.scheduler is None):
+        raise ValueError(
+            "checkpoint and trainer config disagree on whether an LR "
+            "schedule is active"
+        )
+    if state.scheduler is not None:
+        _restore_scheduler(state.scheduler, sched_meta)
+    # After the scheduler rebuild: the restored lr wins over base_lr.
+    state.optimizer.load_state_scalars(meta["optimizer"]["scalars"])
+    set_rng_state(state.rng, meta["rng"])
+
+    h = meta["history"]
+    state.history = History(
+        train_loss=[float(v) for v in h["train_loss"]],
+        val_metric=_decode_metrics(h["val_metric"]),
+        metric_name=h["metric_name"],
+        best_epoch=int(h["best_epoch"]),
+        steps=int(h["steps"]),
+        seconds=float(h["seconds"]),
+    )
+    state.epoch = int(meta["epoch"])
+    state.stopped = bool(meta["stopped"])
+    best = meta["best_metric"]
+    state.best_metric = -np.inf if best is None else float(best)
+    state.stale_epochs = int(meta["stale_epochs"])
+    if meta["has_best_state"]:
+        state.best_state = {
+            k[len(_BEST):]: np.asarray(v).copy()
+            for k, v in arrays.items()
+            if k.startswith(_BEST)
+        }
+    trainer.load_extra_state(meta.get("trainer_extra", {}))
+    trainer.last_state = state
+    return state

@@ -19,14 +19,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.data.loader import iterate_batches
-from repro.metrics.evaluator import evaluate_classification, evaluate_ranking
-from repro.nn.layers import Module
-from repro.nn.losses import softmax_cross_entropy
-from repro.nn.optim import clip_global_norm
-from repro.train.trainer import History, TrainConfig, Trainer
-from repro.utils.logging import log
-from repro.utils.rng import ensure_rng
+from repro.nn.optim import Optimizer, clip_global_norm
+from repro.train.trainer import TrainConfig, Trainer
+from repro.utils.rng import ensure_rng, rng_state, set_rng_state
 
 __all__ = ["DPConfig", "DPTrainer", "rdp_epsilon"]
 
@@ -54,76 +49,43 @@ class DPTrainer(Trainer):
 
     With ``noise_multiplier == 0`` this reduces to clipped (non-private)
     training — the Figure 5 x-axis origin.
+
+    This is *not* a fork of the training loop: the only override is the
+    per-step gradient treatment (:meth:`_process_gradients`), so DP
+    training shares ``Trainer``'s epochs, validation, callbacks, early
+    stopping and resumable :class:`~repro.train.trainer.TrainState` — the
+    noise-stream position and step count ride along via
+    :meth:`extra_state`.
     """
 
-    def __init__(self, config: TrainConfig, dp: DPConfig) -> None:
-        super().__init__(config)
+    def __init__(self, config: TrainConfig, dp: DPConfig, callbacks: list | None = None) -> None:
+        super().__init__(config, callbacks)
         self.dp = dp
         self._noise_rng = ensure_rng(config.seed + 0x9E3779B9)
         self.steps_taken = 0
 
-    def fit(
-        self,
-        model: Module,
-        x: np.ndarray,
-        y: np.ndarray,
-        x_val: np.ndarray | None = None,
-        y_val: np.ndarray | None = None,
-        task: str = "classification",
-    ) -> History:
-        if task not in ("classification", "ranking"):
-            raise ValueError(f"unknown task {task!r}")
-        metric = "accuracy" if task == "classification" else "ndcg"
-        cfg = self.config
+    def _process_gradients(self, opt: Optimizer, batch_size: int) -> None:
         dp = self.dp
-        rng = ensure_rng(cfg.seed)
-        opt = self._make_optimizer(model)
-        params = model.parameters()
-        history = History(metric_name=metric)
+        # clip_global_norm handles sparse embedding grads without
+        # densifying; the Gaussian mechanism below perturbs *every*
+        # coordinate, so sparse row-grads are densified here —
+        # unconditionally, so the σ=0 sweep origin trains with the
+        # same dense-Adam semantics as every σ>0 point (the DP path
+        # trades the sparse fast path for the privacy guarantee).
+        clip_global_norm(opt.params, dp.l2_clip)
+        scale = dp.noise_multiplier * dp.l2_clip / batch_size
+        for p in opt.params:
+            g = p.grad  # property read densifies sparse row-grads
+            if g is not None and dp.noise_multiplier > 0:
+                g += (self._noise_rng.standard_normal(g.shape) * scale).astype(g.dtype)
+        self.steps_taken += 1
 
-        model.train()
-        for epoch in range(cfg.epochs):
-            epoch_loss = 0.0
-            n_batches = 0
-            for xb, yb in iterate_batches(
-                (x, y), cfg.batch_size, rng=rng, shuffle=cfg.shuffle, drop_last=True
-            ):
-                opt.zero_grad()
-                loss = softmax_cross_entropy(model(xb), yb)
-                loss.backward()
-                # clip_global_norm handles sparse embedding grads without
-                # densifying; the Gaussian mechanism below perturbs *every*
-                # coordinate, so sparse row-grads are densified here —
-                # unconditionally, so the σ=0 sweep origin trains with the
-                # same dense-Adam semantics as every σ>0 point (the DP path
-                # trades the sparse fast path for the privacy guarantee).
-                clip_global_norm(params, dp.l2_clip)
-                scale = dp.noise_multiplier * dp.l2_clip / len(xb)
-                for p in params:
-                    g = p.grad  # property read densifies sparse row-grads
-                    if g is not None and dp.noise_multiplier > 0:
-                        g += (
-                            self._noise_rng.standard_normal(g.shape) * scale
-                        ).astype(g.dtype)
-                opt.step()
-                self.steps_taken += 1
-                epoch_loss += loss.item()
-                n_batches += 1
-                if cfg.max_batches_per_epoch and n_batches >= cfg.max_batches_per_epoch:
-                    break
-            history.train_loss.append(epoch_loss / max(n_batches, 1))
-            if x_val is not None and y_val is not None:
-                if task == "classification":
-                    val = evaluate_classification(model, x_val, y_val)["accuracy"]
-                else:
-                    val = evaluate_ranking(model, x_val, y_val)["ndcg"]
-                history.val_metric.append(val)
-                log(f"dp epoch {epoch + 1}: loss={history.train_loss[-1]:.4f} {metric}={val:.4f}")
-                if val >= max(history.val_metric):
-                    history.best_epoch = epoch
-            model.train()
-        model.eval()
-        return history
+    def extra_state(self) -> dict:
+        return {"noise_rng": rng_state(self._noise_rng), "steps_taken": int(self.steps_taken)}
+
+    def load_extra_state(self, extra: dict) -> None:
+        set_rng_state(self._noise_rng, extra["noise_rng"])
+        self.steps_taken = int(extra["steps_taken"])
 
     def epsilon(self, num_examples: int) -> float:
         """ε spent so far, with δ defaulting to 1/num_examples (the paper's

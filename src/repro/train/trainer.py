@@ -1,19 +1,33 @@
-"""Mini-batch training loops for the paper's three model families.
+"""The mini-batch training loop for the paper's three model families.
 
-One :class:`Trainer` covers classification (§5.1) and pointwise ranking
-(§5.2) — both train with softmax cross-entropy — plus the pairwise RankNet
-loop (Figure 3).  Early stopping monitors the validation metric and restores
-the best weights, mirroring the paper's train-to-convergence setup at a CPU
-budget.
+One :class:`Trainer` covers all three tasks behind a single task-dispatched
+:meth:`Trainer.fit` — classification (§5.1) and pointwise ranking (§5.2)
+train with softmax cross-entropy, the pairwise RankNet loop (Figure 3)
+trains with the pairwise logistic loss — and every task shares the same
+``_loop``: optimizer construction, LR schedules, early stopping, callbacks,
+and the gradient-treatment hook differentially-private training overrides
+(:mod:`repro.train.dp`).
 
 Embedding-table gradients flow through this loop row-sparse end-to-end
 (lookup backward → ``clip_global_norm`` → optimizer sparse apply; see
 DESIGN.md §5), so per-step cost scales with the batch, not the vocabulary —
 ``benchmarks/bench_train_throughput.py`` measures the win.
+
+Resumable training
+------------------
+The loop's entire mutable context lives in a :class:`TrainState` — the
+optimizer (with its slots), the LR scheduler, the data-order RNG, the
+running :class:`History`, and the early-stopping bookkeeping.  ``fit``
+creates one when none is given, advances it epoch by epoch, and hands it to
+``epoch_hook`` after every epoch so a caller (``repro.pipeline``'s
+checkpointing) can persist it.  Re-entering ``fit`` with a restored state
+continues the run bit-identically to one that was never interrupted
+(DESIGN.md §9, ``tests/pipeline/test_checkpoint.py``).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,7 +41,7 @@ from repro.nn.schedulers import Scheduler, build_scheduler
 from repro.utils.logging import log
 from repro.utils.rng import ensure_rng
 
-__all__ = ["TrainConfig", "History", "Trainer"]
+__all__ = ["TrainConfig", "History", "TrainState", "Trainer"]
 
 
 @dataclass(frozen=True)
@@ -67,12 +81,19 @@ class TrainConfig:
 
 @dataclass
 class History:
-    """Per-epoch training record returned by the trainer."""
+    """Per-epoch training record returned by the trainer.
+
+    ``steps`` counts optimizer steps and ``seconds`` accumulates wall-clock
+    training time (epoch loops only, not validation) — together they give
+    the wall-clock-per-step trajectory the throughput bench records.
+    """
 
     train_loss: list[float] = field(default_factory=list)
     val_metric: list[float] = field(default_factory=list)
     metric_name: str = ""
     best_epoch: int = -1
+    steps: int = 0
+    seconds: float = 0.0
 
     @property
     def best_metric(self) -> float:
@@ -81,16 +102,52 @@ class History:
         return max(self.val_metric)
 
 
+@dataclass
+class TrainState:
+    """Everything mutable about a training run — the checkpointable unit.
+
+    ``epoch`` is the *next* epoch index to run; a state with
+    ``epoch == config.epochs`` (or ``stopped``) is a finished run.
+    """
+
+    optimizer: Optimizer
+    rng: np.random.Generator
+    history: History
+    scheduler: Scheduler | None = None
+    epoch: int = 0
+    best_metric: float = -np.inf
+    best_state: dict[str, np.ndarray] | None = None
+    stale_epochs: int = 0
+    stopped: bool = False
+
+    def finished(self, total_epochs: int) -> bool:
+        return self.stopped or self.epoch >= total_epochs
+
+
+#: task name → (validation-metric name, needs-neg).  "ranking" is the
+#: historical name for the pointwise task; both spellings dispatch the same.
+_TASKS = {
+    "classification": ("accuracy", False),
+    "ranking": ("ndcg", False),
+    "pointwise": ("ndcg", False),
+    "pairwise": ("ndcg", True),
+}
+
+
 class Trainer:
     """Runs the optimization loop; one instance per model fit.
 
     ``callbacks`` (see :mod:`repro.train.callbacks`) observe epoch
-    boundaries and may request early stopping.
+    boundaries and may request early stopping.  Subclasses customize the
+    *step treatment* — not the loop — by overriding
+    :meth:`_process_gradients` (DP-SGD clips and adds noise there).
     """
 
     def __init__(self, config: TrainConfig | None = None, callbacks: list | None = None) -> None:
         self.config = config or TrainConfig()
         self.callbacks = list(callbacks or [])
+        #: the state of the most recent (possibly still-resumable) fit
+        self.last_state: TrainState | None = None
 
     # -- public API -----------------------------------------------------------
 
@@ -102,16 +159,50 @@ class Trainer:
         x_val: np.ndarray | None = None,
         y_val: np.ndarray | None = None,
         task: str = "classification",
+        *,
+        neg: np.ndarray | None = None,
+        state: TrainState | None = None,
+        epoch_hook=None,
+        max_epochs: int | None = None,
     ) -> History:
-        """Train with softmax cross-entropy; validate with the task metric.
+        """Train ``model`` on ``task``; validate with the task's metric.
 
-        ``task`` selects the validation metric: ``accuracy`` for
-        classification, nDCG@10 for ranking (the softmax scores are the
-        ranking scores, §5.2).
+        ``task`` dispatches the loss and the validation metric:
+
+        * ``"classification"`` — softmax cross-entropy, accuracy;
+        * ``"ranking"`` / ``"pointwise"`` — softmax cross-entropy over the
+          catalog, nDCG@10 (the softmax scores are the ranking scores, §5.2);
+        * ``"pairwise"`` — RankNet logistic loss over ``(x, y=pos, neg)``
+          triples (Figure 3), nDCG@10 on ``(x_val, y_val)``.
+
+        ``state`` resumes a previous run (see :class:`TrainState`);
+        ``epoch_hook(state)`` fires after every completed epoch;
+        ``max_epochs`` cuts the run early *without* marking it finished —
+        the harness's simulated interruption.
         """
-        if task not in ("classification", "ranking"):
-            raise ValueError(f"unknown task {task!r}")
-        metric = "accuracy" if task == "classification" else "ndcg"
+        try:
+            metric, needs_neg = _TASKS[task]
+        except KeyError:
+            raise ValueError(
+                f"unknown task {task!r}; available: {', '.join(_TASKS)}"
+            ) from None
+        if needs_neg and neg is None:
+            raise ValueError("task 'pairwise' requires the neg array")
+
+        if task == "pairwise":
+            arrays = (x, y, neg)
+
+            def batch_loss(batch):
+                xb, pb, nb = batch
+                s_pos, s_neg = model.score_pair(xb, pb, nb)
+                return ranknet_loss(s_pos, s_neg)
+
+        else:
+            arrays = (x, y)
+
+            def batch_loss(batch):
+                xb, yb = batch
+                return softmax_cross_entropy(model(xb), yb)
 
         def eval_metric() -> float:
             if x_val is None or y_val is None:
@@ -120,11 +211,10 @@ class Trainer:
                 return evaluate_classification(model, x_val, y_val)["accuracy"]
             return evaluate_ranking(model, x_val, y_val)["ndcg"]
 
-        def batch_loss(batch: tuple[np.ndarray, ...]) -> "Tensor":
-            xb, yb = batch
-            return softmax_cross_entropy(model(xb), yb)
-
-        return self._loop(model, (x, y), batch_loss, eval_metric, metric)
+        return self._loop(
+            model, arrays, batch_loss, eval_metric, metric,
+            state=state, epoch_hook=epoch_hook, max_epochs=max_epochs,
+        )
 
     def fit_pairwise(
         self,
@@ -134,20 +224,44 @@ class Trainer:
         neg: np.ndarray,
         x_val: np.ndarray | None = None,
         y_val: np.ndarray | None = None,
+        **kwargs,
     ) -> History:
-        """Train a RankNet with the pairwise logistic loss (Figure 3)."""
+        """Train a RankNet with the pairwise logistic loss (Figure 3).
 
-        def eval_metric() -> float:
-            if x_val is None or y_val is None:
-                return float("nan")
-            return evaluate_ranking(model, x_val, y_val)["ndcg"]
+        Thin shim over ``fit(task="pairwise")`` — kept as the historical
+        entry point for the Figure 3 harnesses.
+        """
+        return self.fit(model, x, pos, x_val, y_val, task="pairwise", neg=neg, **kwargs)
 
-        def batch_loss(batch: tuple[np.ndarray, ...]) -> "Tensor":
-            xb, pb, nb = batch
-            s_pos, s_neg = model.score_pair(xb, pb, nb)
-            return ranknet_loss(s_pos, s_neg)
+    def init_state(self, model: Module) -> TrainState:
+        """A fresh :class:`TrainState` for ``model`` under this config."""
+        cfg = self.config
+        opt = self._make_optimizer(model)
+        scheduler: Scheduler | None = None
+        if cfg.lr_schedule != "constant":
+            scheduler = build_scheduler(cfg.lr_schedule, opt, total_steps=cfg.epochs)
+        return TrainState(
+            optimizer=opt, rng=ensure_rng(cfg.seed), history=History(), scheduler=scheduler
+        )
 
-        return self._loop(model, (x, pos, neg), batch_loss, eval_metric, "ndcg")
+    # -- subclass hooks ----------------------------------------------------------
+
+    def _process_gradients(self, opt: Optimizer, batch_size: int) -> None:
+        """Between ``loss.backward()`` and ``opt.step()``.
+
+        The default applies the configured global-norm clip; DP training
+        replaces this with clip-to-sensitivity plus Gaussian noise.
+        """
+        if self.config.grad_clip_norm is not None:
+            clip_global_norm(opt.params, self.config.grad_clip_norm)
+
+    def extra_state(self) -> dict:
+        """Trainer-specific JSON-able state a checkpoint should carry
+        (DP's noise-stream position and step count).  Default: nothing."""
+        return {}
+
+    def load_extra_state(self, extra: dict) -> None:  # noqa: B027 - optional hook
+        pass
 
     # -- internals --------------------------------------------------------------
 
@@ -162,24 +276,34 @@ class Trainer:
             return RMSProp(params, lr=cfg.lr)
         return Adagrad(params, lr=cfg.lr)
 
-    def _loop(self, model, arrays, batch_loss, eval_metric, metric_name) -> History:
+    def _loop(
+        self,
+        model,
+        arrays,
+        batch_loss,
+        eval_metric,
+        metric_name,
+        state: TrainState | None = None,
+        epoch_hook=None,
+        max_epochs: int | None = None,
+    ) -> History:
         from repro.train.callbacks import EpochEvent
 
         cfg = self.config
-        rng = ensure_rng(cfg.seed)
-        opt = self._make_optimizer(model)
-        scheduler: Scheduler | None = None
-        if cfg.lr_schedule != "constant":
-            scheduler = build_scheduler(cfg.lr_schedule, opt, total_steps=cfg.epochs)
-        history = History(metric_name=metric_name)
-        best_metric = -np.inf
-        best_state: dict[str, np.ndarray] | None = None
-        stale_epochs = 0
+        if state is None:
+            state = self.init_state(model)
+        self.last_state = state
+        history = state.history
+        history.metric_name = metric_name
+        opt, rng, scheduler = state.optimizer, state.rng, state.scheduler
+        limit = cfg.epochs if max_epochs is None else min(cfg.epochs, max_epochs)
 
         for cb in self.callbacks:
             cb.on_train_begin(model)
         model.train()
-        for epoch in range(cfg.epochs):
+        while state.epoch < limit and not state.stopped:
+            epoch = state.epoch
+            epoch_start = time.perf_counter()
             epoch_loss = 0.0
             n_batches = 0
             for batch in iterate_batches(
@@ -198,8 +322,7 @@ class Trainer:
                         "learning rate or enable grad_clip_norm"
                     )
                 loss.backward()
-                if cfg.grad_clip_norm is not None:
-                    clip_global_norm(opt.params, cfg.grad_clip_norm)
+                self._process_gradients(opt, len(batch[0]))
                 opt.step()
                 epoch_loss += loss.item()
                 n_batches += 1
@@ -211,6 +334,8 @@ class Trainer:
                     "with drop_last"
                 )
             history.train_loss.append(epoch_loss / n_batches)
+            history.steps += n_batches
+            history.seconds += time.perf_counter() - epoch_start
 
             val = eval_metric()
             history.val_metric.append(val)
@@ -224,17 +349,17 @@ class Trainer:
                 scheduler.step(signal)
 
             stop = False
-            if not np.isnan(val) and val > best_metric:
-                best_metric = val
+            if not np.isnan(val) and val > state.best_metric:
+                state.best_metric = val
                 history.best_epoch = epoch
-                stale_epochs = 0
+                state.stale_epochs = 0
                 if cfg.early_stopping_patience is not None:
-                    best_state = model.state_dict()
+                    state.best_state = model.state_dict()
             else:
-                stale_epochs += 1
+                state.stale_epochs += 1
                 if (
                     cfg.early_stopping_patience is not None
-                    and stale_epochs >= cfg.early_stopping_patience
+                    and state.stale_epochs >= cfg.early_stopping_patience
                 ):
                     log(f"early stop at epoch {epoch + 1} (best epoch {history.best_epoch + 1})")
                     stop = True
@@ -253,11 +378,15 @@ class Trainer:
             if any(requests):
                 log(f"callback requested stop at epoch {epoch + 1}")
                 stop = True
-            if stop:
-                break
+            state.epoch = epoch + 1
+            state.stopped = stop
+            if epoch_hook is not None:
+                epoch_hook(state)
 
-        if best_state is not None:
-            model.load_state_dict(best_state)
+        # Finalization (restore the best weights) only when the run truly
+        # ended — a max_epochs interruption leaves the state continuable.
+        if state.finished(cfg.epochs) and state.best_state is not None:
+            model.load_state_dict(state.best_state)
         model.eval()
         for cb in self.callbacks:
             cb.on_train_end(model)

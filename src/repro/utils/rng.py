@@ -10,7 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn", "DEFAULT_SEED"]
+__all__ = [
+    "ensure_rng",
+    "spawn",
+    "DEFAULT_SEED",
+    "rng_state",
+    "set_rng_state",
+    "module_rng_states",
+    "set_module_rng_states",
+]
 
 DEFAULT_SEED = 0x5EED
 
@@ -38,3 +46,60 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """
     seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """The generator's full bit-generator state as a JSON-able dict.
+
+    Everything inside is plain ints/strings (PCG64 state words are Python
+    ints, which JSON carries exactly), so a checkpoint can persist the
+    stream position and :func:`set_rng_state` can resume it bit-exactly.
+    """
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> np.random.Generator:
+    """Restore a state captured by :func:`rng_state` into ``rng`` in place.
+
+    The generator's bit-generator type must match the one the state was
+    captured from (``repro`` only ever constructs NumPy's default PCG64).
+    """
+    expected = type(rng.bit_generator).__name__
+    declared = state.get("bit_generator")
+    if declared != expected:
+        raise ValueError(
+            f"rng state is for bit generator {declared!r}, not {expected!r}"
+        )
+    rng.bit_generator.state = state
+    return rng
+
+
+def module_rng_states(module) -> list[dict]:
+    """States of every generator owned by ``module``'s submodules, in
+    deterministic ``modules()`` traversal order.
+
+    Layers that draw randomness *during training* (Dropout) hold their
+    generator as an ``rng`` attribute; those streams advance every forward
+    pass, so a bit-identical training resume must capture and restore them
+    alongside the weights.
+    """
+    return [
+        rng_state(m.rng)
+        for m in module.modules()
+        if isinstance(getattr(m, "rng", None), np.random.Generator)
+    ]
+
+
+def set_module_rng_states(module, states: list[dict]) -> None:
+    """Restore states captured by :func:`module_rng_states` (same module
+    structure required — count mismatches raise)."""
+    owners = [
+        m for m in module.modules()
+        if isinstance(getattr(m, "rng", None), np.random.Generator)
+    ]
+    if len(owners) != len(states):
+        raise ValueError(
+            f"module has {len(owners)} rng-owning layers, state has {len(states)}"
+        )
+    for m, state in zip(owners, states):
+        set_rng_state(m.rng, state)

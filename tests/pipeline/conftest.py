@@ -1,0 +1,12 @@
+"""Shared fixtures for the pipeline tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from pipeline_helpers import tiny_spec
+
+
+@pytest.fixture
+def spec():
+    return tiny_spec()

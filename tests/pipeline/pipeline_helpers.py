@@ -1,0 +1,46 @@
+"""Shared pipeline-test helpers: tiny, fast specs over the Table 2 presets."""
+
+from __future__ import annotations
+
+from repro.pipeline import PipelineSpec
+from repro.train import DPConfig, TrainConfig
+
+#: Mid-sweep hyperparameters per technique at the tiny bench vocab (~256).
+HYPER = {
+    "full": {},
+    "memcom": {"num_hash_embeddings": 32},
+    "tt_rec": {"tt_rank": 2},
+    "hash": {"num_hash_embeddings": 32},
+    "factorized": {"hidden_dim": 4},
+}
+
+
+def tiny_spec(
+    technique: str = "memcom",
+    architecture: str = "auto",
+    dataset: str = "movielens",
+    optimizer: str = "adam",
+    epochs: int = 3,
+    dp: DPConfig | None = None,
+    train_overrides: dict | None = None,
+    **spec_overrides,
+) -> PipelineSpec:
+    """A CPU-milliseconds spec: tiny vocab, 16-wide inputs, 512 examples."""
+    train_kwargs = dict(epochs=epochs, batch_size=64, lr=3e-3, optimizer=optimizer, seed=0)
+    train_kwargs.update(train_overrides or {})
+    train = TrainConfig(**train_kwargs)
+    return PipelineSpec(
+        dataset=dataset,
+        architecture=architecture,
+        technique=technique,
+        hyper=HYPER[technique],
+        embedding_dim=8,
+        scale=0.01,
+        cap_train=512,
+        cap_eval=256,
+        input_length=16,
+        train=train,
+        dp=dp,
+        seed=0,
+        **spec_overrides,
+    )

@@ -67,6 +67,109 @@ class TestCommands:
         assert "completed" in out
 
 
+class TestTrainFailFast:
+    """Bad training arguments die up front with a one-line message (exit 2)."""
+
+    @pytest.mark.parametrize(
+        "flags, fragment",
+        [
+            (("--epochs", "0"), "--epochs"),
+            (("--embedding-dim", "-2"), "--embedding-dim"),
+            (("--hash-fraction", "0"), "--hash-fraction"),
+            (("--scale", "-0.5"), "--scale"),
+        ],
+    )
+    def test_each_bad_value_names_its_flag(self, capsys, flags, fragment):
+        code = main(["train", "movielens", "memcom", *flags])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert fragment in err
+        assert "Traceback" not in err
+
+    def test_save_artifact_exports_and_verifies(self, tmp_path, capsys):
+        out = str(tmp_path / "trained")
+        code = main(
+            ["train", "movielens", "memcom", "--epochs", "1",
+             "--embedding-dim", "8", "--save-artifact", out, "--bits", "8"]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "ModelArtifact" in stdout
+        assert "verified" in stdout and "bit-for-bit" in stdout
+
+
+class TestPipelineCommands:
+    def test_run_checkpoint_kill_resume_export(self, tmp_path, capsys):
+        """The full lifecycle: train → checkpoint → kill → resume →
+        export-artifact → reload-verify, all from the shell."""
+        ck = str(tmp_path / "ck")
+        art = str(tmp_path / "art")
+        code = main(
+            ["pipeline", "run", "--dataset", "movielens", "--epochs", "2",
+             "--embedding-dim", "8", "--checkpoint", ck,
+             "--stop-after-epoch", "1"]
+        )
+        assert code == 0
+        assert "interrupted at epoch 1/2" in capsys.readouterr().out
+        code = main(["pipeline", "resume", ck, "--export", art, "--bits", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from epoch 1" in out
+        assert "verified" in out and "bit-for-bit" in out
+
+    def test_export_subcommand(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck")
+        assert main(
+            ["pipeline", "run", "--dataset", "movielens", "--epochs", "1",
+             "--embedding-dim", "8", "--checkpoint", ck]
+        ) == 0
+        capsys.readouterr()
+        assert main(["pipeline", "export", ck, str(tmp_path / "art.zip")]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_resume_without_checkpoint_is_clean_error(self, capsys):
+        code = main(["pipeline", "resume", "/nonexistent/ck"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "Traceback" not in err
+
+    def test_resume_of_serving_artifact_is_clean_error(self, tmp_path, capsys):
+        out = str(tmp_path / "serving")
+        assert main(
+            ["export-artifact", out, "--technique", "memcom", "--vocab", "400",
+             "--embedding-dim", "8", "--input-length", "4", "--num-items", "10"]
+        ) == 0
+        capsys.readouterr()
+        code = main(["pipeline", "resume", out])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no training checkpoint" in err and "Traceback" not in err
+
+    @pytest.mark.parametrize(
+        "flags, fragment",
+        [
+            (("--epochs", "0"), "--epochs"),
+            (("--batch-size", "-1"), "--batch-size"),
+            (("--lr", "0"), "--lr"),
+            (("--checkpoint-every", "0"), "--checkpoint-every"),
+            (("--stop-after-epoch", "0"), "--stop-after-epoch"),
+        ],
+    )
+    def test_run_validates_arguments(self, capsys, flags, fragment):
+        code = main(["pipeline", "run", "--dataset", "movielens", *flags])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert fragment in err
+        assert "Traceback" not in err
+
+    def test_stop_after_requires_checkpoint(self, capsys):
+        code = main(
+            ["pipeline", "run", "--dataset", "movielens", "--stop-after-epoch", "1"]
+        )
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+
 class TestDefaultHyper:
     def test_covers_every_registered_technique(self):
         for technique in available_techniques():

@@ -141,6 +141,63 @@ class TestPairwise:
         assert frac > 0.55
 
 
+class TestUnifiedFit:
+    def test_pairwise_via_fit_matches_fit_pairwise(self, tiny_spec):
+        """fit(task='pairwise') and the fit_pairwise shim are one loop."""
+        from repro.data.synthetic import generate_pairwise
+
+        pw = generate_pairwise(tiny_spec, np.random.default_rng(2))
+
+        def build():
+            return build_ranknet(
+                "memcom", tiny_spec.input_vocab, tiny_spec.output_vocab,
+                input_length=tiny_spec.input_length, embedding_dim=8, rng=0,
+                num_hash_embeddings=tiny_spec.input_vocab // 8,
+            )
+
+        cfg = TrainConfig(epochs=2, batch_size=64, lr=3e-3, seed=0)
+        m1, m2 = build(), build()
+        h1 = Trainer(cfg).fit(
+            m1, pw.x_train, pw.pos_train, task="pairwise", neg=pw.neg_train
+        )
+        h2 = Trainer(cfg).fit_pairwise(m2, pw.x_train, pw.pos_train, pw.neg_train)
+        assert h1.train_loss == h2.train_loss
+        for k, v in m1.state_dict().items():
+            assert np.array_equal(v, m2.state_dict()[k]), k
+
+    def test_pairwise_requires_neg(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        model = build_classifier(
+            "full", ds.spec.input_vocab, ds.spec.output_vocab,
+            input_length=ds.spec.input_length, embedding_dim=8, rng=0,
+        )
+        with pytest.raises(ValueError, match="neg"):
+            Trainer().fit(model, ds.x_train, ds.y_train, task="pairwise")
+
+    def test_pointwise_alias(self, tiny_dataset):
+        ds = tiny_dataset
+        model = build_pointwise_ranker(
+            "full", ds.spec.input_vocab, ds.spec.output_vocab,
+            input_length=ds.spec.input_length, embedding_dim=8, rng=0,
+        )
+        hist = Trainer(TrainConfig(epochs=1, batch_size=64)).fit(
+            model, ds.x_train, ds.y_train, task="pointwise"
+        )
+        assert hist.metric_name == "ndcg"
+
+    def test_steps_and_seconds_recorded(self, tiny_classification_dataset):
+        ds = tiny_classification_dataset
+        model = build_classifier(
+            "full", ds.spec.input_vocab, ds.spec.output_vocab,
+            input_length=ds.spec.input_length, embedding_dim=8, rng=0,
+        )
+        hist = Trainer(TrainConfig(epochs=2, batch_size=64)).fit(
+            model, ds.x_train, ds.y_train
+        )
+        assert hist.steps == 2 * (len(ds.x_train) // 64)
+        assert hist.seconds > 0
+
+
 class TestHistory:
     def test_best_metric_requires_records(self):
         with pytest.raises(ValueError):
