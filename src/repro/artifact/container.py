@@ -37,10 +37,14 @@ predictions (pinned across techniques × shards × widths in
 
 from __future__ import annotations
 
+import glob
 import hashlib
 import json
 import os
+import shutil
+import struct
 import zipfile
+import zlib
 
 import numpy as np
 
@@ -108,6 +112,58 @@ class _Store:
         return name
 
 
+def _remove_any(path: str) -> None:
+    """Delete a file or tree if present (stale temp from a crashed save)."""
+    if os.path.isdir(path):
+        shutil.rmtree(path, ignore_errors=True)
+    elif os.path.exists(path):
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+
+def _fsync_write(file_path: str, data: bytes) -> None:
+    """Write + fsync, so a rename never publishes bytes still in flight."""
+    with open(file_path, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def _swap_into_place(tmp: str, path: str) -> None:
+    """Publish ``tmp`` at ``path``: atomic for files, two renames for dirs.
+
+    A file (zip) target is a single ``os.replace`` — crash-atomic.  A
+    directory target cannot be renamed over a non-empty directory, so a
+    previous artifact is first moved aside, then the new one renamed in,
+    then the old one deleted; a crash between the renames leaves the old
+    artifact recoverable at ``<path>.replaced.<pid>`` and never a
+    half-written mixture at ``path`` itself.
+    """
+    if not os.path.isdir(tmp):
+        if os.path.isdir(path):  # kind change: dir artifact -> zip artifact
+            shutil.rmtree(path)
+        os.replace(tmp, path)
+        return
+    old = f"{path}.replaced.{os.getpid()}"
+    _remove_any(old)
+    rolled_aside = False
+    if os.path.isdir(path):
+        os.rename(path, old)
+        rolled_aside = True
+    elif os.path.exists(path):  # kind change: zip artifact -> dir artifact
+        os.remove(path)
+    try:
+        os.rename(tmp, path)
+    except OSError:
+        if rolled_aside:
+            os.rename(old, path)  # roll the previous artifact back
+        raise
+    if rolled_aside:
+        shutil.rmtree(old, ignore_errors=True)
+
+
 def _write_container(path: str, manifest: dict, store: _Store) -> int:
     """Write dir (default) or zip (``*.zip`` path); returns manifest bytes.
 
@@ -115,6 +171,12 @@ def _write_container(path: str, manifest: dict, store: _Store) -> int:
     same byte string, one payload at a time (a large table would otherwise
     materialize twice) — and the payload index lands in ``manifest``
     before the manifest itself is written last.
+
+    The write is *atomic at the artifact level*: everything lands in a
+    ``<path>.incoming.<pid>`` sibling first (fsynced), which is only then
+    swapped into place.  A crash mid-save — including SIGKILL — leaves
+    either the previous artifact intact or no artifact, never a truncated
+    container at ``path``; the stale temp is cleaned up by the next save.
     """
     def entry(arr: np.ndarray, data: bytes) -> dict:
         return {
@@ -132,24 +194,36 @@ def _write_container(path: str, manifest: dict, store: _Store) -> int:
         # model, so its bytes count against the same budget the payloads do.
         return json.dumps(manifest, sort_keys=True, separators=(",", ":")).encode()
 
-    if path.endswith(".zip"):
-        with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as zf:
+    tmp = f"{path}.incoming.{os.getpid()}"
+    # Sweep debris from saves that died mid-write — ours *and* other pids'
+    # (a SIGKILLed exporter leaves its .incoming/.replaced siblings behind).
+    for pattern in (".incoming.*", ".replaced.*"):
+        for stale in glob.glob(glob.escape(path) + pattern):
+            _remove_any(stale)
+    try:
+        if path.endswith(".zip"):
+            with open(tmp, "wb") as raw_fh:
+                with zipfile.ZipFile(raw_fh, "w", zipfile.ZIP_STORED) as zf:
+                    for name, arr in store.arrays.items():
+                        data = arr.tobytes()
+                        index[name] = {"file": _payload_file(name), **entry(arr, data)}
+                        zf.writestr(_payload_file(name), data)
+                    raw = manifest_bytes()
+                    zf.writestr(_MANIFEST, raw)
+                raw_fh.flush()
+                os.fsync(raw_fh.fileno())
+        else:
+            os.makedirs(os.path.join(tmp, _PAYLOAD_DIR), exist_ok=True)
             for name, arr in store.arrays.items():
                 data = arr.tobytes()
                 index[name] = {"file": _payload_file(name), **entry(arr, data)}
-                zf.writestr(_payload_file(name), data)
+                _fsync_write(os.path.join(tmp, _payload_file(name)), data)
             raw = manifest_bytes()
-            zf.writestr(_MANIFEST, raw)
-    else:
-        os.makedirs(os.path.join(path, _PAYLOAD_DIR), exist_ok=True)
-        for name, arr in store.arrays.items():
-            data = arr.tobytes()
-            index[name] = {"file": _payload_file(name), **entry(arr, data)}
-            with open(os.path.join(path, _payload_file(name)), "wb") as fh:
-                fh.write(data)
-        raw = manifest_bytes()
-        with open(os.path.join(path, _MANIFEST), "wb") as fh:
-            fh.write(raw)
+            _fsync_write(os.path.join(tmp, _MANIFEST), raw)
+        _swap_into_place(tmp, path)
+    except BaseException:
+        _remove_any(tmp)
+        raise
     return len(raw)
 
 
@@ -163,15 +237,33 @@ class _Reader:
         self.path = path
         self._zip: zipfile.ZipFile | None = None
         if os.path.isdir(path):
-            pass
-        elif zipfile.is_zipfile(path):
-            self._zip = zipfile.ZipFile(path, "r")
-        elif not os.path.exists(path):
+            return
+        if not os.path.exists(path):
             raise ArtifactFormatError(f"no artifact at {path!r}")
-        else:
+        if not os.path.isfile(path):
             raise ArtifactFormatError(
                 f"{path!r} is neither an artifact directory nor a zip container"
             )
+        try:
+            self._zip = zipfile.ZipFile(path, "r")
+        except (zipfile.BadZipFile, zipfile.LargeZipFile, EOFError, OSError) as exc:
+            # A file that *starts* as a zip but cannot be opened was an
+            # artifact once — truncation/corruption, not a format mixup.
+            if self._sniff_zip(path):
+                raise ArtifactIntegrityError(
+                    f"{path!r} is a truncated or corrupted zip container: {exc}"
+                ) from exc
+            raise ArtifactFormatError(
+                f"{path!r} is neither an artifact directory nor a zip container"
+            ) from None
+
+    @staticmethod
+    def _sniff_zip(path: str) -> bool:
+        try:
+            with open(path, "rb") as fh:
+                return fh.read(2) == b"PK"
+        except OSError:
+            return False
 
     def read(self, member: str) -> bytes:
         try:
@@ -184,6 +276,14 @@ class _Reader:
             raise ArtifactIntegrityError(
                 f"artifact member {member!r} missing from {self.path!r}"
             ) from None
+        except (zipfile.BadZipFile, zlib.error, struct.error, EOFError, OSError) as exc:
+            # zipfile's own CRC check, a truncated member, or a short read —
+            # damage inside the container, surfaced typed (never a bare
+            # BadZipFile/struct.error escaping to the serving stack).
+            raise ArtifactIntegrityError(
+                f"artifact member {member!r} in {self.path!r} is corrupted "
+                f"or truncated: {exc}"
+            ) from exc
 
     def close(self) -> None:
         if self._zip is not None:
@@ -489,19 +589,28 @@ def load_artifact(path: str) -> ModelArtifact:
             raise ArtifactFormatError("manifest 'payloads' must be an object")
         arrays: dict[str, np.ndarray] = {}
         for name, meta in payload_index.items():
-            data = reader.read(meta["file"])
-            if len(data) != int(meta["nbytes"]):
+            try:
+                member = meta["file"]
+                nbytes = int(meta["nbytes"])
+                digest = meta["sha256"]
+                dtype, shape = meta["dtype"], meta["shape"]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ArtifactFormatError(
+                    f"malformed payload index entry for {name!r}: {exc!r}"
+                ) from exc
+            data = reader.read(member)
+            if len(data) != nbytes:
                 raise ArtifactIntegrityError(
                     f"payload {name!r}: {len(data)} bytes on disk, manifest "
-                    f"says {meta['nbytes']}"
+                    f"says {nbytes}"
                 )
-            if _sha256(data) != meta["sha256"]:
+            if _sha256(data) != digest:
                 raise ArtifactIntegrityError(
                     f"payload {name!r} content hash mismatch — artifact is corrupted"
                 )
             try:
-                arr = np.frombuffer(data, dtype=np.dtype(meta["dtype"]))
-                arr = arr.reshape([int(s) for s in meta["shape"]])
+                arr = np.frombuffer(data, dtype=np.dtype(dtype))
+                arr = arr.reshape([int(s) for s in shape])
             except (TypeError, ValueError) as exc:
                 raise ArtifactFormatError(
                     f"payload {name!r} has inconsistent dtype/shape metadata: {exc}"

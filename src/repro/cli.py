@@ -229,6 +229,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--shards", type=int, default=4, help="shard count for the sharded run")
     p_serve.add_argument("--alpha", type=float, default=1.1, help="Zipf exponent of the traffic")
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--workers", type=int, default=0,
+        help="also bench the fault-tolerant multi-process runtime with this "
+        "many supervised shard workers (requires --artifact — the workers' "
+        "respawn source; 0 = single-process only)",
+    )
+    p_serve.add_argument(
+        "--chaos", default=None,
+        choices=["kill", "delay", "drop", "corrupt", "corrupt-artifact", "all"],
+        help="fault-injection mode: serve a fixed workload with this fault "
+        "armed and verify predictions stay bit-identical to the fault-free "
+        "run while recovery counters move (exit 1 on any failure); builds a "
+        "temporary artifact when --artifact is omitted",
+    )
     p_serve.set_defaults(func=_cmd_serve_bench)
 
     return parser
@@ -561,6 +575,14 @@ def _validate_serve_args(args: argparse.Namespace) -> str | None:
         return f"--alpha must be positive, got {args.alpha}"
     if args.cache_rows < 0:
         return f"--cache-rows must be >= 0 (0 disables the cache), got {args.cache_rows}"
+    if args.workers < 0:
+        return f"--workers must be >= 0 (0 = single-process), got {args.workers}"
+    if args.workers > 0 and args.artifact is None and args.chaos is None:
+        return (
+            "--workers needs --artifact: the artifact is the workers' respawn "
+            "source (export one with `repro export-artifact`, or use --chaos "
+            "which builds a temporary artifact itself)"
+        )
     try:
         ServeConfig(
             bits=args.bits,
@@ -587,6 +609,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if error is not None:
         print(f"repro serve-bench: error: {error}", file=sys.stderr)
         return 2
+    if args.chaos is not None:
+        return _cmd_serve_chaos(args)
 
     cache_rows = args.cache_rows or None
     base = ServeConfig(
@@ -625,6 +649,19 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                     warm_cached,
                 ),
             ]
+            if args.workers > 0:
+                # The supervised multi-process plane over the same artifact
+                # (bit-identical predictions; see DESIGN.md §10).
+                configs.append(
+                    (
+                        f"runtime x{args.workers}w",
+                        ServeSession.load(
+                            artifact,
+                            dc_replace(base, bits=session_bits, workers=args.workers),
+                        ),
+                        warm_uncached,
+                    )
+                )
         except ArtifactError as exc:
             print(f"repro serve-bench: error: {exc}", file=sys.stderr)
             return 2
@@ -689,31 +726,116 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         vocab, input_length, args.requests, alpha=args.alpha, rng=args.seed
     )
     sessions = {label: session for label, session, _ in configs}
-    reports = [
-        measure_throughput(
-            session.engine, requests, batch_size=args.batch_size, label=label,
-            warmup_batches=warm,
-        )
-        for label, session, warm in configs
-    ]
-    print(format_table(
-        ["engine", "requests", "batch", "req/s", "ms/batch", "cache hit"],
-        [r.row() for r in reports],
-        title=title,
-    ))
-    first, cached = reports[0], reports[1]
-    print(
-        f"\ncached vs uncached: {cached.requests_per_sec / first.requests_per_sec:.2f}× "
-        f"requests/sec at {100.0 * (cached.cache_hit_rate or 0.0):.1f}% hit rate"
-    )
-    if args.artifact is None and args.bits != 32:
-        fp32_bytes = sessions["monolithic"].engine.table_resident_bytes()
-        q_bytes = sessions[f"int{args.bits}"].engine.table_resident_bytes()
+    try:
+        reports = [
+            measure_throughput(
+                # The runtime (if any) duck-types the engine's serving surface.
+                session.runtime if session.runtime is not None else session.engine,
+                requests, batch_size=args.batch_size, label=label,
+                warmup_batches=warm,
+            )
+            for label, session, warm in configs
+        ]
+        print(format_table(
+            ["engine", "requests", "batch", "req/s", "ms/batch", "cache hit"],
+            [r.row() for r in reports],
+            title=title,
+        ))
+        first, cached = reports[0], reports[1]
         print(
-            f"int{args.bits} table-resident bytes: {q_bytes:,} "
-            f"({q_bytes / fp32_bytes:.2f}× FP32's {fp32_bytes:,})"
+            f"\ncached vs uncached: {cached.requests_per_sec / first.requests_per_sec:.2f}× "
+            f"requests/sec at {100.0 * (cached.cache_hit_rate or 0.0):.1f}% hit rate"
         )
+        if args.artifact is None and args.bits != 32:
+            fp32_bytes = sessions["monolithic"].engine.table_resident_bytes()
+            q_bytes = sessions[f"int{args.bits}"].engine.table_resident_bytes()
+            print(
+                f"int{args.bits} table-resident bytes: {q_bytes:,} "
+                f"({q_bytes / fp32_bytes:.2f}× FP32's {fp32_bytes:,})"
+            )
+        for label, session in sessions.items():
+            if session.runtime is not None:
+                qos = session.runtime.qos.snapshot()
+                print(
+                    f"{label}: p50/p95/p99 = {qos['latency_ms_p50']:.2f}/"
+                    f"{qos['latency_ms_p95']:.2f}/{qos['latency_ms_p99']:.2f} ms, "
+                    f"respawns={qos['respawns']}, retries={qos['retries']}"
+                )
+    finally:
+        for session in sessions.values():
+            session.close()
     return 0
+
+
+def _cmd_serve_chaos(args: argparse.Namespace) -> int:
+    """`repro serve-bench --chaos`: induce faults, demand identical answers."""
+    import os
+    import shutil
+    import tempfile
+
+    from repro.artifact.errors import ArtifactError
+    from repro.serve.runtime import CHAOS_SCENARIOS, run_chaos
+
+    workers = args.workers or 2
+    scenarios = sorted(CHAOS_SCENARIOS) if args.chaos == "all" else [args.chaos]
+    bits = None if args.bits == 32 else args.bits
+    # Chaos verification double-serves every request (fault-free baseline +
+    # faulted runtime); cap the workload so `--chaos` stays seconds-cheap
+    # at serve-bench's throughput-sized default --requests.
+    num_requests = min(args.requests, 16 * args.batch_size)
+
+    tmp_dir = None
+    path = args.artifact
+    try:
+        if path is None:
+            # No artifact given: export the same recipe serve-bench would
+            # serve — the runtime needs a durable (re)spawn source on disk.
+            from repro.artifact import save_artifact
+
+            tmp_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+            path = save_artifact(
+                _build_export_model(args),
+                os.path.join(tmp_dir, "artifact"),
+                bits=args.bits,
+                percentile=None,
+            ).path
+            bits = None  # already stored at the requested width
+        print(
+            f"chaos: artifact={path}, workers={workers}, "
+            f"requests={num_requests} x L, scenarios={', '.join(scenarios)}"
+        )
+        failures = 0
+        for scenario in scenarios:
+            try:
+                report = run_chaos(
+                    path,
+                    scenario,
+                    workers=workers,
+                    num_requests=num_requests,
+                    batch_size=args.batch_size,
+                    bits=bits,
+                    alpha=args.alpha,
+                    seed=args.seed,
+                )
+            except ArtifactError as exc:
+                print(f"repro serve-bench: error: {exc}", file=sys.stderr)
+                return 2
+            print(report.summary())
+            failures += 0 if report.ok else 1
+        if failures:
+            print(
+                f"chaos: {failures}/{len(scenarios)} scenario(s) FAILED",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"chaos: all {len(scenarios)} scenario(s) recovered with "
+            "bit-identical predictions"
+        )
+        return 0
+    finally:
+        if tmp_dir is not None:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
 
 
 def _cmd_export_artifact(args: argparse.Namespace) -> int:

@@ -11,24 +11,44 @@ forward-only :class:`InferenceEngine` plan, the coalescing
 engine/batcher/cache classes remain public — they are the moving parts,
 the session is the front door.  See DESIGN.md §6–§8 and
 ``repro serve-bench`` / ``repro export-artifact``.
+
+``ServeConfig(workers=N)`` on a loaded artifact puts the fault-tolerant
+multi-process :mod:`repro.serve.runtime` in front of the same contract:
+supervised shard workers, retry/backoff, graceful degradation, QoS
+percentiles — bit-identical predictions under induced faults
+(DESIGN.md §10, ``repro serve-bench --chaos``).
 """
 
 from repro.serve.batcher import Batcher, PendingRequest
 from repro.serve.bench import ServeReport, measure_throughput, zipf_requests
 from repro.serve.cache import LRUCache, QuantizedRowCache, rows_for_budget
 from repro.serve.engine import InferenceEngine
+from repro.serve.runtime import (
+    ChaosReport,
+    FaultSpec,
+    QoSStats,
+    RetryPolicy,
+    ServingRuntime,
+    run_chaos,
+)
 from repro.serve.session import ServeConfig, ServeSession
 
 __all__ = [
     "Batcher",
+    "ChaosReport",
+    "FaultSpec",
     "InferenceEngine",
     "LRUCache",
     "PendingRequest",
+    "QoSStats",
     "QuantizedRowCache",
+    "RetryPolicy",
     "ServeConfig",
     "ServeReport",
     "ServeSession",
+    "ServingRuntime",
     "measure_throughput",
     "rows_for_budget",
+    "run_chaos",
     "zipf_requests",
 ]

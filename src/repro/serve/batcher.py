@@ -15,8 +15,6 @@ import time
 
 import numpy as np
 
-from repro.serve.engine import InferenceEngine
-
 __all__ = ["Batcher", "PendingRequest"]
 
 
@@ -48,10 +46,12 @@ class Batcher:
 
     def __init__(
         self,
-        engine: InferenceEngine,
+        engine,
         max_batch: int = 256,
         max_delay_ms: float | None = None,
     ) -> None:
+        # ``engine`` is anything with predict/input_length/vocab_size — an
+        # InferenceEngine, or the multi-process ServingRuntime.
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
         if max_delay_ms is not None and max_delay_ms < 0:
@@ -104,12 +104,17 @@ class Batcher:
 
         Returns the per-request score rows in submission order (also set on
         each request's ``.result``) and clears the queue.  Results are
-        assigned per sub-batch as computed; if the engine fails mid-flush,
-        already-served requests keep their results and the unserved
-        remainder goes back on the queue.
+        assigned per sub-batch as computed; if the engine fails mid-flush —
+        with *any* exception, ``BaseException`` included, so a
+        ``KeyboardInterrupt`` or an alarm-driven timeout cannot silently
+        drop traffic — already-served requests keep their results and every
+        undelivered request goes back on the queue.  The latency-deadline
+        clock is restored along with them: a requeued request keeps its
+        original wait start, so ``max_delay_ms`` still counts from when it
+        was first submitted, not from when the engine recovered.
         """
         pending, self._pending = self._pending, []
-        self._oldest_pending_at = None
+        oldest, self._oldest_pending_at = self._oldest_pending_at, None
         if not pending:
             return []
         batch = np.stack([r.ids for r in pending])
@@ -117,8 +122,12 @@ class Batcher:
         for start in range(0, batch.shape[0], self.max_batch):
             try:
                 scores = self.engine.predict(batch[start : start + self.max_batch])
-            except Exception:
+            except BaseException:
                 self._pending = pending[start:] + self._pending
+                if self.max_delay_ms is not None:
+                    self._oldest_pending_at = (
+                        oldest if oldest is not None else time.monotonic()
+                    )
                 raise
             for request, row in zip(pending[start:], scores):
                 request.result = row

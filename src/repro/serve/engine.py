@@ -409,15 +409,48 @@ class InferenceEngine:
         """
         return self._table_bytes
 
-    # -- serving ---------------------------------------------------------------
+    # -- per-shard operator decomposition ---------------------------------------
 
-    def predict(self, ids: np.ndarray) -> np.ndarray:
-        """Scores/logits for a ``(B, input_length)`` batch of id sequences.
+    @property
+    def per_id_composable(self) -> bool:
+        """Whether the embedding composes one row per id (everything except
+        the pooled one-hot encoder) — the property the multi-process
+        runtime's id-partitioned shard workers rely on."""
+        return self._embed_pooled is None
 
-        Matches the eval-mode ``model.forward`` output on the same batch
-        (``tests/serve/test_engine.py`` pins the agreement per architecture
-        and technique).
+    def compose_rows(self, flat_ids: np.ndarray) -> np.ndarray:
+        """FP32 composed rows for a flat id vector — the per-shard operator.
+
+        This is the unit of work a :mod:`repro.serve.runtime` shard worker
+        executes: deterministic per id, so any subset of a batch composed in
+        any process yields the same bytes the monolithic ``predict`` path
+        computes (that is what makes fault recovery bit-identical).  Bypasses
+        the hot-row cache by construction.
         """
+        if self._embed_pooled is not None:
+            raise ValueError(
+                f"{self.model_name}'s pooled embedding output is not per-id "
+                "decomposable; serve it single-process"
+            )
+        flat = np.asarray(flat_ids).ravel()
+        if flat.size and (flat.min() < 0 or flat.max() >= self.vocab_size):
+            raise IndexError(
+                f"id out of range [0, {self.vocab_size}): "
+                f"[{flat.min()}, {flat.max()}]"
+            )
+        return np.ascontiguousarray(self._embed_rows(flat), dtype=np.float32)
+
+    def apply_tower(self, h: np.ndarray) -> np.ndarray:
+        """Run the frozen tower over ``(B, L, e)`` embedded inputs.
+
+        Public so the runtime can assemble rows from shard workers and
+        finish the forward plan with exactly the closures ``predict`` uses.
+        """
+        return self._tower(h)
+
+    def validate_ids(self, ids: np.ndarray) -> np.ndarray:
+        """Normalize a request batch to ``(B, input_length)`` or raise —
+        the shape/range contract shared by ``predict`` and the runtime."""
         ids = np.asarray(ids)
         if ids.ndim == 1:
             ids = ids[None, :]
@@ -430,6 +463,18 @@ class InferenceEngine:
                 f"id out of range [0, {self.vocab_size}): "
                 f"[{ids.min()}, {ids.max()}]"
             )
+        return ids
+
+    # -- serving ---------------------------------------------------------------
+
+    def predict(self, ids: np.ndarray) -> np.ndarray:
+        """Scores/logits for a ``(B, input_length)`` batch of id sequences.
+
+        Matches the eval-mode ``model.forward`` output on the same batch
+        (``tests/serve/test_engine.py`` pins the agreement per architecture
+        and technique).
+        """
+        ids = self.validate_ids(ids)
         if self._embed_pooled is not None:
             h = self._embed_pooled(ids)
         else:

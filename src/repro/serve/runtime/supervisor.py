@@ -1,0 +1,603 @@
+"""Supervised multi-process serving: shard workers under a failure budget.
+
+``ServingRuntime`` turns the single-process :class:`InferenceEngine` into a
+serving *plane*: the embedding stage of every batch is decomposed by the
+same splitmix64 id partition :class:`~repro.nn.sharding.ShardedTable` uses
+(``workers == n_shards`` means one process per table shard), each partition
+is gathered in parallel by a :mod:`worker <repro.serve.runtime.worker>`
+process rebuilt from the on-disk artifact, and the parent assembles the
+rows and finishes with the frozen tower — bit-identical to the
+single-process plan, because every row is composed by the same code on the
+same bytes, just in another address space.
+
+The :class:`Supervisor` half owns the failure model (DESIGN.md §10):
+
+* **Detection** — three independent tripwires: a dead process
+  (``is_alive``), a per-attempt response deadline
+  (:class:`~repro.serve.runtime.retry.RetryPolicy`), and a CRC-32 check on
+  every row payload.  Idle failures are caught by heartbeat sweeps in
+  :meth:`ServingRuntime.check_health`.
+* **Recovery** — dead or overdue workers are respawned *from the
+  artifact* (the durable source of truth) with a fresh request queue, and
+  the in-flight sub-requests are requeued with bounded, jittered backoff;
+  responses from superseded attempts are deduplicated by ``(req_id,
+  attempt)`` and either adopted (if intact — the data is deterministic,
+  any attempt's correct answer is *the* answer) or ignored.
+* **Degradation** — a shard whose retry budget is exhausted, or whose
+  respawn source turns out corrupted, is degraded: its partitions are
+  served by the parent's resident fallback engine (same frozen plan, so
+  predictions stay bit-identical) and the failure is visible in
+  :class:`~repro.serve.runtime.qos.QoSStats` rather than in the answers.
+
+Requests therefore never error out because a worker died — the runtime's
+contract is "bit-identical predictions, degraded latency, honest
+counters", proven by the chaos matrix in ``tests/serve/runtime``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import time
+
+import numpy as np
+
+from repro.nn.sharding import shard_of_rows
+from repro.serve.engine import InferenceEngine
+from repro.serve.runtime.faults import FaultSpec
+from repro.serve.runtime.qos import QoSStats
+from repro.serve.runtime.retry import RetryPolicy
+from repro.serve.runtime.worker import engine_from_artifact, payload_crc, shard_worker_main
+
+__all__ = ["ServingRuntime", "Supervisor"]
+
+
+def _mp_context():
+    """fork where available (fast, Linux); spawn otherwise."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class _WorkerHandle:
+    """One supervised shard worker: process + queue + health state."""
+
+    __slots__ = (
+        "id", "process", "request_q", "fault", "ready", "degraded",
+        "spawn_failed", "last_seen",
+    )
+
+    def __init__(self, worker_id: int, fault: FaultSpec | None) -> None:
+        self.id = worker_id
+        self.process = None
+        self.request_q = None
+        self.fault = fault
+        self.ready = False
+        self.degraded = False
+        self.spawn_failed = False
+        self.last_seen = 0.0
+
+
+class _InFlight:
+    """One outstanding sub-request: which worker, which rows, which attempt."""
+
+    __slots__ = ("worker_id", "sel", "ids", "attempt", "deadline", "resend_at", "failed_at")
+
+    def __init__(self, worker_id: int, sel: np.ndarray, ids: np.ndarray) -> None:
+        self.worker_id = worker_id
+        self.sel = sel
+        self.ids = ids
+        self.attempt = 1
+        self.deadline: float | None = None  # None while waiting out a backoff
+        self.resend_at: float | None = None
+        self.failed_at: float | None = None  # first failure detection time
+
+
+class Supervisor:
+    """Worker lifecycle: spawn, heartbeat bookkeeping, respawn, degrade."""
+
+    def __init__(
+        self,
+        artifact_path: str,
+        n_workers: int,
+        *,
+        bits: int | None,
+        calibration_percentile: float | None,
+        heartbeat_interval_s: float,
+        faults: dict[int, FaultSpec] | None,
+        faults_persist: bool,
+        qos: QoSStats,
+    ) -> None:
+        self.artifact_path = artifact_path
+        self._bits = bits
+        self._percentile = calibration_percentile
+        self._hb_interval = heartbeat_interval_s
+        self._faults_persist = faults_persist
+        self._qos = qos
+        self._ctx = _mp_context()
+        self.responses = self._ctx.Queue()
+        faults = faults or {}
+        for spec in faults.values():
+            spec.validate()
+        self.workers = [
+            _WorkerHandle(i, faults.get(i)) for i in range(n_workers)
+        ]
+        for w in self.workers:
+            self._spawn(w, fault=w.fault)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _spawn(self, w: _WorkerHandle, fault: FaultSpec | None) -> None:
+        w.request_q = self._ctx.Queue()
+        w.ready = False
+        w.spawn_failed = False
+        w.last_seen = time.monotonic()
+        w.process = self._ctx.Process(
+            target=shard_worker_main,
+            args=(
+                w.id, self.artifact_path, self._bits, self._percentile,
+                w.request_q, self.responses, fault, self._hb_interval,
+            ),
+            name=f"repro-shard-worker-{w.id}",
+            daemon=True,
+        )
+        w.process.start()
+
+    def respawn(self, w: _WorkerHandle) -> None:
+        """Replace a dead/wedged worker with a fresh one from the artifact.
+
+        The old request queue is discarded with the old process, so stale
+        queued messages can never replay against the replacement.  Injected
+        faults are not re-armed unless ``faults_persist`` — a crash is an
+        event, not a property of the respawned process.
+        """
+        self._qos.respawns += 1
+        if w.process.is_alive():
+            w.process.terminate()
+        w.process.join(timeout=5.0)
+        self._discard_queue(w.request_q)
+        self._spawn(w, fault=w.fault if self._faults_persist else None)
+
+    def degrade(self, w: _WorkerHandle) -> None:
+        """Give up on a shard worker for good; its partitions go local."""
+        if w.degraded:
+            return
+        w.degraded = True
+        self._qos.degraded_workers += 1
+        if w.process is not None and w.process.is_alive():
+            w.process.terminate()
+            w.process.join(timeout=2.0)
+
+    @property
+    def all_degraded(self) -> bool:
+        return all(w.degraded for w in self.workers)
+
+    @staticmethod
+    def _discard_queue(q) -> None:
+        try:
+            q.close()
+            q.cancel_join_thread()
+        except (OSError, ValueError):  # already closed / broken pipe
+            pass
+
+    def close(self) -> None:
+        for w in self.workers:
+            if w.process is not None and w.process.is_alive():
+                try:
+                    w.request_q.put(("stop",))
+                except (OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + 2.0
+        for w in self.workers:
+            if w.process is None:
+                continue
+            w.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if w.process.is_alive():
+                w.process.terminate()
+                w.process.join(timeout=1.0)
+        for w in self.workers:
+            if w.request_q is not None:
+                self._discard_queue(w.request_q)
+        self._discard_queue(self.responses)
+
+
+class ServingRuntime:
+    """Fault-tolerant multi-process serving front end over one artifact.
+
+    Duck-type compatible with :class:`InferenceEngine` where it matters
+    (``predict`` / ``predict_one`` / ``input_length`` / ``vocab_size`` /
+    ``cache``), so the :class:`~repro.serve.batcher.Batcher` and the bench
+    harnesses drive it unchanged.
+
+    Parameters
+    ----------
+    artifact_path:
+        The on-disk :mod:`repro.artifact` container — both the initial
+        source of every worker and the respawn source after failures.
+        A durable artifact is *required*: recovery re-reads it.
+    workers:
+        Shard worker process count.  Matching a sharded table's
+        ``n_shards`` gives the one-process-per-shard layout.
+    retry:
+        The failure budget (defaults to ``RetryPolicy()``).
+    faults:
+        Optional ``{worker_id: FaultSpec}`` chaos injection (tests only).
+    engine:
+        An already-built local engine over the same artifact (the session
+        front door passes its own); built from the artifact when omitted.
+        Used for the tower, request validation, and degraded fallback.
+    """
+
+    def __init__(
+        self,
+        artifact_path: str,
+        workers: int = 2,
+        retry: RetryPolicy | None = None,
+        *,
+        faults: dict[int, FaultSpec] | None = None,
+        engine: InferenceEngine | None = None,
+        bits: int | None = None,
+        calibration_percentile: float | None = None,
+        heartbeat_interval_s: float = 0.25,
+        faults_persist: bool = False,
+        start_timeout_s: float = 60.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if heartbeat_interval_s <= 0:
+            raise ValueError(
+                f"heartbeat_interval_s must be positive, got {heartbeat_interval_s}"
+            )
+        self.retry = (retry if retry is not None else RetryPolicy()).validate()
+        self._engine = (
+            engine
+            if engine is not None
+            else engine_from_artifact(artifact_path, bits, calibration_percentile)
+        )
+        if not self._engine.per_id_composable:
+            raise ValueError(
+                f"{self._engine.model_name}'s pooled embedding is not per-id "
+                "decomposable into shard operators; serve it single-process"
+            )
+        self.artifact_path = artifact_path
+        self.n_workers = int(workers)
+        self.qos = QoSStats()
+        self.requests_served = 0
+        self.batches_served = 0
+        self._hb_interval = float(heartbeat_interval_s)
+        self._seq = 0
+        self._closed = False
+        self.supervisor = Supervisor(
+            artifact_path,
+            self.n_workers,
+            bits=bits,
+            calibration_percentile=calibration_percentile,
+            heartbeat_interval_s=self._hb_interval,
+            faults=faults,
+            faults_persist=faults_persist,
+            qos=self.qos,
+        )
+        self._workers = self.supervisor.workers
+        self._responses = self.supervisor.responses
+        self._wait_until_ready(start_timeout_s)
+
+    # -- engine-compatible surface ----------------------------------------------
+
+    @property
+    def input_length(self) -> int:
+        return self._engine.input_length
+
+    @property
+    def vocab_size(self) -> int:
+        return self._engine.vocab_size
+
+    @property
+    def embedding_dim(self) -> int:
+        return self._engine.embedding_dim
+
+    @property
+    def bits(self) -> int:
+        return self._engine.bits
+
+    @property
+    def model_name(self) -> str:
+        return self._engine.model_name
+
+    @property
+    def cache(self):
+        """The distributed path is cache-less; hit rates come from workers'
+        own engines in a future PR (mmap/slim loading)."""
+        return None
+
+    @property
+    def degraded(self) -> bool:
+        """True once every shard worker has been given up on (full local
+        fallback — still serving, still bit-identical)."""
+        return self.supervisor.all_degraded
+
+    # -- startup ---------------------------------------------------------------
+
+    def _wait_until_ready(self, timeout_s: float) -> None:
+        """Block until every worker loaded the artifact (fail fast at init).
+
+        Failures *after* startup degrade gracefully; failure to ever start
+        is configuration-shaped (bad path, unreadable artifact) and raises.
+        """
+        deadline = time.monotonic() + timeout_s
+        try:
+            while any(not w.ready for w in self._workers):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"serving runtime: workers not ready within {timeout_s}s"
+                    )
+                try:
+                    msg = self._responses.get(timeout=min(remaining, self._hb_interval))
+                except queue.Empty:
+                    msg = None
+                if msg is not None:
+                    self._dispatch(msg, {}, None)
+                for w in self._workers:
+                    if w.spawn_failed or (not w.ready and not w.process.is_alive()):
+                        raise RuntimeError(
+                            f"serving runtime: worker {w.id} failed to start "
+                            f"from {self.artifact_path!r}"
+                        )
+        except BaseException:
+            self.close()
+            raise
+
+    # -- serving ---------------------------------------------------------------
+
+    def predict(self, ids: np.ndarray) -> np.ndarray:
+        """Scores for a ``(B, input_length)`` batch — the engine contract,
+        served through the worker plane with the full failure model."""
+        if self._closed:
+            raise RuntimeError("serving runtime is closed")
+        ids = self._engine.validate_ids(ids)
+        start = time.perf_counter()
+        self.check_health()
+        if self.supervisor.all_degraded:
+            # Full fallback: the resident single-process plan (cache and
+            # all) — bit-identical by the engine's own invariants.
+            self.qos.fallback_requests += 1
+            out = self._engine.predict(ids)
+        else:
+            flat = ids.ravel()
+            rows = self._gather_rows(flat)
+            h = rows.reshape(ids.shape + (self._engine.embedding_dim,))
+            out = self._engine.apply_tower(h)
+        self.requests_served += ids.shape[0]
+        self.batches_served += 1
+        self.qos.record_batch(1e3 * (time.perf_counter() - start), ids.shape[0])
+        return out
+
+    def predict_one(self, ids: np.ndarray) -> np.ndarray:
+        return self.predict(np.asarray(ids)[None, :])[0]
+
+    def _gather_rows(self, flat: np.ndarray) -> np.ndarray:
+        out = np.empty((flat.size, self._engine.embedding_dim), dtype=np.float32)
+        sid = shard_of_rows(flat, self.n_workers)
+        outstanding: dict[int, _InFlight] = {}
+        for w in self._workers:
+            sel = np.flatnonzero(sid == w.id)
+            if not sel.size:
+                continue
+            flight = _InFlight(w.id, sel, flat[sel])
+            if w.degraded:
+                self._serve_locally(flight, out)
+                continue
+            self._seq += 1
+            outstanding[self._seq] = flight
+            self._send(self._seq, flight)
+        while outstanding:
+            self._pump(outstanding, out)
+        return out
+
+    # -- the supervision loop ---------------------------------------------------
+
+    def _send(self, req_id: int, flight: _InFlight) -> None:
+        w = self._workers[flight.worker_id]
+        flight.resend_at = None
+        flight.deadline = time.monotonic() + self.retry.deadline_s(
+            fresh_worker=not w.ready
+        )
+        w.request_q.put(("rows", req_id, flight.attempt, flight.ids))
+
+    def _pump(self, outstanding: dict, out: np.ndarray) -> None:
+        now = time.monotonic()
+        next_event = min(
+            (f.resend_at if f.deadline is None else f.deadline)
+            for f in outstanding.values()
+        )
+        wait = max(0.001, min(next_event - now, self._hb_interval))
+        try:
+            msg = self._responses.get(timeout=wait)
+        except queue.Empty:
+            msg = None
+        while msg is not None:
+            self._dispatch(msg, outstanding, out)
+            try:
+                msg = self._responses.get_nowait()
+            except queue.Empty:
+                msg = None
+        now = time.monotonic()
+        for req_id in list(outstanding):
+            flight = outstanding.get(req_id)
+            if flight is None:
+                continue
+            w = self._workers[flight.worker_id]
+            if w.degraded:
+                del outstanding[req_id]
+                self._serve_locally(flight, out)
+            elif flight.deadline is None:
+                if now >= flight.resend_at:
+                    self._send(req_id, flight)
+            elif not w.process.is_alive():
+                self._attempt_failed(req_id, flight, outstanding, out, cause="death")
+            elif now >= flight.deadline:
+                self._attempt_failed(req_id, flight, outstanding, out, cause="timeout")
+
+    def _dispatch(self, msg, outstanding: dict, out: np.ndarray | None) -> None:
+        kind = msg[0]
+        if kind == "hb":
+            self._workers[msg[1]].last_seen = time.monotonic()
+            return
+        if kind == "ready":
+            w = self._workers[msg[1]]
+            w.ready = True
+            w.last_seen = time.monotonic()
+            return
+        if kind == "spawn-failed":
+            # The respawn source is rotten (e.g. artifact corrupted on
+            # disk): stop respawning, serve the shard locally from the
+            # resident plan.
+            w = self._workers[msg[1]]
+            w.spawn_failed = True
+            self.supervisor.degrade(w)
+            for req_id, flight in list(outstanding.items()):
+                if flight.worker_id == w.id:
+                    del outstanding[req_id]
+                    if out is not None:
+                        self._serve_locally(flight, out)
+            return
+        # kind == "rows"
+        _, worker_id, req_id, attempt, rows, crc = msg
+        self._workers[worker_id].last_seen = time.monotonic()
+        flight = outstanding.get(req_id)
+        if flight is None:
+            return  # superseded: the request already completed another way
+        rows = np.asarray(rows)
+        intact = (
+            rows.dtype == np.float32
+            and rows.shape == (flight.ids.size, self._engine.embedding_dim)
+            and payload_crc(np.ascontiguousarray(rows)) == crc
+        )
+        if not intact:
+            self.qos.corrupt_payloads += 1
+            if attempt == flight.attempt:
+                self._attempt_failed(req_id, flight, outstanding, out, cause="corrupt")
+            return  # a stale attempt's damage is already being retried
+        # Any intact answer is *the* answer (rows are deterministic per id),
+        # so late responses from earlier attempts are adopted, not wasted.
+        out[flight.sel] = rows
+        if flight.failed_at is not None:
+            self.qos.record_recovery(1e3 * (time.monotonic() - flight.failed_at))
+        del outstanding[req_id]
+
+    def _attempt_failed(
+        self, req_id: int, flight: _InFlight, outstanding: dict,
+        out: np.ndarray, cause: str,
+    ) -> None:
+        now = time.monotonic()
+        if flight.failed_at is None:
+            flight.failed_at = now
+        if cause == "death":
+            self.qos.worker_deaths += 1
+        elif cause == "timeout":
+            self.qos.timeouts += 1
+        # (corrupt payloads were already counted at detection)
+        w = self._workers[flight.worker_id]
+        if flight.attempt >= self.retry.max_attempts:
+            self.supervisor.degrade(w)
+            del outstanding[req_id]
+            self._serve_locally(flight, out)
+            return
+        if cause in ("death", "timeout"):
+            # Dead or wedged either way: replace the process, requeue the
+            # work.  (A corrupt payload leaves the worker standing — the
+            # damage was in transit, not in the worker.)
+            self.supervisor.respawn(w)
+        self.qos.retries += 1
+        flight.attempt += 1
+        flight.deadline = None
+        flight.resend_at = now + self.retry.backoff(flight.attempt - 1)
+
+    def _serve_locally(self, flight: _InFlight, out: np.ndarray) -> None:
+        """Graceful degradation: the parent's resident plan composes the
+        partition — same frozen floats, so predictions stay bit-identical."""
+        out[flight.sel] = self._engine.compose_rows(flight.ids)
+        self.qos.fallback_requests += 1
+        if flight.failed_at is not None:
+            self.qos.record_recovery(1e3 * (time.monotonic() - flight.failed_at))
+
+    # -- health ----------------------------------------------------------------
+
+    def check_health(self) -> dict:
+        """Heartbeat sweep: drain liveness traffic, respawn dead idle workers.
+
+        Runs at the top of every ``predict`` and is callable on its own (a
+        deployment would put it on a timer).  Returns a small report so
+        callers can see what the sweep found.
+        """
+        while True:
+            try:
+                msg = self._responses.get_nowait()
+            except queue.Empty:
+                break
+            self._dispatch(msg, {}, None)
+        now = time.monotonic()
+        respawned, silent = 0, 0
+        for w in self._workers:
+            if w.degraded:
+                continue
+            if not w.process.is_alive():
+                # Died while idle — no request tripped over it, the
+                # heartbeat sweep did.
+                self.qos.worker_deaths += 1
+                self.supervisor.respawn(w)
+                respawned += 1
+            elif now - w.last_seen > max(3.0 * self._hb_interval, 1.0):
+                self.qos.heartbeats_missed += 1
+                silent += 1
+        return {
+            "workers": self.n_workers,
+            "alive": sum(
+                1 for w in self._workers if not w.degraded and w.process.is_alive()
+            ),
+            "degraded": sum(1 for w in self._workers if w.degraded),
+            "respawned": respawned,
+            "silent": silent,
+        }
+
+    # -- accounting / lifecycle -------------------------------------------------
+
+    def stats(self) -> dict:
+        out = {
+            "model": self.model_name,
+            "bits": self.bits,
+            "input_length": self.input_length,
+            "vocab_size": self.vocab_size,
+            "embedding_dim": self.embedding_dim,
+            "workers": self.n_workers,
+            "workers_degraded": sum(1 for w in self._workers if w.degraded),
+            "requests_served": self.requests_served,
+            "batches_served": self.batches_served,
+        }
+        out.update(self.qos.snapshot())
+        return out
+
+    def close(self) -> None:
+        """Stop every worker and release the queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.supervisor.close()
+
+    def __enter__(self) -> "ServingRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort: don't leak processes
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "degraded" if self.supervisor.all_degraded else "supervised"
+        return (
+            f"ServingRuntime({self.model_name}, workers={self.n_workers}, "
+            f"{state}, artifact={self.artifact_path!r})"
+        )

@@ -1,0 +1,131 @@
+"""The shard worker process: artifact in, composed embedding rows out.
+
+One worker owns one partition of the id space (the same splitmix64
+partition :func:`repro.nn.sharding.shard_of_rows` gives a
+:class:`~repro.nn.sharding.ShardedTable`, so with ``workers == n_shards``
+each process only ever gathers rows its own table shard holds).  The
+worker's entire job is the per-shard operator the engine decomposes into:
+``compose_rows(ids) -> (n, e)`` FP32 rows, bit-identical to the rows the
+single-process plan computes, because it is literally the same frozen code
+path rebuilt from the same artifact bytes.
+
+Protocol (all messages are tuples; queues pickle the arrays):
+
+* parent → worker, per-worker request queue:
+  ``("rows", req_id, attempt, ids)`` and ``("stop",)``.
+* worker → parent, shared response queue:
+  ``("ready", worker_id, pid)`` once the artifact is loaded,
+  ``("hb", worker_id)`` heartbeats while idle,
+  ``("rows", worker_id, req_id, attempt, rows, crc32)`` answers, and
+  ``("spawn-failed", worker_id, message)`` when the artifact cannot be
+  loaded — the corrupted-respawn case, reported before the process exits
+  so the supervisor can degrade the shard instead of respawn-looping.
+
+Every reply carries a CRC-32 of the row bytes so the parent can detect a
+payload corrupted in transit and retry instead of serving garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+import zlib
+
+import numpy as np
+
+from repro.serve.engine import InferenceEngine
+
+__all__ = ["engine_from_artifact", "shard_worker_main", "payload_crc"]
+
+#: exit codes, distinguishable in the supervisor's logs/tests
+EXIT_SPAWN_FAILED = 13
+EXIT_FAULT_KILL = 17
+
+
+def payload_crc(rows: np.ndarray) -> int:
+    """CRC-32 over a C-order FP32 row block (cheap end-to-end checksum)."""
+    return zlib.crc32(rows.tobytes())
+
+
+def engine_from_artifact(
+    path: str,
+    bits: int | None = None,
+    calibration_percentile: float | None = None,
+    cache_rows: int | None = None,
+    cache_min_count: int = 1,
+    cache_ttl: int | None = None,
+) -> InferenceEngine:
+    """Open ``path`` and rebuild the serving plan — the (re)spawn source.
+
+    Used by both halves of the runtime: workers build their cache-less
+    operator engine here, and the parent builds its fallback engine through
+    the same helper so both sides provably run the same floats.  Raises the
+    typed :mod:`repro.artifact.errors` when the artifact is damaged.
+    """
+    from repro.artifact.container import load_artifact
+
+    artifact = load_artifact(path)
+    return InferenceEngine.from_parts(
+        artifact.serving_embedding(),
+        artifact.tower_plan(),
+        input_length=artifact.input_length,
+        model_name=artifact.architecture,
+        bits=bits,
+        calibration_percentile=calibration_percentile,
+        cache_rows=cache_rows,
+        cache_min_count=cache_min_count,
+        cache_ttl=cache_ttl,
+    )
+
+
+def shard_worker_main(
+    worker_id: int,
+    artifact_path: str,
+    bits: int | None,
+    calibration_percentile: float | None,
+    request_q,
+    response_q,
+    fault,
+    heartbeat_interval_s: float,
+) -> None:
+    """Process entry point: load the artifact, then serve row sub-requests.
+
+    ``fault`` is an optional :class:`~repro.serve.runtime.faults.FaultSpec`
+    — production workers run with ``None``; chaos tests arm exactly one.
+    """
+    try:
+        engine = engine_from_artifact(artifact_path, bits, calibration_percentile)
+    except BaseException as exc:  # noqa: BLE001 — report, then die loudly
+        try:
+            response_q.put(("spawn-failed", worker_id, f"{type(exc).__name__}: {exc}"))
+            time.sleep(0.05)  # give the queue feeder a beat before _exit
+        finally:
+            os._exit(EXIT_SPAWN_FAILED)
+    response_q.put(("ready", worker_id, os.getpid()))
+    served = 0
+    while True:
+        try:
+            msg = request_q.get(timeout=heartbeat_interval_s)
+        except queue.Empty:
+            response_q.put(("hb", worker_id))
+            continue
+        if msg[0] == "stop":
+            return
+        _, req_id, attempt, ids = msg
+        served += 1
+        if fault is not None and fault.kill_on == served:
+            # Crash *before* replying: the in-flight sub-request dies with
+            # the process, exactly like a segfault mid-gather would.
+            os._exit(EXIT_FAULT_KILL)
+        rows = engine.compose_rows(np.asarray(ids))
+        crc = payload_crc(rows)
+        if fault is not None:
+            if fault.delay_on == served and fault.delay_ms:
+                time.sleep(fault.delay_ms / 1e3)
+            if fault.drop_on == served:
+                continue  # computed, never sent: a lost message
+            if fault.corrupt_on == served:
+                rows = rows.copy()
+                rows.view(np.uint8)[0] ^= 0xFF  # the crc above now lies
+        response_q.put(("rows", worker_id, req_id, attempt, rows, crc))

@@ -33,6 +33,7 @@ from repro.artifact.errors import ArtifactFormatError
 from repro.quant.embedding import QuantizedEmbedding
 from repro.serve.batcher import Batcher, PendingRequest
 from repro.serve.engine import InferenceEngine
+from repro.serve.runtime.retry import RetryPolicy
 
 __all__ = ["ServeConfig", "ServeSession"]
 
@@ -69,6 +70,19 @@ class ServeConfig:
     max_delay_ms:
         Batcher latency deadline: when set, ``submit`` self-flushes once
         the batch fills or the oldest request has waited this long.
+    workers:
+        ``0`` (default) serves single-process.  ``>= 1`` puts the
+        fault-tolerant multi-process
+        :class:`~repro.serve.runtime.ServingRuntime` in front: one
+        supervised shard-worker process per id partition, respawned from
+        the artifact on failure (DESIGN.md §10).  Requires an on-disk
+        artifact (:meth:`ServeSession.load`) — the artifact is the respawn
+        source, so a purely in-memory ``from_model`` session cannot
+        supervise workers.
+    retry:
+        The runtime's failure budget (timeout / backoff / max attempts);
+        ``None`` uses ``RetryPolicy()`` defaults.  Only meaningful with
+        ``workers >= 1``.
     """
 
     bits: int | None = None
@@ -78,6 +92,8 @@ class ServeConfig:
     cache_ttl_batches: int | None = None
     max_batch: int = 256
     max_delay_ms: float | None = None
+    workers: int = 0
+    retry: RetryPolicy | None = None
 
     def validate(self) -> "ServeConfig":
         """Fail fast, before any table is snapshotted or calibrated.
@@ -118,6 +134,16 @@ class ServeConfig:
             raise ValueError(
                 f"max_delay_ms must be non-negative, got {self.max_delay_ms}"
             )
+        if self.workers < 0:
+            raise ValueError(
+                f"workers must be >= 0 (0 serves single-process), got {self.workers}"
+            )
+        if self.retry is not None:
+            if self.workers == 0:
+                raise ValueError(
+                    "retry is a multi-process runtime knob; it requires workers >= 1"
+                )
+            self.retry.validate()
         return self
 
 
@@ -137,14 +163,24 @@ class ServeSession:
         config: ServeConfig,
         source_model=None,
         artifact: ModelArtifact | None = None,
+        runtime=None,
     ) -> None:
         self.engine = engine
         self.config = config
+        #: the multi-process ServingRuntime when config.workers >= 1, else None
+        self.runtime = runtime
         self.batcher = Batcher(
-            engine, max_batch=config.max_batch, max_delay_ms=config.max_delay_ms
+            runtime if runtime is not None else engine,
+            max_batch=config.max_batch,
+            max_delay_ms=config.max_delay_ms,
         )
         self._source_model = source_model
         self.artifact = artifact
+
+    @property
+    def _predictor(self):
+        """Whatever serves this session's batches: runtime if supervised."""
+        return self.runtime if self.runtime is not None else self.engine
 
     # -- constructors -----------------------------------------------------------
 
@@ -154,6 +190,12 @@ class ServeSession:
     ) -> "ServeSession":
         """Freeze ``model`` into a session (``**overrides`` patch the config)."""
         config = _resolve_config(config, overrides)
+        if config.workers > 0:
+            raise ValueError(
+                "workers >= 1 needs an on-disk artifact as the workers' "
+                "(re)spawn source; save() the model and use "
+                "ServeSession.load(path, workers=...)"
+            )
         engine = InferenceEngine(
             model,
             cache_rows=config.cache_rows,
@@ -197,7 +239,19 @@ class ServeSession:
             cache_min_count=config.cache_min_count,
             cache_ttl=config.cache_ttl_batches,
         )
-        return cls(engine, config, artifact=artifact)
+        runtime = None
+        if config.workers > 0:
+            from repro.serve.runtime.supervisor import ServingRuntime
+
+            runtime = ServingRuntime(
+                artifact.path,
+                workers=config.workers,
+                retry=config.retry,
+                engine=engine,
+                bits=config.bits,
+                calibration_percentile=config.calibration_percentile,
+            )
+        return cls(engine, config, artifact=artifact, runtime=runtime)
 
     # -- persistence ------------------------------------------------------------
 
@@ -225,11 +279,11 @@ class ServeSession:
 
     def predict(self, ids: np.ndarray) -> np.ndarray:
         """Scores for a ``(B, input_length)`` batch (see engine.predict)."""
-        return self.engine.predict(ids)
+        return self._predictor.predict(ids)
 
     def predict_one(self, ids: np.ndarray) -> np.ndarray:
         """Scores for a single ``(input_length,)`` request."""
-        return self.engine.predict_one(ids)
+        return self._predictor.predict_one(ids)
 
     def submit(self, ids: np.ndarray | int) -> PendingRequest:
         """Queue one request on the batcher (auto-flushes per config)."""
@@ -252,18 +306,24 @@ class ServeSession:
     def stats(self) -> dict:
         """One dict with the counters the old entry points each half-reported."""
         engine, cache = self.engine, self.engine.cache
+        served = self._predictor
         out = {
             "model": engine.model_name,
             "bits": engine.bits,
             "input_length": engine.input_length,
             "vocab_size": engine.vocab_size,
             "embedding_dim": engine.embedding_dim,
-            "requests_served": engine.requests_served,
-            "batches_served": engine.batches_served,
+            "requests_served": served.requests_served,
+            "batches_served": served.batches_served,
             "table_resident_bytes": engine.table_resident_bytes(),
             "pending_requests": len(self.batcher),
             "auto_flushes": self.batcher.auto_flushes,
         }
+        if self.runtime is not None:
+            # Latency percentiles + failure/recovery counters (DESIGN.md §10).
+            out.update(self.runtime.qos.snapshot())
+            out["workers"] = self.runtime.n_workers
+            out["workers_degraded"] = self.runtime.stats()["workers_degraded"]
         if cache is not None:
             out.update(
                 cache_capacity=cache.capacity,
@@ -277,10 +337,25 @@ class ServeSession:
             out["artifact_bytes"] = self.artifact.total_bytes()
         return out
 
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the worker processes, if any (idempotent; single-process
+        sessions have nothing to release)."""
+        if self.runtime is not None:
+            self.runtime.close()
+
+    def __enter__(self) -> "ServeSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         origin = (
             f"artifact={self.artifact.path!r}"
             if self.artifact is not None
             else "from_model"
         )
-        return f"ServeSession({self.engine!r}, {origin})"
+        plane = f", workers={self.config.workers}" if self.runtime is not None else ""
+        return f"ServeSession({self.engine!r}, {origin}{plane})"

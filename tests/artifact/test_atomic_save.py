@@ -1,0 +1,157 @@
+"""Atomic artifact saves: a crash mid-save never leaves a half-written container.
+
+``save_artifact`` writes everything into a ``<path>.incoming.<pid>``
+sibling and only then swaps it into place, so the observable states at
+``path`` are exactly two: the previous artifact (or nothing), or the
+complete new one.  Pinned here against three killers — an exception
+mid-write, SIGKILL mid-write (a forked child is killed while payloads are
+still streaming out), and debris from earlier crashed saves.
+"""
+
+import glob
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.artifact import load_artifact, save_artifact
+from repro.artifact import container as container_mod
+from repro.models.builder import build_pointwise_ranker
+
+
+def _model(seed=0):
+    return build_pointwise_ranker(
+        "memcom", 300, 12, input_length=6, embedding_dim=16, rng=seed,
+        num_hash_embeddings=32,
+    )
+
+
+def _siblings(path):
+    return [
+        p
+        for pattern in (".incoming.*", ".replaced.*")
+        for p in glob.glob(glob.escape(path) + pattern)
+    ]
+
+
+def _failing_sha256(monkeypatch, after_calls):
+    """Let the first ``after_calls`` payload hashes through, then blow up."""
+    real = container_mod._sha256
+    calls = {"n": 0}
+
+    def boom(data):
+        calls["n"] += 1
+        if calls["n"] > after_calls:
+            raise RuntimeError("disk fell over mid-save")
+        return real(data)
+
+    monkeypatch.setattr(container_mod, "_sha256", boom)
+
+
+@pytest.mark.parametrize("suffix", ["art", "art.zip"], ids=["dir", "zip"])
+class TestFailedSave:
+    def test_failed_first_save_leaves_no_artifact(self, tmp_path, monkeypatch, suffix):
+        out = str(tmp_path / suffix)
+        _failing_sha256(monkeypatch, after_calls=2)
+        with pytest.raises(RuntimeError, match="disk fell over"):
+            save_artifact(_model(), out)
+        assert not os.path.exists(out)  # not a partial container — nothing
+        assert _siblings(out) == []  # and no temp debris either
+
+    def test_failed_resave_preserves_previous_artifact(
+        self, tmp_path, monkeypatch, suffix
+    ):
+        out = str(tmp_path / suffix)
+        save_artifact(_model(seed=1), out)
+        before = load_artifact(out)
+        _failing_sha256(monkeypatch, after_calls=2)
+        with pytest.raises(RuntimeError, match="disk fell over"):
+            save_artifact(_model(seed=2), out)
+        monkeypatch.undo()  # hashing works again; only the save was doomed
+        after = load_artifact(out)  # still loads, still the old artifact
+        assert after.manifest["payloads"] == before.manifest["payloads"]
+        for name in before.manifest["payloads"]:
+            np.testing.assert_array_equal(before.array(name), after.array(name))
+        assert _siblings(out) == []
+
+
+class TestKilledSave:
+    @pytest.mark.parametrize("suffix", ["art", "art.zip"], ids=["dir", "zip"])
+    def test_sigkill_mid_save_preserves_previous_artifact(self, tmp_path, suffix):
+        out = str(tmp_path / suffix)
+        save_artifact(_model(seed=1), out)
+        before = load_artifact(out)
+
+        child = os.fork()
+        if child == 0:  # the doomed exporter
+            try:
+                real = container_mod._sha256
+
+                def slow_sha256(data):
+                    time.sleep(0.05)  # stretch the window the kill must hit
+                    return real(data)
+
+                container_mod._sha256 = slow_sha256
+                save_artifact(_model(seed=2), out)
+            finally:
+                os._exit(0)  # only reached if the kill somehow missed
+
+        # Wait until the child's .incoming temp exists — proof it is
+        # mid-save — then SIGKILL it: no atexit, no finally, nothing.
+        deadline = time.monotonic() + 30.0
+        tmp_glob = glob.escape(out) + ".incoming.*"
+        while not glob.glob(tmp_glob):
+            assert time.monotonic() < deadline, "child never started writing"
+            time.sleep(0.005)
+        os.kill(child, signal.SIGKILL)
+        _, status = os.waitpid(child, 0)
+        assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL
+        assert glob.glob(tmp_glob)  # the torn write landed in the temp...
+
+        after = load_artifact(out)  # ...and the published artifact is whole
+        assert after.manifest["payloads"] == before.manifest["payloads"]
+        for name in before.manifest["payloads"]:
+            np.testing.assert_array_equal(before.array(name), after.array(name))
+
+        # The next save sweeps the dead child's debris and publishes fine.
+        save_artifact(_model(seed=3), out)
+        assert _siblings(out) == []
+        assert load_artifact(out).manifest["payloads"] != before.manifest["payloads"]
+
+
+class TestStaleTempCleanup:
+    def test_save_sweeps_stale_siblings_from_other_pids(self, tmp_path):
+        out = str(tmp_path / "art")
+        stale_tmp = tmp_path / "art.incoming.99999"
+        stale_tmp.mkdir()
+        (stale_tmp / "junk.bin").write_bytes(b"half a payload")
+        stale_old = tmp_path / "art.replaced.99999"
+        stale_old.mkdir()
+        save_artifact(_model(), out)
+        assert _siblings(out) == []
+        load_artifact(out)  # and the artifact itself is intact
+
+    def test_resave_swaps_dir_artifact_in_place(self, tmp_path):
+        out = str(tmp_path / "art")
+        save_artifact(_model(seed=1), out)
+        first = load_artifact(out)
+        save_artifact(_model(seed=2), out)
+        second = load_artifact(out)
+        assert first.manifest["payloads"] != second.manifest["payloads"]
+        assert _siblings(out) == []
+
+    def test_kind_change_dir_to_zip_and_back(self, tmp_path):
+        # Same path serving as dir then zip then dir again: each save fully
+        # replaces the previous kind, never merges into it.
+        out = str(tmp_path / "art")
+        save_artifact(_model(seed=1), out)
+        assert os.path.isdir(out)
+        os.rename(out, out + ".bak")
+        os.rename(out + ".bak", out)  # ensure plain rename semantics hold
+        zip_out = out + ".zip"
+        save_artifact(_model(seed=2), zip_out)
+        assert os.path.isfile(zip_out)
+        load_artifact(out)
+        load_artifact(zip_out)

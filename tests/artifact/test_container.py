@@ -167,6 +167,72 @@ class TestTypedErrors:
         with pytest.raises(ArtifactIntegrityError, match="missing"):
             load_artifact(out)
 
+    def test_truncated_zip_is_integrity_error(self, tmp_path):
+        # A zip cut short (torn download, full disk) must read as damage,
+        # not as "this was never an artifact".
+        out = str(tmp_path / "art.zip")
+        save_artifact(_model(), out)
+        data = open(out, "rb").read()
+        with open(out, "wb") as fh:
+            fh.write(data[: int(len(data) * 0.6)])
+        with pytest.raises(ArtifactIntegrityError, match="truncated or corrupted"):
+            load_artifact(out)
+
+    def test_bitflipped_zip_member_is_integrity_error(self, tmp_path):
+        # Damage *inside* the zip (payload bytes) — caught typed, whether by
+        # zipfile's own CRC or by the manifest's sha256, never a bare
+        # BadZipFile/struct.error escaping to the caller.
+        out = str(tmp_path / "art.zip")
+        save_artifact(_model(), out)
+        data = bytearray(open(out, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        with open(out, "wb") as fh:
+            fh.write(bytes(data))
+        with pytest.raises(ArtifactIntegrityError):
+            load_artifact(out)
+
+    def test_malformed_payload_index_entry_is_format_error(self, tmp_path):
+        out = str(tmp_path / "art")
+        artifact = save_artifact(_model(), out)
+        name = sorted(artifact.manifest["payloads"])[0]
+
+        def strip_file_key(manifest):
+            del manifest["payloads"][name]["file"]
+
+        _rewrite_manifest(out, strip_file_key)
+        with pytest.raises(ArtifactFormatError, match="malformed payload index"):
+            load_artifact(out)
+
+    def test_truncated_checkpoint_payload_in_zip_is_integrity_error(self, tmp_path):
+        # v2 checkpoint tensors ride the same verified payload index; a
+        # truncated checkpoint member in a zip container fails typed too.
+        out = str(tmp_path / "ckpt.zip")
+        ckpt = ({"epoch": 3}, {"model/w": np.arange(64, dtype=np.float32)})
+        artifact = save_artifact(_model(), out, checkpoint=ckpt)
+        member = artifact.manifest["payloads"]["checkpoint/model/w"]["file"]
+        with zipfile.ZipFile(out) as zf:
+            contents = {info.filename: zf.read(info.filename) for info in zf.infolist()}
+        contents[member] = contents[member][:-8]
+        with zipfile.ZipFile(out, "w", zipfile.ZIP_STORED) as zf:
+            for filename, data in contents.items():
+                zf.writestr(filename, data)
+        with pytest.raises(ArtifactIntegrityError, match="bytes"):
+            load_artifact(out)
+
+    def test_corrupted_checkpoint_payload_in_dir_is_integrity_error(self, tmp_path):
+        out = str(tmp_path / "ckpt")
+        ckpt = ({"epoch": 3}, {"model/w": np.arange(64, dtype=np.float32)})
+        artifact = save_artifact(_model(), out, checkpoint=ckpt)
+        member = os.path.join(
+            out, artifact.manifest["payloads"]["checkpoint/model/w"]["file"]
+        )
+        data = bytearray(open(member, "rb").read())
+        data[0] ^= 0xFF
+        with open(member, "wb") as fh:
+            fh.write(bytes(data))
+        with pytest.raises(ArtifactIntegrityError, match="hash mismatch"):
+            load_artifact(out)
+
     def test_all_errors_share_the_artifact_root(self):
         for cls in (ArtifactFormatError, ArtifactVersionError, ArtifactIntegrityError):
             assert issubclass(cls, ArtifactError)

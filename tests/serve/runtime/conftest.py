@@ -1,0 +1,80 @@
+"""Fixtures for the multi-process runtime tests.
+
+Two things every test here gets:
+
+* a **hard per-test timeout** (SIGALRM — pytest-timeout is not a
+  dependency): a supervisor bug that deadlocks the gather loop must fail
+  the test in seconds, not hang the suite until CI's global kill;
+* session-scoped **artifacts** (one per technique × width), because
+  spawning workers re-reads the artifact from disk — building and saving
+  the model once per combination keeps the whole directory fast.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.artifact.container import save_artifact
+from repro.models.builder import build_pointwise_ranker
+from repro.serve.runtime import RetryPolicy
+
+#: generous ceiling: the slowest single test (chaos matrix cell with a
+#: delayed shard) finishes in a few seconds; a hang hits this instead
+HARD_TIMEOUT_S = 120
+
+#: test-tempo failure budget — sub-second timeout, quick backoff
+FAST_RETRY = RetryPolicy(
+    timeout_s=0.5, max_attempts=3, backoff_base_s=0.02, backoff_max_s=0.2
+)
+
+VOCAB, ITEMS, LENGTH, DIM = 600, 7, 4, 16
+
+_HYPER = {
+    "memcom": {"num_hash_embeddings": 64},
+    "full": {},
+    "tt_rec": {"tt_rank": 2},
+}
+
+
+@pytest.fixture(autouse=True)
+def hard_test_timeout():
+    """Fail (don't hang) any test that wedges in supervisor/worker code."""
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"runtime test exceeded the {HARD_TIMEOUT_S}s hard timeout "
+            "(supervisor or worker deadlock?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(HARD_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def build_model(technique: str, seed: int = 0):
+    return build_pointwise_ranker(
+        technique, VOCAB, ITEMS, input_length=LENGTH, embedding_dim=DIM,
+        rng=seed, **_HYPER[technique],
+    )
+
+
+@pytest.fixture(scope="session")
+def artifact_for(tmp_path_factory):
+    """``artifact_for(technique, bits) -> path`` (built once per combo)."""
+    root = tmp_path_factory.mktemp("runtime-artifacts")
+    cache: dict[tuple, str] = {}
+
+    def factory(technique: str = "memcom", bits: int = 32) -> str:
+        key = (technique, bits)
+        if key not in cache:
+            path = os.path.join(root, f"{technique}-{bits}")
+            save_artifact(build_model(technique), path, bits=bits)
+            cache[key] = path
+        return cache[key]
+
+    return factory

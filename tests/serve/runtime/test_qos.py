@@ -1,0 +1,54 @@
+"""QoSStats: per-request latency percentiles + failure/recovery counters."""
+
+import pytest
+
+from repro.serve.runtime import QoSStats
+
+
+class TestLatencyPercentiles:
+    def test_empty_is_all_zero(self):
+        snap = QoSStats().snapshot()
+        assert snap["latency_ms_p50"] == 0.0
+        assert snap["latency_ms_p99"] == 0.0
+        assert snap["recovery_latency_ms"] == 0.0
+        assert snap["faults_detected"] == 0
+
+    def test_percentiles_are_per_request_weighted(self):
+        # 90 requests rode 10 ms batches, 10 rode a 100 ms recovery batch:
+        # the tail percentiles must see the recovery, the median must not.
+        qos = QoSStats()
+        for _ in range(9):
+            qos.record_batch(10.0, 10)
+        qos.record_batch(100.0, 10)
+        pct = qos.latency_percentiles()
+        assert pct["p50"] == pytest.approx(10.0)
+        assert pct["p95"] == pytest.approx(100.0)
+        assert pct["p99"] == pytest.approx(100.0)
+        assert qos.requests_recorded == 100
+
+    def test_empty_batches_are_not_recorded(self):
+        qos = QoSStats()
+        qos.record_batch(5.0, 0)
+        assert qos.requests_recorded == 0
+
+
+class TestCounters:
+    def test_faults_detected_sums_detection_paths(self):
+        qos = QoSStats()
+        qos.worker_deaths += 2
+        qos.timeouts += 3
+        qos.corrupt_payloads += 1
+        assert qos.faults_detected == 6
+        snap = qos.snapshot()
+        assert snap["worker_deaths"] == 2
+        assert snap["timeouts"] == 3
+        assert snap["corrupt_payloads"] == 1
+        assert snap["faults_detected"] == 6
+
+    def test_recovery_latency_reports_worst_case(self):
+        qos = QoSStats()
+        qos.record_recovery(12.0)
+        qos.record_recovery(40.0)
+        qos.record_recovery(7.0)
+        assert qos.recovery_latency_ms() == pytest.approx(40.0)
+        assert qos.snapshot()["recoveries"] == 3

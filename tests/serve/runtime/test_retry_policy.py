@@ -1,0 +1,63 @@
+"""RetryPolicy: pure data, pure functions — assertable to the decimal."""
+
+import pytest
+
+from repro.serve.runtime import RetryPolicy
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        assert RetryPolicy().validate() is not None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout_s": 0.0},
+            {"timeout_s": -1.0},
+            {"max_attempts": 0},
+            {"backoff_base_s": -0.1},
+            {"backoff_base_s": 2.0, "backoff_max_s": 1.0},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+            {"respawn_grace_s": -1.0},
+        ],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs).validate()
+
+
+class TestBackoff:
+    def test_exponential_without_jitter(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_max_s=10.0, jitter=0.0)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+
+    def test_bounded_by_backoff_max(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_max_s=0.3, jitter=0.0)
+        assert policy.backoff(10) == pytest.approx(0.3)
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_max_s=1.0, jitter=0.25)
+        for k in (1, 2, 5):
+            base = min(0.1 * 2 ** (k - 1), 1.0)
+            delay = policy.backoff(k)
+            assert base <= delay <= base * 1.25
+            assert delay == policy.backoff(k)  # reproducible per (seed, k)
+
+    def test_different_seeds_decorrelate(self):
+        a = RetryPolicy(seed=1, jitter=0.5).backoff(1)
+        b = RetryPolicy(seed=2, jitter=0.5).backoff(1)
+        assert a != b
+
+    def test_retry_index_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().backoff(0)
+
+
+class TestDeadline:
+    def test_fresh_worker_gets_spawn_grace(self):
+        policy = RetryPolicy(timeout_s=2.0, respawn_grace_s=10.0)
+        assert policy.deadline_s(fresh_worker=False) == pytest.approx(2.0)
+        assert policy.deadline_s(fresh_worker=True) == pytest.approx(12.0)

@@ -1,0 +1,130 @@
+"""Fault-free ServingRuntime: the multi-process plane is invisible in the
+answers — bit-identical to the single-process engine for every technique
+and width it can serve — and the session/batcher front doors drive it
+unchanged."""
+
+import numpy as np
+import pytest
+
+from repro.serve import Batcher, ServeSession, ServingRuntime
+from repro.serve.runtime import RetryPolicy
+
+from .conftest import FAST_RETRY, LENGTH, VOCAB, build_model
+
+
+def _traffic(n=40, seed=1):
+    return np.random.default_rng(seed).integers(0, VOCAB, size=(n, LENGTH))
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize(
+        "technique,bits",
+        [("memcom", 32), ("memcom", 8), ("full", 32), ("tt_rec", 32)],
+    )
+    def test_matches_single_process_engine(self, artifact_for, technique, bits):
+        path = artifact_for(technique, bits)
+        ids = _traffic()
+        expected = ServeSession.load(path).predict(ids)
+        with ServingRuntime(path, workers=2, retry=FAST_RETRY) as runtime:
+            np.testing.assert_array_equal(runtime.predict(ids), expected)
+            # serving again hits warm workers; still identical
+            np.testing.assert_array_equal(runtime.predict(ids), expected)
+
+    def test_single_worker_and_many_workers_agree(self, artifact_for):
+        path = artifact_for()
+        ids = _traffic(24)
+        with ServingRuntime(path, workers=1, retry=FAST_RETRY) as one:
+            with ServingRuntime(path, workers=4, retry=FAST_RETRY) as four:
+                np.testing.assert_array_equal(one.predict(ids), four.predict(ids))
+
+    def test_predict_one(self, artifact_for):
+        path = artifact_for()
+        row = _traffic(1)[0]
+        expected = ServeSession.load(path).predict_one(row)
+        with ServingRuntime(path, workers=2, retry=FAST_RETRY) as runtime:
+            np.testing.assert_array_equal(runtime.predict_one(row), expected)
+
+
+class TestFrontDoors:
+    def test_batcher_coalesces_over_the_runtime(self, artifact_for):
+        path = artifact_for()
+        ids = _traffic(10)
+        expected = ServeSession.load(path).predict(ids)
+        with ServingRuntime(path, workers=2, retry=FAST_RETRY) as runtime:
+            batcher = Batcher(runtime, max_batch=4)
+            results = batcher.serve(list(ids))
+            np.testing.assert_array_equal(np.stack(results), expected)
+
+    def test_session_load_with_workers(self, artifact_for):
+        path = artifact_for()
+        ids = _traffic(16)
+        expected = ServeSession.load(path).predict(ids)
+        with ServeSession.load(path, workers=2, retry=FAST_RETRY) as session:
+            assert session.runtime is not None
+            np.testing.assert_array_equal(session.predict(ids), expected)
+            for row in ids:
+                session.submit(row)
+            np.testing.assert_array_equal(np.stack(session.flush()), expected)
+            stats = session.stats()
+            assert stats["workers"] == 2
+            assert stats["respawns"] == 0 and stats["retries"] == 0
+            assert stats["latency_ms_p99"] > 0.0
+            assert stats["requests_served"] == 2 * len(ids)
+
+    def test_session_from_model_refuses_workers(self):
+        with pytest.raises(ValueError, match="on-disk artifact"):
+            ServeSession.from_model(build_model("memcom"), workers=2)
+
+    def test_quantized_session_with_workers(self, artifact_for):
+        path = artifact_for("memcom", 8)
+        ids = _traffic(16)
+        expected = ServeSession.load(path).predict(ids)
+        with ServeSession.load(path, workers=2, retry=FAST_RETRY) as session:
+            np.testing.assert_array_equal(session.predict(ids), expected)
+
+    def test_retry_without_workers_is_config_error(self, artifact_for):
+        with pytest.raises(ValueError, match="workers"):
+            ServeSession.load(artifact_for(), retry=RetryPolicy())
+
+
+class TestLifecycleAndErrors:
+    def test_workers_must_be_positive(self, artifact_for):
+        with pytest.raises(ValueError, match="workers"):
+            ServingRuntime(artifact_for(), workers=0)
+
+    def test_missing_artifact_fails_at_init(self, tmp_path):
+        with pytest.raises(Exception):
+            ServingRuntime(str(tmp_path / "nope"), workers=2, retry=FAST_RETRY)
+
+    def test_pooled_embedding_is_rejected(self, artifact_for):
+        from repro.serve.engine import InferenceEngine
+
+        pooled = InferenceEngine(build_model("memcom"))
+        pooled._embed_pooled, pooled._embed_rows = (lambda ids: None), None
+        with pytest.raises(ValueError, match="not per-id"):
+            ServingRuntime(artifact_for(), workers=2, engine=pooled)
+
+    def test_close_is_idempotent_and_final(self, artifact_for):
+        runtime = ServingRuntime(artifact_for(), workers=2, retry=FAST_RETRY)
+        procs = [w.process for w in runtime.supervisor.workers]
+        runtime.predict(_traffic(4))
+        runtime.close()
+        runtime.close()
+        assert all(not p.is_alive() for p in procs)
+        with pytest.raises(RuntimeError, match="closed"):
+            runtime.predict(_traffic(4))
+
+    def test_stats_and_health_report_shape(self, artifact_for):
+        with ServingRuntime(artifact_for(), workers=2, retry=FAST_RETRY) as runtime:
+            runtime.predict(_traffic(8))
+            stats = runtime.stats()
+            for key in (
+                "workers", "workers_degraded", "latency_ms_p50", "latency_ms_p95",
+                "latency_ms_p99", "recovery_latency_ms", "retries", "respawns",
+                "worker_deaths", "timeouts", "corrupt_payloads",
+                "heartbeats_missed", "fallback_requests", "degraded_workers",
+                "faults_detected", "requests_served", "batches_served",
+            ):
+                assert key in stats, key
+            health = runtime.check_health()
+            assert health["alive"] == 2 and health["degraded"] == 0

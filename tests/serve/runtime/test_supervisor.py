@@ -1,0 +1,112 @@
+"""Supervisor behaviour under real process failures: respawn on idle
+death, bounded retries with injected faults, and graceful degradation to
+the local fallback path — always with bit-identical answers."""
+
+import time
+
+import numpy as np
+
+from repro.serve import ServeSession, ServingRuntime
+from repro.serve.runtime import FaultSpec, RetryPolicy
+
+from .conftest import FAST_RETRY, LENGTH, VOCAB
+
+
+def _traffic(n=24, seed=3):
+    return np.random.default_rng(seed).integers(0, VOCAB, size=(n, LENGTH))
+
+
+class TestRespawn:
+    def test_idle_death_is_respawned_by_health_sweep(self, artifact_for):
+        path = artifact_for()
+        ids = _traffic()
+        expected = ServeSession.load(path).predict(ids)
+        with ServingRuntime(path, workers=2, retry=FAST_RETRY) as runtime:
+            np.testing.assert_array_equal(runtime.predict(ids), expected)
+            victim = runtime.supervisor.workers[0].process
+            victim.kill()
+            victim.join()
+            report = runtime.check_health()
+            assert report["respawned"] >= 1
+            assert runtime.qos.worker_deaths >= 1
+            # the replacement serves the same bits as everyone else
+            np.testing.assert_array_equal(runtime.predict(ids), expected)
+            assert runtime.check_health()["alive"] == 2
+
+    def test_in_request_death_is_retried_transparently(self, artifact_for):
+        path = artifact_for()
+        ids = _traffic()
+        expected = ServeSession.load(path).predict(ids)
+        faults = {0: FaultSpec(kill_on=1)}
+        with ServingRuntime(
+            path, workers=2, retry=FAST_RETRY, faults=faults
+        ) as runtime:
+            np.testing.assert_array_equal(runtime.predict(ids), expected)
+            stats = runtime.stats()
+            assert stats["worker_deaths"] >= 1
+            assert stats["respawns"] >= 1
+            assert stats["retries"] >= 1
+            assert stats["workers_degraded"] == 0
+            # respawned worker is clean (faults_persist defaults to False)
+            np.testing.assert_array_equal(runtime.predict(ids), expected)
+
+
+class TestDegradation:
+    def test_exhausted_budget_degrades_to_local_fallback(self, artifact_for):
+        path = artifact_for()
+        ids = _traffic()
+        expected = ServeSession.load(path).predict(ids)
+        retry = RetryPolicy(
+            timeout_s=0.5, max_attempts=1, backoff_base_s=0.02, backoff_max_s=0.2
+        )
+        faults = {0: FaultSpec(kill_on=1)}
+        with ServingRuntime(path, workers=2, retry=retry, faults=faults) as runtime:
+            np.testing.assert_array_equal(runtime.predict(ids), expected)
+            stats = runtime.stats()
+            assert stats["workers_degraded"] == 1
+            assert stats["degraded_workers"] >= 1
+            assert stats["fallback_requests"] >= 1
+            assert stats["respawns"] == 0  # budget spent, never respawned
+
+    def test_persistent_fault_burns_retry_budget_then_degrades(self, artifact_for):
+        path = artifact_for()
+        ids = _traffic()
+        expected = ServeSession.load(path).predict(ids)
+        faults = {0: FaultSpec(kill_on=1)}
+        with ServingRuntime(
+            path, workers=2, retry=FAST_RETRY, faults=faults, faults_persist=True
+        ) as runtime:
+            np.testing.assert_array_equal(runtime.predict(ids), expected)
+            stats = runtime.stats()
+            # every respawned replacement was re-armed and died again
+            assert stats["respawns"] >= 2
+            assert stats["worker_deaths"] >= FAST_RETRY.max_attempts
+            assert stats["workers_degraded"] == 1
+
+    def test_all_workers_degraded_falls_back_to_engine_predict(self, artifact_for):
+        path = artifact_for()
+        ids = _traffic()
+        expected = ServeSession.load(path).predict(ids)
+        retry = RetryPolicy(
+            timeout_s=0.5, max_attempts=1, backoff_base_s=0.02, backoff_max_s=0.2
+        )
+        faults = {0: FaultSpec(kill_on=1), 1: FaultSpec(kill_on=1)}
+        with ServingRuntime(path, workers=2, retry=retry, faults=faults) as runtime:
+            np.testing.assert_array_equal(runtime.predict(ids), expected)
+            assert runtime.degraded
+            assert runtime.stats()["workers_degraded"] == 2
+            # fully degraded runtime keeps serving, single-process style
+            np.testing.assert_array_equal(runtime.predict(ids), expected)
+            assert runtime.stats()["fallback_requests"] >= 1
+
+
+class TestCleanShutdown:
+    def test_close_reaps_every_worker_process(self, artifact_for):
+        runtime = ServingRuntime(artifact_for(), workers=3, retry=FAST_RETRY)
+        procs = [w.process for w in runtime.supervisor.workers]
+        runtime.predict(_traffic(8))
+        runtime.close()
+        deadline = time.monotonic() + 10.0
+        while any(p.is_alive() for p in procs) and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert all(not p.is_alive() for p in procs)

@@ -106,6 +106,58 @@ class TestBatcherCoalescing:
         results = batcher.flush()
         assert len(results) == 3 and all(p.done for p in pendings)
 
+    def test_flush_interrupted_by_base_exception_requeues_everything(self):
+        """KeyboardInterrupt (or an alarm-driven timeout) is not `Exception`
+        — a flush killed by one must still requeue undelivered requests
+        instead of silently dropping them with the already-cleared queue."""
+        engine, _ = _engine()
+        batcher = Batcher(engine, max_batch=2)
+        rng = np.random.default_rng(11)
+        pendings = [batcher.submit(rng.integers(0, V, size=L)) for _ in range(5)]
+        calls = {"n": 0}
+        real_predict = engine.predict
+
+        def interrupted_predict(ids):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise KeyboardInterrupt
+            return real_predict(ids)
+
+        engine.predict = interrupted_predict
+        with pytest.raises(KeyboardInterrupt):
+            batcher.flush()
+        assert pendings[0].done and pendings[1].done
+        assert len(batcher) == 3  # interrupted + unserved requests survive
+        engine.predict = real_predict
+        results = batcher.flush()
+        assert len(results) == 3 and all(p.done for p in pendings)
+
+    def test_flush_failure_preserves_latency_deadline_clock(self):
+        """A requeued request keeps its original wait start: max_delay_ms
+        counts from first submission, not from when the engine recovered."""
+        engine, _ = _engine()
+        batcher = Batcher(engine, max_batch=64, max_delay_ms=10_000.0)
+        rng = np.random.default_rng(13)
+        batcher.submit(rng.integers(0, V, size=L))
+        started_waiting = batcher._oldest_pending_at
+        assert started_waiting is not None
+
+        def failing_predict(ids):
+            raise RuntimeError("engine fell over")
+
+        real_predict = engine.predict
+        engine.predict = failing_predict
+        with pytest.raises(RuntimeError):
+            batcher.flush()
+        engine.predict = real_predict
+        # The requeued request's deadline clock was not reset (a reset
+        # would let it wait up to 2x max_delay_ms across a failure).
+        assert batcher._oldest_pending_at == started_waiting
+        # And an overdue requeued request auto-flushes on the next submit.
+        batcher._oldest_pending_at -= 11.0  # simulate 11s already waited
+        batcher.submit(rng.integers(0, V, size=L))
+        assert batcher.auto_flushes == 1 and len(batcher) == 0
+
     def test_cached_engine_through_batcher_matches_uncached(self):
         cached, _ = _engine(cache_rows=64)
         uncached, _ = _engine()

@@ -173,6 +173,65 @@ class TestAdmissionTTL:
         with pytest.raises(ValueError, match="count_ttl"):
             LRUCache(8, 4, count_ttl=0)
 
+    def test_drifting_zipf_head_decayed_vs_sticky(self):
+        """The PR-4 motivation end to end: the traffic's Zipf head *moves*.
+
+        Phase A serves head ids 0..31; phase B drifts the head to
+        2000..2031 with per-round one-hit-wonder tail noise.  A decaying
+        cache must (1) admit the new head and serve it at full hit rate,
+        (2) let the old head's counters decay so a stale id re-earns
+        admission, while (3) a no-TTL control keeps honoring last week's
+        popularity forever — the failure mode count_ttl exists to prevent.
+        """
+        def serve_round(cache, ids):
+            # The engine's protocol: look everything up, insert the
+            # (unique) misses; returns the lookup slots.
+            slots = cache.lookup(ids)
+            missed = np.unique(ids[slots == -1])
+            if missed.size:
+                cache.insert(missed, _rows(missed))
+            return slots
+
+        def attempts_until_admitted(cache, ids, limit=8):
+            for attempt in range(1, limit + 1):
+                if (cache.insert(ids, _rows(ids)) >= 0).all():
+                    return attempt
+            return limit + 1
+
+        decayed = LRUCache(32, 4, id_range=10_000, min_count=3, count_ttl=5)
+        sticky = LRUCache(32, 4, id_range=10_000, min_count=3)
+        head_a, head_b = np.arange(32), np.arange(2000, 2032)
+        rng = np.random.default_rng(7)
+
+        for _ in range(6):  # phase A: old head earns admission in both
+            for cache in (decayed, sticky):
+                serve_round(cache, head_a)
+        assert (decayed.lookup(head_a) >= 0).all()
+        assert (sticky.lookup(head_a) >= 0).all()
+
+        hits_late = 0
+        for round_no in range(15):  # phase B: the head has drifted
+            noise = rng.integers(3000, 10_000, size=8)  # one-hit wonders
+            traffic = np.concatenate([head_b, noise])
+            for cache in (decayed, sticky):
+                slots = serve_round(cache, traffic)
+                if cache is decayed and round_no >= 5:
+                    hits_late += int((slots[:32] >= 0).sum())
+
+        # (1) the new head is fully resident and serving at 100% hit rate
+        # in the steady late-phase rounds; tail noise never got admitted.
+        assert hits_late == 10 * 32
+        assert (decayed.lookup(head_b) >= 0).all()
+        assert decayed.rejected > 0
+        # Both caches evicted the old head's rows by LRU...
+        assert (decayed.lookup(head_a) == -1).all()
+        assert (sticky.lookup(head_a) == -1).all()
+        # (2)+(3) ...but only the decayed cache forgot its *popularity*:
+        # a stale id walks straight back in under sticky counters, and
+        # must re-earn min_count attempts under decayed ones.
+        assert attempts_until_admitted(sticky, head_a) == 1
+        assert attempts_until_admitted(decayed, head_a) >= 2
+
     def test_decay_never_changes_served_values(self):
         def build():
             return build_pointwise_ranker(
