@@ -1,0 +1,123 @@
+"""Traffic replay bench: drifting million-user load → ``BENCH_traffic.json``.
+
+Replays the canonical :data:`repro.traffic.bench.BENCH_SPEC` workload —
+one million distinct users, session locality, arrival bursts, a Zipf head
+that drifts across three phases — through the scenario grid (technique ×
+storage bits × worker processes) and records per-scenario p50/p95/p99
+latency, requests/sec, and cache hit rate, per drift phase.
+
+Run as a script to (re)generate the repo-root perf record::
+
+    python benchmarks/bench_traffic_replay.py --out BENCH_traffic.json
+
+and in CI as the smoke + trajectory gate::
+
+    python benchmarks/bench_traffic_replay.py --smoke --out /tmp/BENCH_traffic.json
+    python benchmarks/gate.py /tmp/BENCH_traffic.json --baseline BENCH_traffic.json
+
+``--smoke`` cuts phase *duration* only (per-step shape identical); a full
+``--out`` record embeds the grid at smoke duration too, so the gate
+compares a CI smoke run against the record's ``smoke_scenarios`` section
+(like against like) and additionally normalizes by each run's
+machine-speed calibration.  Every scenario is also asserted against the
+default :class:`~repro.traffic.slo.SLOSpec` — the bench doubles as the
+latency-SLO smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.traffic.bench import (
+    SCENARIOS,
+    render_table,
+    run_scenarios,
+    scenario_key,
+    write_report,
+)
+from repro.traffic.slo import SLOSpec, SLOViolation
+
+
+def test_traffic_replay_smoke(benchmark):
+    """Tier-1 entry: a reduced single-process slice of the grid under SLOs."""
+    from conftest import run_once
+
+    grid = tuple(s for s in SCENARIOS if s[2] == 0)[:3]
+    doc = run_once(
+        benchmark, lambda: run_scenarios(smoke=True, scenarios=grid, slo=SLOSpec())
+    )
+    print()
+    print(render_table(doc))
+    for technique, bits, workers in grid:
+        s = doc["scenarios"][scenario_key(technique, bits, workers)]
+        tag = scenario_key(technique, bits, workers).replace("-", "_")
+        benchmark.extra_info[f"{tag}_p99_ms"] = s["p99_ms"]
+        benchmark.extra_info[f"{tag}_rps"] = round(s["rps"])
+        if s["hit_rate"] is not None:
+            benchmark.extra_info[f"{tag}_hit_rate"] = s["hit_rate"]
+    assert all(
+        doc["scenarios"][scenario_key(*sc)]["requests"] > 0 for sc in grid
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="quarter-duration phases (same per-step shape; CI mode)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the BENCH_traffic.json document here",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="also gate the fresh run against this recorded document "
+        "(exit 1 on >tolerance p99/rps regressions)",
+    )
+    parser.add_argument("--tolerance", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="per-scenario best-of-N (default 3; noise only inflates "
+        "latency, so the minimum is the honest code-cost estimate)",
+    )
+    args = parser.parse_args(argv)
+
+    kwargs = {} if args.repeats is None else {"repeats": args.repeats}
+    try:
+        doc = run_scenarios(
+            smoke=args.smoke, seed=args.seed, slo=SLOSpec(), **kwargs
+        )
+    except SLOViolation as exc:
+        print(f"bench_traffic_replay: SLO FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(render_table(doc))
+    print("\nall scenarios met the default SLOSpec")
+    if args.out:
+        if not args.smoke:
+            # A full record also carries the grid at smoke duration, so CI's
+            # --smoke runs gate like-against-like (short runs have a larger
+            # warm-up fraction; their raw rps sits below a full run's).
+            smoke_doc = run_scenarios(
+                smoke=True, seed=args.seed, slo=SLOSpec(), **kwargs
+            )
+            doc["smoke_scenarios"] = smoke_doc["scenarios"]
+        write_report(doc, args.out)
+        print(f"wrote {os.path.abspath(args.out)}")
+    if args.baseline:
+        from repro.traffic.gate import DEFAULT_TOLERANCE, compare, load_report
+
+        tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+        result = compare(doc, load_report(args.baseline), tolerance=tolerance)
+        print()
+        print(result.summary())
+        if not result.ok:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

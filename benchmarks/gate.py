@@ -1,0 +1,62 @@
+"""Perf-trajectory regression gate over ``BENCH_traffic.json`` documents.
+
+Compares a freshly produced traffic-bench document against the committed
+repo-root baseline and exits nonzero when any scenario's p99 latency or
+requests/sec regressed beyond the tolerance (default 15%), or when a
+baseline scenario is missing from the fresh run.  Comparison rules —
+including calibration normalization across machines — live in
+:mod:`repro.traffic.gate`; this file is the CI-facing command::
+
+    python benchmarks/gate.py /tmp/BENCH_traffic.json --baseline BENCH_traffic.json
+
+Pass ``--no-normalize`` for raw same-machine comparisons and ``--tolerance``
+to tighten or loosen the budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+# Runnable from a bare checkout without PYTHONPATH: the src layout sits
+# next to this benchmarks/ directory.
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.traffic.gate import DEFAULT_TOLERANCE, compare, load_report  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="freshly produced BENCH_traffic.json")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(_SRC, os.pardir, "BENCH_traffic.json"),
+        help="recorded baseline document (default: the committed repo-root file)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="max fractional p99 rise / rps drop before failing (default 0.15)",
+    )
+    parser.add_argument(
+        "--no-normalize", action="store_true",
+        help="compare raw values instead of calibration-normalized ones",
+    )
+    args = parser.parse_args(argv)
+    try:
+        fresh = load_report(args.fresh)
+        baseline = load_report(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"gate: error: {exc}", file=sys.stderr)
+        return 2
+    result = compare(
+        fresh, baseline, tolerance=args.tolerance, normalize=not args.no_normalize
+    )
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -182,6 +182,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--seed", type=int, default=0)
     p_export.set_defaults(func=_cmd_export_artifact)
 
+    p_traffic = sub.add_parser(
+        "traffic-bench",
+        help="replay drifting million-user session traffic through the "
+        "serving stack and report p50/p95/p99 latency, requests/sec and "
+        "cache hit rate per drift phase, with SLO assertions and an "
+        "optional perf-trajectory gate against BENCH_traffic.json",
+    )
+    p_traffic.add_argument(
+        "--smoke", action="store_true",
+        help="quarter-duration phases (same per-step workload shape, so "
+        "percentiles stay comparable to a full run)",
+    )
+    p_traffic.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the scenario-grid results as a BENCH_traffic.json document",
+    )
+    p_traffic.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="gate the fresh run against this recorded document "
+        "(exit 1 on regressions beyond --tolerance)",
+    )
+    p_traffic.add_argument(
+        "--tolerance", type=float, default=None,
+        help="max fractional p99 rise / req/s drop vs --baseline (default 0.15)",
+    )
+    p_traffic.add_argument(
+        "--max-p99-ms", type=float, default=None,
+        help="override the default SLO tail-latency bound (500 ms)",
+    )
+    p_traffic.add_argument(
+        "--min-hit-rate", type=float, default=None,
+        help="additionally require this cache hit rate (default: unchecked)",
+    )
+    p_traffic.add_argument("--seed", type=int, default=None,
+                           help="reseed the pinned traffic stream")
+    p_traffic.set_defaults(func=_cmd_traffic_bench)
+
     p_serve = sub.add_parser(
         "serve-bench",
         help="measure batched serving throughput (requests/sec) under Zipf traffic",
@@ -594,6 +631,60 @@ def _validate_serve_args(args: argparse.Namespace) -> str | None:
     except ValueError as exc:
         return str(exc)
     return None
+
+
+def _cmd_traffic_bench(args: argparse.Namespace) -> int:
+    # Import lazily: the traffic package pulls in the full serving stack.
+    from repro.traffic.bench import render_table, run_scenarios, write_report
+    from repro.traffic.slo import SLOSpec, SLOViolation
+
+    if args.tolerance is not None and args.tolerance < 0:
+        print(
+            f"repro traffic-bench: error: --tolerance must be non-negative, "
+            f"got {args.tolerance}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.min_hit_rate is not None and not 0.0 <= args.min_hit_rate <= 1.0:
+        print(
+            f"repro traffic-bench: error: --min-hit-rate must be in [0, 1], "
+            f"got {args.min_hit_rate}",
+            file=sys.stderr,
+        )
+        return 2
+    slo = SLOSpec()
+    if args.max_p99_ms is not None:
+        slo = replace(slo, max_p99_ms=args.max_p99_ms)
+    if args.min_hit_rate is not None:
+        slo = replace(slo, min_hit_rate=args.min_hit_rate)
+
+    try:
+        doc = run_scenarios(smoke=args.smoke, seed=args.seed, slo=slo)
+    except SLOViolation as exc:
+        print(f"repro traffic-bench: SLO FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(render_table(doc))
+    print("\nall scenarios met the SLO")
+    if args.out:
+        import os
+
+        write_report(doc, args.out)
+        print(f"wrote {os.path.abspath(args.out)}")
+    if args.baseline:
+        from repro.traffic.gate import DEFAULT_TOLERANCE, compare, load_report
+
+        tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+        try:
+            baseline = load_report(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro traffic-bench: error: {exc}", file=sys.stderr)
+            return 2
+        result = compare(doc, baseline, tolerance=tolerance)
+        print()
+        print(result.summary())
+        if not result.ok:
+            return 1
+    return 0
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:

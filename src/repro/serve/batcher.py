@@ -19,13 +19,25 @@ __all__ = ["Batcher", "PendingRequest"]
 
 
 class PendingRequest:
-    """A submitted request; ``result`` is populated by the next ``flush()``."""
+    """A submitted request; ``result`` is populated by the next ``flush()``.
 
-    __slots__ = ("ids", "result")
+    ``latency_ms`` is the request's *own* wall-clock wait, submit→resolve:
+    the clock starts when :meth:`Batcher.submit` accepts the request and
+    stops when its result row is assigned.  Two riders of the same flush
+    can therefore report different latencies — the one that queued longer
+    waited longer — which is what makes replay percentiles honest (a
+    flush-granularity number would hide exactly the queueing delay a
+    latency SLO exists to bound).  A request requeued by a failed flush
+    keeps its original start, so recovery time counts against it too.
+    """
+
+    __slots__ = ("ids", "result", "submitted_at", "latency_ms")
 
     def __init__(self, ids: np.ndarray) -> None:
         self.ids = ids
         self.result: np.ndarray | None = None
+        self.submitted_at = time.perf_counter()
+        self.latency_ms: float | None = None
 
     @property
     def done(self) -> bool:
@@ -129,8 +141,10 @@ class Batcher:
                         oldest if oldest is not None else time.monotonic()
                     )
                 raise
+            resolved_at = time.perf_counter()
             for request, row in zip(pending[start:], scores):
                 request.result = row
+                request.latency_ms = 1e3 * (resolved_at - request.submitted_at)
             results.extend(scores)
         return results
 

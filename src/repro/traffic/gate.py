@@ -1,0 +1,136 @@
+"""Cross-PR perf-trajectory gate: fresh bench vs committed baseline.
+
+The committed ``BENCH_traffic.json`` is the repo's perf memory; this module
+is the comparator that turns it into a *gate*.  For every scenario the
+baseline records, the fresh run must exist and must not have regressed:
+
+* **p99 latency** may rise at most ``tolerance`` (default 15%);
+* **requests/sec** may fall at most ``tolerance``;
+* a scenario missing from the fresh run is itself a regression — dropping
+  a configuration from the bench must be an explicit baseline change, not
+  a silent shrink of coverage.
+
+Machines differ, so both documents carry a ``calibration_ms`` yardstick
+(the wall time of a fixed NumPy workload on the machine that produced
+them); comparisons are made on calibration-normalized values — latency in
+"machine units" and throughput in "requests per machine unit" — which
+cancels first-order CPU-speed differences and leaves actual code
+regressions.  Durations differ too: a recorded document may carry a
+``smoke_scenarios`` section (the same grid at smoke duration), and a
+fresh ``--smoke`` run is gated against that — a short run's warm-up
+fraction is larger, so its raw throughput sits systematically below a
+full run's and would otherwise read as a regression.  Improvements never
+fail the gate; they are the trajectory the record exists to show.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["GateResult", "compare", "load_report", "DEFAULT_TOLERANCE"]
+
+DEFAULT_TOLERANCE = 0.15
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if "scenarios" not in doc:
+        raise ValueError(f"{path}: not a BENCH_traffic.json document (no 'scenarios')")
+    return doc
+
+
+@dataclass
+class GateResult:
+    """Comparison outcome: per-scenario rows plus every violation line."""
+
+    rows: list[tuple] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        header = (
+            f"{'scenario':>16} {'base p99':>9} {'fresh p99':>10} {'Δp99':>7} "
+            f"{'base rps':>9} {'fresh rps':>10} {'Δrps':>7} {'verdict':>8}"
+        )
+        lines = [header]
+        for row in self.rows:
+            lines.append(
+                f"{row[0]:>16} {row[1]:>9.2f} {row[2]:>10.2f} {row[3]:>+6.1%} "
+                f"{row[4]:>9,.0f} {row[5]:>10,.0f} {row[6]:>+6.1%} {row[7]:>8}"
+            )
+        if self.violations:
+            lines.append("")
+            lines.append(f"{len(self.violations)} regression(s):")
+            lines.extend(f"  {v}" for v in self.violations)
+        else:
+            lines.append("gate passed: no scenario regressed beyond tolerance")
+        return "\n".join(lines)
+
+
+def compare(
+    fresh: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    normalize: bool = True,
+) -> GateResult:
+    """Gate ``fresh`` against ``baseline``; see the module docstring for rules.
+
+    ``normalize=False`` compares raw values (same-machine trajectory runs);
+    the default normalizes by each document's ``calibration_ms``.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    fresh_cal = float(fresh.get("calibration_ms") or 0.0)
+    base_cal = float(baseline.get("calibration_ms") or 0.0)
+    use_norm = normalize and fresh_cal > 0 and base_cal > 0
+    # A smoke run is compared against the record's own smoke section when it
+    # carries one: short runs spend a larger fraction of their duration in
+    # cache warm-up and session ramp, so their throughput/hit-rate sit
+    # systematically below a full run's — like must gate against like.
+    base_scenarios = baseline["scenarios"]
+    if fresh.get("smoke") and "smoke_scenarios" in baseline:
+        base_scenarios = baseline["smoke_scenarios"]
+    result = GateResult()
+    for key in sorted(base_scenarios):
+        base = base_scenarios[key]
+        entry = fresh["scenarios"].get(key)
+        if entry is None:
+            result.violations.append(
+                f"{key}: missing from the fresh run (baseline coverage shrank)"
+            )
+            continue
+        base_p99, fresh_p99 = float(base["p99_ms"]), float(entry["p99_ms"])
+        base_rps, fresh_rps = float(base["rps"]), float(entry["rps"])
+        if use_norm:
+            # Latency in machine units, throughput in requests/machine-unit:
+            # a uniformly slower machine moves both numerator and yardstick.
+            norm_p99 = (fresh_p99 / fresh_cal, base_p99 / base_cal)
+            norm_rps = (fresh_rps * fresh_cal, base_rps * base_cal)
+        else:
+            norm_p99 = (fresh_p99, base_p99)
+            norm_rps = (fresh_rps, base_rps)
+        d_p99 = norm_p99[0] / norm_p99[1] - 1.0 if norm_p99[1] > 0 else 0.0
+        d_rps = norm_rps[0] / norm_rps[1] - 1.0 if norm_rps[1] > 0 else 0.0
+        verdict = "ok"
+        if d_p99 > tolerance:
+            verdict = "FAIL"
+            result.violations.append(
+                f"{key}: p99 regressed {d_p99:+.1%} "
+                f"({base_p99:.2f} → {fresh_p99:.2f} ms, tolerance +{tolerance:.0%})"
+            )
+        if d_rps < -tolerance:
+            verdict = "FAIL"
+            result.violations.append(
+                f"{key}: throughput regressed {d_rps:+.1%} "
+                f"({base_rps:,.0f} → {fresh_rps:,.0f} req/s, "
+                f"tolerance -{tolerance:.0%})"
+            )
+        result.rows.append(
+            (key, base_p99, fresh_p99, d_p99, base_rps, fresh_rps, d_rps, verdict)
+        )
+    return result

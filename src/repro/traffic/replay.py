@@ -1,0 +1,236 @@
+"""Replay simulated traffic through a serving session; report per-phase QoS.
+
+The harness is the bridge between :class:`~repro.traffic.model.TrafficModel`
+(what traffic looks like) and :class:`~repro.serve.ServeSession` (what
+serves it): each arrival step's requests are submitted to the session's
+:class:`~repro.serve.batcher.Batcher` and flushed once per step — bursty
+steps queue deeper and coalesce into bigger batches, exactly the mechanism
+latency percentiles must expose.  Per-request latency comes from
+``PendingRequest.latency_ms`` (submit→resolve wall clock), so a request
+that waited out a burst is charged its wait, not its batch's average.
+
+The report is split **per drift phase**: the whole point of replaying
+non-stationary traffic is seeing the phase boundary — the hit-rate dip as
+the cache's head goes stale, the admission TTL re-learning the new head,
+the tail latency of the refill — rather than one blended number.
+
+Determinism: the request stream and the served predictions are pure
+functions of ``(TrafficSpec, artifact)``; ``ReplayReport.checksum``
+fingerprints both, so two runs with the same seed must agree bit-for-bit
+even across the multi-process runtime (latency numbers, of course, vary).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traffic.model import TrafficModel
+from repro.traffic.slo import SLOSpec
+
+__all__ = ["PhaseReport", "ReplayReport", "replay"]
+
+#: the SLO latency trio, shared with the runtime's QoS accounting
+_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """QoS of one drift phase (or of the whole run, for the rollup)."""
+
+    phase: int
+    requests: int
+    batches: int
+    distinct_users: int
+    elapsed_s: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    rps: float
+    #: cache hit rate over this phase's lookups, or None when uncached
+    hit_rate: float | None = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "phase": self.phase,
+            "requests": self.requests,
+            "batches": self.batches,
+            "distinct_users": self.distinct_users,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "p50_ms": round(self.p50_ms, 4),
+            "p95_ms": round(self.p95_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "rps": round(self.rps, 2),
+        }
+        out["hit_rate"] = None if self.hit_rate is None else round(self.hit_rate, 4)
+        return out
+
+    def row(self) -> tuple:
+        hit = "—" if self.hit_rate is None else f"{100 * self.hit_rate:.1f}%"
+        return (
+            self.phase, self.requests, self.distinct_users,
+            f"{self.p50_ms:.2f}", f"{self.p95_ms:.2f}", f"{self.p99_ms:.2f}",
+            f"{self.rps:,.0f}", hit,
+        )
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Everything one replayed workload measured, phases + rollup."""
+
+    phases: list[PhaseReport]
+    overall: PhaseReport
+    #: SHA-256 over (ids, predictions) — the determinism fingerprint
+    checksum: str
+    spec: dict = field(default_factory=dict)
+
+    # Rollup conveniences (what SLOSpec.check reads).
+    @property
+    def requests(self) -> int:
+        return self.overall.requests
+
+    @property
+    def p50_ms(self) -> float:
+        return self.overall.p50_ms
+
+    @property
+    def p95_ms(self) -> float:
+        return self.overall.p95_ms
+
+    @property
+    def p99_ms(self) -> float:
+        return self.overall.p99_ms
+
+    @property
+    def rps(self) -> float:
+        return self.overall.rps
+
+    @property
+    def hit_rate(self) -> float | None:
+        return self.overall.hit_rate
+
+    @property
+    def distinct_users(self) -> int:
+        return self.overall.distinct_users
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "distinct_users": self.distinct_users,
+            "p50_ms": round(self.p50_ms, 4),
+            "p95_ms": round(self.p95_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "rps": round(self.rps, 2),
+            "hit_rate": None if self.hit_rate is None else round(self.hit_rate, 4),
+            "checksum": self.checksum,
+            "phases": [p.to_dict() for p in self.phases],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"{'phase':>5} {'requests':>9} {'users':>7} {'p50':>8} {'p95':>8} "
+            f"{'p99':>8} {'req/s':>9} {'hit':>6}"
+        ]
+        for ph in self.phases + [self.overall]:
+            tag = "all" if ph is self.overall else str(ph.phase)
+            hit = "—" if ph.hit_rate is None else f"{100 * ph.hit_rate:.1f}%"
+            lines.append(
+                f"{tag:>5} {ph.requests:>9,} {ph.distinct_users:>7,} "
+                f"{ph.p50_ms:>8.2f} {ph.p95_ms:>8.2f} {ph.p99_ms:>8.2f} "
+                f"{ph.rps:>9,.0f} {hit:>6}"
+            )
+        return "\n".join(lines)
+
+
+class _PhaseAccumulator:
+    """Latency/hit/user bookkeeping for one phase while it streams."""
+
+    def __init__(self, phase: int) -> None:
+        self.phase = phase
+        self.latencies: list[float] = []
+        self.users: set[int] = set()
+        self.batches = 0
+        self.elapsed_s = 0.0
+        self.hits0 = 0
+        self.misses0 = 0
+        self.hits1 = 0
+        self.misses1 = 0
+
+    def report(self) -> PhaseReport:
+        lat = np.asarray(self.latencies, dtype=np.float64)
+        if lat.size:
+            p50, p95, p99 = np.percentile(lat, _PERCENTILES)
+        else:
+            p50 = p95 = p99 = 0.0
+        hits = self.hits1 - self.hits0
+        misses = self.misses1 - self.misses0
+        hit_rate = hits / (hits + misses) if (hits + misses) > 0 else None
+        return PhaseReport(
+            phase=self.phase,
+            requests=int(lat.size),
+            batches=self.batches,
+            distinct_users=len(self.users),
+            elapsed_s=self.elapsed_s,
+            p50_ms=float(p50),
+            p95_ms=float(p95),
+            p99_ms=float(p99),
+            rps=lat.size / self.elapsed_s if self.elapsed_s > 0 else 0.0,
+            hit_rate=hit_rate,
+        )
+
+
+def replay(
+    session,
+    model: TrafficModel,
+    slo: SLOSpec | None = None,
+    baseline: dict | None = None,
+) -> ReplayReport:
+    """Stream ``model``'s traffic through ``session``; measure per phase.
+
+    ``session`` is a :class:`~repro.serve.ServeSession` (single-process or
+    ``workers=n`` — the batcher fronts either).  When ``slo`` is given the
+    report is asserted against it (and optionally against ``baseline``)
+    before returning, raising :class:`~repro.traffic.slo.SLOViolation` on
+    any miss — a replay is then an executable service-level test.
+    """
+    # The multi-process runtime serves cache-less; the hit-rate column only
+    # means something when the single-process engine's cache is in the path.
+    cache = session.engine.cache if session.runtime is None else None
+    sha = hashlib.sha256()
+    accs = {p: _PhaseAccumulator(p) for p in range(model.spec.num_phases)}
+    total = _PhaseAccumulator(-1)
+
+    for step in model.stream():
+        if step.requests.shape[0] == 0:
+            continue
+        acc = accs[step.phase]
+        for a in (acc, total):
+            if cache is not None and a.batches == 0:
+                a.hits0, a.misses0 = cache.hits, cache.misses
+        start = time.perf_counter()
+        pending = [session.submit(ids) for ids in step.requests]
+        session.flush()
+        elapsed = time.perf_counter() - start
+        sha.update(np.ascontiguousarray(step.requests).tobytes())
+        for req in pending:
+            sha.update(np.ascontiguousarray(req.result).tobytes())
+        for a in (acc, total):
+            a.batches += 1
+            a.elapsed_s += elapsed
+            a.latencies.extend(req.latency_ms for req in pending)
+            a.users.update(step.users.tolist())
+            if cache is not None:
+                a.hits1, a.misses1 = cache.hits, cache.misses
+
+    report = ReplayReport(
+        phases=[accs[p].report() for p in sorted(accs)],
+        overall=total.report(),
+        checksum=sha.hexdigest(),
+        spec=model.spec.to_dict(),
+    )
+    if slo is not None:
+        slo.assert_ok(report, baseline)
+    return report

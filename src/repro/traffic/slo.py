@@ -1,0 +1,116 @@
+"""Declarative latency/hit-rate SLOs for traffic replay.
+
+An SLO is a *contract*, not a measurement: the replay harness reports what
+happened, :class:`SLOSpec` says what was acceptable, and the two meet in
+:meth:`SLOSpec.check`, which returns every violation as a human-readable
+line (empty list = the run met its objectives).  Keeping the spec a frozen
+dataclass means a bench, a test, and CI all assert the same objectives by
+naming one value — no thresholds scattered through harness code.
+
+Two kinds of objective:
+
+* **absolute** — ``max_p99_ms`` (every phase and the overall tail must be
+  under it) and ``min_hit_rate`` (the cache must actually absorb the head);
+* **relative** — ``max_p99_regression`` / ``max_rps_regression`` against a
+  recorded baseline (the committed ``BENCH_traffic.json`` entry), the
+  cross-PR perf-trajectory gate's per-scenario rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SLOSpec", "SLOViolation"]
+
+
+class SLOViolation(AssertionError):
+    """Raised by :meth:`SLOSpec.assert_ok`; carries every violated line."""
+
+    def __init__(self, violations: list[str]) -> None:
+        self.violations = list(violations)
+        super().__init__(
+            f"{len(self.violations)} SLO violation(s):\n  " + "\n  ".join(self.violations)
+        )
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Serving objectives for one replayed workload.
+
+    ``None`` disables an objective.  The defaults are deliberately loose
+    absolute bounds (CI machines vary widely); the regression bounds are
+    the tight ones — the trajectory gate compares like with like.
+    """
+
+    max_p99_ms: float | None = 500.0
+    min_hit_rate: float | None = None
+    #: fresh p99 may exceed baseline p99 by at most this fraction
+    max_p99_regression: float = 0.15
+    #: fresh requests/sec may fall below baseline by at most this fraction
+    max_rps_regression: float = 0.15
+
+    def validate(self) -> "SLOSpec":
+        if self.max_p99_ms is not None and self.max_p99_ms <= 0:
+            raise ValueError(f"max_p99_ms must be positive, got {self.max_p99_ms}")
+        if self.min_hit_rate is not None and not 0.0 <= self.min_hit_rate <= 1.0:
+            raise ValueError(
+                f"min_hit_rate must be in [0, 1], got {self.min_hit_rate}"
+            )
+        for name in ("max_p99_regression", "max_rps_regression"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be non-negative, got {getattr(self, name)}"
+                )
+        return self
+
+    def check(self, report, baseline: dict | None = None) -> list[str]:
+        """Every violated objective as one line; ``[]`` means the run passed.
+
+        ``report`` is a :class:`~repro.traffic.replay.ReplayReport`;
+        ``baseline`` is a recorded scenario dict with ``p99_ms`` and ``rps``
+        keys (one entry of ``BENCH_traffic.json``) or ``None`` to skip the
+        relative objectives.
+        """
+        self.validate()
+        violations: list[str] = []
+        if self.max_p99_ms is not None:
+            if report.p99_ms > self.max_p99_ms:
+                violations.append(
+                    f"overall p99 {report.p99_ms:.2f} ms > max {self.max_p99_ms:.2f} ms"
+                )
+            for ph in report.phases:
+                if ph.p99_ms > self.max_p99_ms:
+                    violations.append(
+                        f"phase {ph.phase} p99 {ph.p99_ms:.2f} ms > "
+                        f"max {self.max_p99_ms:.2f} ms"
+                    )
+        if self.min_hit_rate is not None:
+            if report.hit_rate is None:
+                violations.append(
+                    "min_hit_rate set but the replayed session reports no cache"
+                )
+            elif report.hit_rate < self.min_hit_rate:
+                violations.append(
+                    f"cache hit rate {report.hit_rate:.3f} < min {self.min_hit_rate:.3f}"
+                )
+        if baseline is not None:
+            base_p99 = float(baseline["p99_ms"])
+            if base_p99 > 0 and report.p99_ms > base_p99 * (1 + self.max_p99_regression):
+                violations.append(
+                    f"p99 {report.p99_ms:.2f} ms regressed "
+                    f"{report.p99_ms / base_p99 - 1:+.1%} vs baseline "
+                    f"{base_p99:.2f} ms (max +{self.max_p99_regression:.0%})"
+                )
+            base_rps = float(baseline["rps"])
+            if base_rps > 0 and report.rps < base_rps * (1 - self.max_rps_regression):
+                violations.append(
+                    f"throughput {report.rps:,.0f} req/s regressed "
+                    f"{report.rps / base_rps - 1:+.1%} vs baseline "
+                    f"{base_rps:,.0f} req/s (max -{self.max_rps_regression:.0%})"
+                )
+        return violations
+
+    def assert_ok(self, report, baseline: dict | None = None) -> None:
+        violations = self.check(report, baseline)
+        if violations:
+            raise SLOViolation(violations)

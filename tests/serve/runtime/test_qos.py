@@ -1,8 +1,18 @@
-"""QoSStats: per-request latency percentiles + failure/recovery counters."""
+"""QoSStats: per-request latency percentiles + failure/recovery counters.
 
+``TestPercentileMathVsNumpy`` cross-checks the compressed ``(ms, count)``
+ledger against ``numpy.percentile`` on the explicitly expanded per-request
+array — the ledger is an encoding, never an approximation — on the
+adversarial shapes that break naive percentile code: a single sample,
+all-equal ledgers, heavy tails hiding behind big counts, and randomized
+weighted ledgers.
+"""
+
+import numpy as np
 import pytest
 
 from repro.serve.runtime import QoSStats
+from repro.serve.runtime.qos import PERCENTILES
 
 
 class TestLatencyPercentiles:
@@ -30,6 +40,87 @@ class TestLatencyPercentiles:
         qos = QoSStats()
         qos.record_batch(5.0, 0)
         assert qos.requests_recorded == 0
+
+
+def _numpy_reference(ledger):
+    """Ground truth: expand (ms, count) pairs and ask numpy directly."""
+    expanded = np.repeat(
+        np.asarray([ms for ms, _ in ledger], dtype=np.float64),
+        np.asarray([n for _, n in ledger], dtype=np.int64),
+    )
+    return dict(
+        zip(
+            (f"p{int(p)}" for p in PERCENTILES),
+            (float(v) for v in np.percentile(expanded, PERCENTILES)),
+        )
+    )
+
+
+def _record(ledger):
+    qos = QoSStats()
+    for ms, n in ledger:
+        qos.record_batch(ms, n)
+    return qos
+
+
+class TestPercentileMathVsNumpy:
+    def test_single_sample_every_percentile_is_that_sample(self):
+        qos = _record([(7.25, 1)])
+        pct = qos.latency_percentiles()
+        assert pct == _numpy_reference([(7.25, 1)])
+        assert pct["p50"] == pct["p95"] == pct["p99"] == 7.25
+
+    def test_single_batch_many_riders_is_degenerate(self):
+        ledger = [(3.5, 1_000)]
+        assert _record(ledger).latency_percentiles() == _numpy_reference(ledger)
+
+    def test_all_equal_ledger(self):
+        ledger = [(2.0, 17), (2.0, 1), (2.0, 400)]
+        pct = _record(ledger).latency_percentiles()
+        assert pct == _numpy_reference(ledger)
+        assert pct["p50"] == pct["p99"] == 2.0
+
+    def test_heavy_tail_hides_behind_big_counts(self):
+        # 9,999 fast riders and one 10-second straggler: p99 must stay fast
+        # (the straggler is past the 99th rank) but the ledger must still
+        # agree with numpy on exactly where the interpolation lands.
+        ledger = [(1.0, 9_999), (10_000.0, 1)]
+        pct = _record(ledger).latency_percentiles()
+        assert pct == _numpy_reference(ledger)
+        assert pct["p99"] == pytest.approx(1.0)
+
+    def test_heavy_tail_crossing_the_p99_boundary(self):
+        # 5% of riders saw the slow batch: p95/p99 land inside the tail.
+        ledger = [(1.0, 95), (100.0, 5)]
+        pct = _record(ledger).latency_percentiles()
+        assert pct == _numpy_reference(ledger)
+        assert pct["p50"] == pytest.approx(1.0)
+        assert pct["p99"] > 1.0
+
+    def test_two_samples_interpolate_like_numpy(self):
+        # numpy's default (linear) interpolation between ranks — the ledger
+        # must inherit it, not invent nearest-rank or midpoint semantics.
+        ledger = [(1.0, 1), (3.0, 1)]
+        pct = _record(ledger).latency_percentiles()
+        assert pct == _numpy_reference(ledger)
+        assert pct["p50"] == pytest.approx(2.0)
+
+    def test_recording_order_is_irrelevant(self):
+        ledger = [(5.0, 3), (1.0, 10), (50.0, 2), (0.25, 7)]
+        assert (
+            _record(ledger).latency_percentiles()
+            == _record(list(reversed(ledger))).latency_percentiles()
+            == _numpy_reference(ledger)
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_weighted_ledgers_match_numpy_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        ledger = [
+            (float(rng.lognormal(1.0, 2.0)), int(rng.integers(1, 500)))
+            for _ in range(int(rng.integers(1, 60)))
+        ]
+        assert _record(ledger).latency_percentiles() == _numpy_reference(ledger)
 
 
 class TestCounters:

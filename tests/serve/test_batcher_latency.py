@@ -1,0 +1,111 @@
+"""Per-request latency attribution in the Batcher.
+
+A request's ``latency_ms`` must measure *its own* wall-clock wait —
+submit→resolve — not the flush's batch-compute time.  Before this was
+pinned, every rider of a flush reported the same number, which hid exactly
+the queueing delay a latency SLO exists to bound: a request that sat in
+the queue for 30 ms while co-riders trickled in looked as fast as the one
+submitted a microsecond before the flush.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.models.builder import build_pointwise_ranker
+from repro.serve.batcher import Batcher
+from repro.serve.engine import InferenceEngine
+
+V, L, E, C = 300, 6, 16, 10
+
+
+def _engine(seed=0):
+    model = build_pointwise_ranker(
+        "memcom", V, C, input_length=L, embedding_dim=E,
+        num_hash_embeddings=32, rng=seed,
+    )
+    return InferenceEngine(model), model
+
+
+def _request(rng):
+    return rng.integers(0, V, size=L)
+
+
+class TestLatencyAttribution:
+    def test_latency_unset_until_flush(self):
+        engine, _ = _engine()
+        batcher = Batcher(engine)
+        pending = batcher.submit(_request(np.random.default_rng(0)))
+        assert pending.latency_ms is None
+        batcher.flush()
+        assert pending.latency_ms is not None
+        assert pending.latency_ms >= 0.0
+
+    def test_delayed_flush_charges_queueing_time_to_the_early_request(self):
+        """The regression this file exists for: two riders of one flush must
+        report different latencies when one queued measurably longer."""
+        engine, _ = _engine()
+        batcher = Batcher(engine)
+        rng = np.random.default_rng(1)
+        early = batcher.submit(_request(rng))
+        time.sleep(0.03)
+        late = batcher.submit(_request(rng))
+        batcher.flush()
+        # ``early`` waited ~30 ms longer than ``late``; allow generous
+        # scheduler slop but require the bulk of the sleep to be attributed.
+        assert early.latency_ms - late.latency_ms >= 20.0
+        assert late.latency_ms < early.latency_ms
+
+    def test_latency_covers_submit_to_resolve_wall_clock(self):
+        engine, _ = _engine()
+        batcher = Batcher(engine)
+        before = time.perf_counter()
+        pending = batcher.submit(_request(np.random.default_rng(2)))
+        time.sleep(0.01)
+        batcher.flush()
+        elapsed_ms = 1e3 * (time.perf_counter() - before)
+        assert 10.0 <= pending.latency_ms <= elapsed_ms + 1.0
+
+    def test_serve_sets_latencies_for_every_request(self):
+        engine, _ = _engine()
+        batcher = Batcher(engine, max_batch=4)
+        rng = np.random.default_rng(3)
+        requests = [_request(rng) for _ in range(11)]
+        pendings = [batcher.submit(ids) for ids in requests]
+        batcher.flush()
+        assert all(p.latency_ms is not None for p in pendings)
+        # Submission order is resolution order; earlier sub-batches resolve
+        # first, so a later request can never report *more* elapsed time
+        # from a shared resolve point than an earlier one within its batch.
+        for a, b in zip(pendings, pendings[1:]):
+            if a.done and b.done:
+                assert a.latency_ms >= 0 and b.latency_ms >= 0
+
+    def test_requeued_request_keeps_its_original_clock(self):
+        """A failed flush requeues undelivered requests with their original
+        ``submitted_at`` — recovery time counts against their latency."""
+        engine, _ = _engine()
+        batcher = Batcher(engine)
+        pending = batcher.submit(_request(np.random.default_rng(4)))
+        started_at = pending.submitted_at
+
+        real_predict = engine.predict
+        calls = {"n": 0}
+
+        def failing_predict(batch):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient engine failure")
+            return real_predict(batch)
+
+        engine.predict = failing_predict
+        with pytest.raises(RuntimeError):
+            batcher.flush()
+        assert pending.latency_ms is None  # undelivered: no latency yet
+        assert pending.submitted_at == started_at
+        time.sleep(0.02)
+        batcher.flush()
+        assert pending.done
+        # The ~20 ms the engine spent "down" is charged to the request.
+        assert pending.latency_ms >= 20.0

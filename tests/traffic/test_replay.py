@@ -1,0 +1,143 @@
+"""Replay harness: per-phase QoS, SLO assertion, and the acceptance run.
+
+The acceptance test at the bottom is the PR's headline contract: one
+million distinct users of drifting-Zipf session traffic replayed through
+``ServeSession.load(..., workers=2)`` must meet the default
+:class:`SLOSpec` and be bit-deterministic (same checksum) across two runs
+with the same seed.
+"""
+
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.artifact import save_artifact
+from repro.serve.session import ServeConfig, ServeSession
+from repro.traffic.model import TrafficModel, TrafficSpec
+from repro.traffic.replay import replay
+from repro.traffic.slo import SLOSpec, SLOViolation
+
+VOCAB, L = 2_000, 8
+
+SPEC = TrafficSpec(
+    vocab=VOCAB, input_length=L, num_users=1_000_000, num_phases=3,
+    steps_per_phase=8, head_size=96, sessions_per_step=5.0, seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    from repro.models.builder import build_pointwise_ranker
+
+    model = build_pointwise_ranker(
+        "memcom", VOCAB, 20, input_length=L, embedding_dim=16,
+        num_hash_embeddings=128, rng=0,
+    )
+    path = str(tmp_path_factory.mktemp("traffic-replay") / "m.artifact")
+    save_artifact(model, path, bits=32)
+    return path
+
+
+def _session(artifact, workers=0, cache_rows=512):
+    return ServeSession.load(
+        artifact,
+        ServeConfig(cache_rows=cache_rows or None, cache_min_count=1,
+                    max_batch=32, workers=workers),
+    )
+
+
+class TestReplayReport:
+    def test_phases_and_rollup_account_for_every_request(self, artifact):
+        model = TrafficModel(SPEC)
+        with _session(artifact) as session:
+            report = replay(session, model)
+        assert len(report.phases) == SPEC.num_phases
+        assert report.requests == sum(p.requests for p in report.phases)
+        assert report.requests > 0
+        assert report.spec == SPEC.to_dict()
+
+    def test_latency_percentiles_ordered_and_positive(self, artifact):
+        with _session(artifact) as session:
+            report = replay(session, TrafficModel(SPEC))
+        for ph in report.phases + [report.overall]:
+            if ph.requests == 0:
+                continue
+            assert 0.0 < ph.p50_ms <= ph.p95_ms <= ph.p99_ms
+            assert ph.rps > 0
+
+    def test_cached_session_reports_hit_rate_uncached_none(self, artifact):
+        with _session(artifact, cache_rows=512) as session:
+            cached = replay(session, TrafficModel(SPEC))
+        assert cached.hit_rate is not None
+        assert 0.0 < cached.hit_rate < 1.0
+        with _session(artifact, cache_rows=0) as session:
+            uncached = replay(session, TrafficModel(SPEC))
+        assert uncached.hit_rate is None
+        # Results are the same bytes either way: the cache is transparent.
+        assert cached.checksum == uncached.checksum
+
+    def test_distinct_users_accumulate_from_million_user_space(self, artifact):
+        with _session(artifact) as session:
+            report = replay(session, TrafficModel(SPEC))
+        # ~120 sessions over the run, each a fresh uniform draw from 1e6
+        # users: collisions are vanishingly rare.
+        assert report.distinct_users > 30
+        assert report.to_dict()["distinct_users"] == report.distinct_users
+
+    def test_replay_is_deterministic_across_sessions(self, artifact):
+        with _session(artifact) as session:
+            first = replay(session, TrafficModel(SPEC))
+        with _session(artifact) as session:
+            second = replay(session, TrafficModel(SPEC))
+        assert first.checksum == second.checksum
+        assert first.requests == second.requests
+
+    def test_different_traffic_seed_changes_checksum(self, artifact):
+        with _session(artifact) as session:
+            first = replay(session, TrafficModel(SPEC))
+        with _session(artifact) as session:
+            second = replay(session, TrafficModel(SPEC.with_seed(99)))
+        assert first.checksum != second.checksum
+
+
+class TestSLOWiring:
+    def test_replay_raises_on_violated_slo(self, artifact):
+        slo = SLOSpec(max_p99_ms=1e-9)  # nothing real can meet this
+        with _session(artifact) as session:
+            with pytest.raises(SLOViolation) as err:
+                replay(session, TrafficModel(SPEC), slo=slo)
+        assert "p99" in str(err.value)
+
+    def test_replay_passes_generous_slo(self, artifact):
+        with _session(artifact) as session:
+            report = replay(
+                session, TrafficModel(SPEC), slo=SLOSpec(max_p99_ms=60_000.0)
+            )
+        assert report.requests > 0
+
+
+class TestAcceptanceMillionUserWorkers:
+    """ISSUE acceptance: 1M-user drifting-Zipf traffic through a two-worker
+    session meets the default SLO and is deterministic across two runs."""
+
+    def test_workers2_meets_default_slo_and_is_deterministic(self, artifact):
+        spec = replace(SPEC, steps_per_phase=6)
+        assert spec.num_users == 1_000_000
+        checksums = []
+        for _ in range(2):
+            with _session(artifact, workers=2, cache_rows=0) as session:
+                report = replay(session, TrafficModel(spec), slo=SLOSpec())
+            checksums.append(report.checksum)
+            assert report.requests > 0
+        assert checksums[0] == checksums[1]
+
+    def test_workers_and_single_process_serve_identical_bytes(self, artifact):
+        """The runtime changes the execution plane, never the math."""
+        spec = replace(SPEC, steps_per_phase=4)
+        with _session(artifact, workers=0, cache_rows=0) as session:
+            solo = replay(session, TrafficModel(spec))
+        with _session(artifact, workers=2, cache_rows=0) as session:
+            multi = replay(session, TrafficModel(spec))
+        assert solo.checksum == multi.checksum

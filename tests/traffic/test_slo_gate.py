@@ -1,0 +1,236 @@
+"""SLOSpec objectives and the perf-trajectory gate, end to end.
+
+The gate's acceptance criterion from the issue is exercised literally: a
+copy of the *committed* ``BENCH_traffic.json`` with one scenario's p99
+doctored +20% must make ``benchmarks/gate.py`` exit nonzero, and an
+identical copy must pass.  ``compare()`` unit tests pin the individual
+rules (tolerance boundary, rps direction, missing scenarios, improvements,
+calibration normalization).
+"""
+
+import json
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.traffic.gate import DEFAULT_TOLERANCE, compare, load_report
+from repro.traffic.replay import PhaseReport, ReplayReport
+from repro.traffic.slo import SLOSpec, SLOViolation
+
+REPO = Path(__file__).resolve().parents[2]
+BENCH_JSON = REPO / "BENCH_traffic.json"
+GATE = REPO / "benchmarks" / "gate.py"
+
+
+def _phase(phase=0, p99=2.0, requests=100, hit=0.8):
+    return PhaseReport(
+        phase=phase, requests=requests, batches=10, distinct_users=50,
+        elapsed_s=0.01, p50_ms=p99 / 2, p95_ms=p99 * 0.9, p99_ms=p99,
+        rps=requests / 0.01, hit_rate=hit,
+    )
+
+
+def _report(p99=2.0, hit=0.8, num_phases=2):
+    phases = [_phase(phase=p, p99=p99, hit=hit) for p in range(num_phases)]
+    return ReplayReport(
+        phases=phases, overall=_phase(phase=-1, p99=p99, hit=hit),
+        checksum="0" * 64,
+    )
+
+
+class TestSLOSpec:
+    def test_passing_report_returns_no_violations(self):
+        assert SLOSpec(max_p99_ms=10.0).check(_report(p99=2.0)) == []
+
+    def test_overall_and_per_phase_p99_checked(self):
+        report = ReplayReport(
+            phases=[_phase(phase=0, p99=1.0), _phase(phase=1, p99=50.0)],
+            overall=_phase(phase=-1, p99=5.0), checksum="0" * 64,
+        )
+        violations = SLOSpec(max_p99_ms=10.0).check(report)
+        assert len(violations) == 1 and "phase 1" in violations[0]
+
+    def test_min_hit_rate_enforced_and_requires_a_cache(self):
+        slo = SLOSpec(min_hit_rate=0.9)
+        assert any("hit rate" in v for v in slo.check(_report(hit=0.5)))
+        assert any("no cache" in v for v in slo.check(_report(hit=None)))
+        assert slo.check(_report(hit=0.95)) == []
+
+    def test_baseline_regression_objectives(self):
+        slo = SLOSpec(max_p99_ms=None)
+        base = {"p99_ms": 2.0, "rps": 10_000.0}
+        ok = _report(p99=2.2)  # +10% p99: inside the 15% budget
+        assert slo.check(ok, baseline=base) == []
+        bad = _report(p99=2.5)  # +25% p99
+        assert any("regressed" in v for v in slo.check(bad, baseline=base))
+
+    def test_assert_ok_raises_with_every_violation(self):
+        with pytest.raises(SLOViolation) as err:
+            SLOSpec(max_p99_ms=0.001, min_hit_rate=0.99).assert_ok(
+                _report(p99=2.0, hit=0.5)
+            )
+        # overall + 2 phases over p99, plus the hit-rate line
+        assert len(err.value.violations) == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_p99_ms": 0.0}, {"min_hit_rate": 1.5}, {"max_p99_regression": -0.1}],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            replace(SLOSpec(), **kwargs).validate()
+
+
+def _doc(p99=2.0, rps=50_000.0, cal=None, key="memcom-fp32-w0"):
+    doc = {"schema": 1, "scenarios": {key: {"p99_ms": p99, "rps": rps}}}
+    if cal is not None:
+        doc["calibration_ms"] = cal
+    return doc
+
+
+class TestCompare:
+    def test_identical_docs_pass(self):
+        doc = _doc()
+        result = compare(doc, doc)
+        assert result.ok and result.rows[0][-1] == "ok"
+
+    def test_twenty_percent_p99_regression_fails(self):
+        result = compare(_doc(p99=2.4), _doc(p99=2.0))
+        assert not result.ok
+        assert any("p99 regressed" in v for v in result.violations)
+
+    def test_ten_percent_p99_regression_passes(self):
+        assert compare(_doc(p99=2.2), _doc(p99=2.0)).ok
+
+    def test_throughput_drop_fails_rise_passes(self):
+        assert not compare(_doc(rps=40_000.0), _doc(rps=50_000.0)).ok
+        assert compare(_doc(rps=80_000.0), _doc(rps=50_000.0)).ok
+
+    def test_improvements_never_fail(self):
+        assert compare(_doc(p99=0.5, rps=500_000.0), _doc()).ok
+
+    def test_missing_scenario_is_a_violation(self):
+        fresh = {"schema": 1, "scenarios": {}}
+        result = compare(fresh, _doc())
+        assert not result.ok
+        assert any("missing" in v for v in result.violations)
+
+    def test_extra_fresh_scenarios_are_ignored(self):
+        fresh = _doc()
+        fresh["scenarios"]["new-config-w0"] = {"p99_ms": 99.0, "rps": 1.0}
+        assert compare(fresh, _doc()).ok
+
+    def test_calibration_normalization_forgives_a_slower_machine(self):
+        # Fresh machine is 2x slower (calibration 2x): raw p99 doubled and
+        # rps halved, but normalized values are identical — no regression.
+        fresh = _doc(p99=4.0, rps=25_000.0, cal=1.0)
+        base = _doc(p99=2.0, rps=50_000.0, cal=0.5)
+        assert compare(fresh, base).ok
+        assert not compare(fresh, base, normalize=False).ok
+
+    def test_normalization_still_catches_real_regressions(self):
+        # Same machine speed, code actually 30% slower.
+        fresh = _doc(p99=2.6, rps=38_000.0, cal=0.5)
+        base = _doc(p99=2.0, rps=50_000.0, cal=0.5)
+        assert not compare(fresh, base).ok
+
+    def test_custom_tolerance(self):
+        assert compare(_doc(p99=2.4), _doc(p99=2.0), tolerance=0.25).ok
+        assert not compare(_doc(p99=2.2), _doc(p99=2.0), tolerance=0.05).ok
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare(_doc(), _doc(), tolerance=-0.1)
+
+    def test_smoke_run_gates_against_the_smoke_section(self):
+        # A full record embeds the grid at smoke duration; a fresh smoke
+        # run must compare against that section (short runs have a larger
+        # warm-up fraction — raw rps below a full run is not a regression).
+        baseline = _doc(p99=2.0, rps=100_000.0)
+        baseline["smoke_scenarios"] = {
+            "memcom-fp32-w0": {"p99_ms": 2.0, "rps": 70_000.0}
+        }
+        fresh = _doc(p99=2.0, rps=68_000.0)
+        fresh["smoke"] = True
+        assert compare(fresh, baseline).ok  # vs 70k smoke, not 100k full
+        fresh["smoke"] = False
+        assert not compare(fresh, baseline).ok  # full-vs-full: -32% rps
+
+    def test_smoke_run_without_smoke_section_uses_full(self):
+        fresh = _doc(p99=2.4)
+        fresh["smoke"] = True
+        assert not compare(fresh, _doc(p99=2.0)).ok
+
+    def test_load_report_rejects_non_bench_documents(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"not": "a bench"}))
+        with pytest.raises(ValueError):
+            load_report(str(path))
+        assert DEFAULT_TOLERANCE == 0.15
+
+
+def _run_gate(fresh_path, baseline_path):
+    return subprocess.run(
+        [sys.executable, str(GATE), str(fresh_path),
+         "--baseline", str(baseline_path), "--no-normalize"],
+        capture_output=True, text=True, timeout=120,
+    )
+
+
+class TestGateScript:
+    """ISSUE acceptance: benchmarks/gate.py vs the committed perf record."""
+
+    def test_committed_bench_document_exists_with_enough_scenarios(self):
+        doc = load_report(str(BENCH_JSON))
+        assert len(doc["scenarios"]) >= 6
+        assert doc["smoke"] is False
+        for entry in doc["scenarios"].values():
+            assert entry["p99_ms"] > 0 and entry["rps"] > 0
+            assert len(entry["phases"]) == doc["spec"]["num_phases"]
+        # The embedded smoke-duration section CI smoke runs gate against.
+        assert set(doc["smoke_scenarios"]) == set(doc["scenarios"])
+
+    def test_identical_copy_passes(self, tmp_path):
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(BENCH_JSON.read_text())
+        out = _run_gate(fresh, BENCH_JSON)
+        assert out.returncode == 0, out.stdout + out.stderr
+        assert "gate passed" in out.stdout
+
+    def test_doctored_twenty_percent_p99_regression_fails(self, tmp_path):
+        doc = json.loads(BENCH_JSON.read_text())
+        key = sorted(doc["scenarios"])[0]
+        doc["scenarios"][key]["p99_ms"] *= 1.20
+        fresh = tmp_path / "doctored.json"
+        fresh.write_text(json.dumps(doc))
+        out = _run_gate(fresh, BENCH_JSON)
+        assert out.returncode == 1, out.stdout + out.stderr
+        assert "p99 regressed" in out.stdout
+
+    def test_doctored_throughput_collapse_fails(self, tmp_path):
+        doc = json.loads(BENCH_JSON.read_text())
+        key = sorted(doc["scenarios"])[-1]
+        doc["scenarios"][key]["rps"] *= 0.5
+        fresh = tmp_path / "doctored.json"
+        fresh.write_text(json.dumps(doc))
+        out = _run_gate(fresh, BENCH_JSON)
+        assert out.returncode == 1
+        assert "throughput regressed" in out.stdout
+
+    def test_dropped_scenario_fails(self, tmp_path):
+        doc = json.loads(BENCH_JSON.read_text())
+        del doc["scenarios"][sorted(doc["scenarios"])[0]]
+        fresh = tmp_path / "shrunk.json"
+        fresh.write_text(json.dumps(doc))
+        out = _run_gate(fresh, BENCH_JSON)
+        assert out.returncode == 1
+        assert "missing" in out.stdout
+
+    def test_unreadable_documents_exit_2(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        out = _run_gate(missing, BENCH_JSON)
+        assert out.returncode == 2
+        assert "error" in out.stderr
