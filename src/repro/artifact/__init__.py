@@ -14,8 +14,12 @@ from repro.artifact.container import (
     FORMAT_VERSION,
     READABLE_VERSIONS,
     ModelArtifact,
+    PendingArtifact,
+    collect_artifact,
     load_artifact,
+    read_manifest,
     save_artifact,
+    save_delta,
 )
 from repro.artifact.errors import (
     ArtifactError,
@@ -40,11 +44,15 @@ __all__ = [
     "FORMAT_VERSION",
     "READABLE_VERSIONS",
     "ModelArtifact",
+    "PendingArtifact",
     "TowerPlan",
     "build_embedding_from_spec",
     "build_tower",
+    "collect_artifact",
     "embedding_spec",
     "load_artifact",
+    "read_manifest",
     "save_artifact",
+    "save_delta",
     "tower_plan_of",
 ]

@@ -21,8 +21,33 @@ is deliberately boring:
   ``np.frombuffer`` on load — so an int8 table costs one byte per code on
   disk, which is what makes the int8 artifact ≤ 0.35× its FP32 sibling.
 
-Every load verifies the per-payload sha256 before any array is handed to
-the serving stack; failures raise the typed errors of
+Format v3 adds three storage-plane features on top of the v2 layout
+(which remains readable, as does v1):
+
+* **Payload aliasing** — payloads are content-addressed at write time:
+  two entries whose bytes hash identically share one member file, and the
+  duplicate's index entry records ``"alias": <canonical name>``.  A v2
+  checkpoint stored the FP32 table up to three times (``embedding/*``,
+  ``checkpoint/model/*``, ``checkpoint/best/*``); a v3 checkpoint stores
+  it once.
+* **mmap loading** — ``load_artifact(path, mmap=True)`` (directory
+  containers only) exposes each payload as a read-only ``np.memmap``, so
+  opening a multi-GB table costs milliseconds and rows page in on demand
+  through the normal gather kernels.  mmap loads verify member *sizes*
+  but skip the sha256 pass — hashing would read every byte, which is
+  exactly the cost mmap exists to avoid; use the default eager load when
+  end-to-end byte verification matters more than start latency.
+* **Delta artifacts** — :func:`save_delta` stores only what changed since
+  a parent artifact: unchanged payloads become ``"source": "parent"``
+  references, row-sparse changes become ``"source": "rows"`` patches
+  (changed row indices + replacement rows), and the manifest's ``delta``
+  section chains to the parent by path and manifest hash.  ``load``
+  resolves the chain transparently to a full view, re-verifying every
+  reconstructed payload against its recorded full-content sha256 — a
+  corrupted or broken chain raises :class:`ArtifactIntegrityError`.
+
+Every eager load verifies the per-payload sha256 before any array is
+handed to the serving stack; failures raise the typed errors of
 :mod:`repro.artifact.errors` so callers can distinguish damage from
 version skew from producer bugs.
 
@@ -68,26 +93,45 @@ __all__ = [
     "FORMAT_VERSION",
     "READABLE_VERSIONS",
     "ModelArtifact",
+    "PendingArtifact",
+    "collect_artifact",
     "load_artifact",
+    "read_manifest",
     "save_artifact",
+    "save_delta",
 ]
 
 FORMAT_MAGIC = "repro.model-artifact"
-#: Written by this runtime.  v2 = v1 plus an optional ``checkpoint``
-#: manifest section carrying resumable-training payloads; a v2 artifact
-#: without a checkpoint is structurally a v1 artifact with a newer stamp.
-FORMAT_VERSION = 2
-#: Versions this runtime can open.  v1 containers (PR 4) stay loadable —
-#: they simply never carry a checkpoint.
-READABLE_VERSIONS = (1, 2)
+#: Written by this runtime.  v3 = v2 plus content-addressed payload
+#: aliasing, an optional ``delta`` provenance section, and mmap-friendly
+#: guarantees (payload members are raw C-order bytes at offset 0 — which
+#: they always were; v3 merely promises it).
+FORMAT_VERSION = 3
+#: Versions this runtime can open.  v1 containers (PR 4) never carry a
+#: checkpoint; v2 (PR 8) adds the checkpoint section; both predate
+#: aliasing/deltas, so their entries read through the same generic path.
+READABLE_VERSIONS = (1, 2, 3)
 
 _MANIFEST = "manifest.json"
 _PAYLOAD_DIR = "payloads"
 _CHECKPOINT_PREFIX = "checkpoint/"
+_DELTA_PREFIX = "delta/"
+#: defensive bound on provenance-chain walks (a cycle cannot actually be
+#: constructed — each link records its parent's manifest hash — but a
+#: hand-edited manifest should fail loudly, not recurse forever)
+_MAX_DELTA_DEPTH = 64
+#: a row patch bigger than this fraction of the table stops being a saving
+#: (indices + values + bookkeeping) — store the payload outright instead
+_DELTA_ROW_FRACTION = 0.5
 
 
-def _sha256(data: bytes) -> str:
+def _sha256(data) -> str:
     return hashlib.sha256(data).hexdigest()
+
+
+def _sha256_array(arr: np.ndarray) -> str:
+    """Content hash without the ``tobytes()`` copy (arrays are C-order)."""
+    return hashlib.sha256(np.ascontiguousarray(arr).data).hexdigest()
 
 
 def _payload_file(name: str) -> str:
@@ -164,7 +208,8 @@ def _swap_into_place(tmp: str, path: str) -> None:
         shutil.rmtree(old, ignore_errors=True)
 
 
-def _write_container(path: str, manifest: dict, store: _Store) -> int:
+def _write_container(path: str, manifest: dict, store: _Store,
+                     finalize_index=None) -> int:
     """Write dir (default) or zip (``*.zip`` path); returns manifest bytes.
 
     Each tensor is serialized exactly once — hashed and written from the
@@ -172,24 +217,54 @@ def _write_container(path: str, manifest: dict, store: _Store) -> int:
     materialize twice) — and the payload index lands in ``manifest``
     before the manifest itself is written last.
 
+    Payloads are content-addressed as they stream through: a tensor whose
+    bytes hash identically to one already written gets an index entry
+    pointing at the existing member plus an ``"alias"`` marker, and its
+    bytes are never written again.  That is the whole v3 dedup story —
+    readers need no special casing beyond honoring ``"file"``.
+
+    ``finalize_index`` (delta writer hook) may rewrite the payload index
+    after all members are on disk but before the manifest is serialized.
+
     The write is *atomic at the artifact level*: everything lands in a
     ``<path>.incoming.<pid>`` sibling first (fsynced), which is only then
     swapped into place.  A crash mid-save — including SIGKILL — leaves
     either the previous artifact intact or no artifact, never a truncated
     container at ``path``; the stale temp is cleaned up by the next save.
     """
-    def entry(arr: np.ndarray, data: bytes) -> dict:
-        return {
+    index: dict[str, dict] = {}
+    by_digest: dict[str, tuple[str, str]] = {}  # sha256 -> (member, canonical name)
+
+    def plan(name: str, arr: np.ndarray, data: bytes) -> str | None:
+        """Index one payload; returns the member to write, or None if its
+        bytes already live in the container (aliased) or are pure zeros
+        (elided — the content is fully determined by dtype + shape)."""
+        entry = {
             "dtype": arr.dtype.str,
             "shape": list(arr.shape),
             "nbytes": len(data),
             "sha256": _sha256(data),
         }
-
-    index: dict[str, dict] = {}
+        if not arr.any():
+            # The degenerate case of content addressing: an all-zero
+            # payload (untouched optimizer slots, zero-init biases) needs
+            # no member file at all — readers reconstruct it from the
+            # entry.  Checkpoints with plain-SGD velocity shed a full
+            # table-size blob here.
+            index[name] = {"zeros": True, **entry}
+            return None
+        hit = by_digest.get(entry["sha256"])
+        if hit is not None:
+            member, canonical = hit
+            index[name] = {"file": member, "alias": canonical, **entry}
+            return None
+        member = _payload_file(name)
+        by_digest[entry["sha256"]] = (member, name)
+        index[name] = {"file": member, **entry}
+        return member
 
     def manifest_bytes() -> bytes:
-        manifest["payloads"] = index
+        manifest["payloads"] = finalize_index(index) if finalize_index else index
         # Compact separators: the manifest rides along with every shipped
         # model, so its bytes count against the same budget the payloads do.
         return json.dumps(manifest, sort_keys=True, separators=(",", ":")).encode()
@@ -206,8 +281,9 @@ def _write_container(path: str, manifest: dict, store: _Store) -> int:
                 with zipfile.ZipFile(raw_fh, "w", zipfile.ZIP_STORED) as zf:
                     for name, arr in store.arrays.items():
                         data = arr.tobytes()
-                        index[name] = {"file": _payload_file(name), **entry(arr, data)}
-                        zf.writestr(_payload_file(name), data)
+                        member = plan(name, arr, data)
+                        if member is not None:
+                            zf.writestr(member, data)
                     raw = manifest_bytes()
                     zf.writestr(_MANIFEST, raw)
                 raw_fh.flush()
@@ -216,8 +292,9 @@ def _write_container(path: str, manifest: dict, store: _Store) -> int:
             os.makedirs(os.path.join(tmp, _PAYLOAD_DIR), exist_ok=True)
             for name, arr in store.arrays.items():
                 data = arr.tobytes()
-                index[name] = {"file": _payload_file(name), **entry(arr, data)}
-                _fsync_write(os.path.join(tmp, _payload_file(name)), data)
+                member = plan(name, arr, data)
+                if member is not None:
+                    _fsync_write(os.path.join(tmp, member), data)
             raw = manifest_bytes()
             _fsync_write(os.path.join(tmp, _MANIFEST), raw)
         _swap_into_place(tmp, path)
@@ -256,6 +333,10 @@ class _Reader:
             raise ArtifactFormatError(
                 f"{path!r} is neither an artifact directory nor a zip container"
             ) from None
+
+    @property
+    def is_dir(self) -> bool:
+        return self._zip is None
 
     @staticmethod
     def _sniff_zip(path: str) -> bool:
@@ -311,6 +392,262 @@ def _check_manifest(raw: bytes, path: str) -> dict:
     return manifest
 
 
+def _read_raw_manifest(path: str) -> bytes:
+    reader = _Reader(path)
+    try:
+        try:
+            return reader.read(_MANIFEST)
+        except ArtifactIntegrityError:
+            raise ArtifactFormatError(f"{path!r} has no {_MANIFEST}") from None
+    finally:
+        reader.close()
+
+
+def read_manifest(path: str) -> tuple[dict, int]:
+    """Open ``path``'s manifest *only* — no payload bytes are read.
+
+    Returns ``(manifest, manifest_nbytes)``.  This is what ``repro
+    artifact inspect``, checkpoint rotation, and delta provenance walks
+    use: structure and hashes without paying for the tensors.
+    """
+    raw = _read_raw_manifest(path)
+    return _check_manifest(raw, path), len(raw)
+
+
+class _PayloadLoader:
+    """Turn payload index entries into arrays — eagerly or memory-mapped.
+
+    Eager: each member is read once, hashed once, and every entry sharing
+    it (aliases) is verified against that hash; arrays are writable copies
+    (serving scratch paths may write).  mmap: each distinct ``(member,
+    dtype, shape)`` becomes one read-only ``np.memmap`` shared by all its
+    aliases; sizes are stat-checked, hashing is skipped by design.
+    """
+
+    def __init__(self, reader: _Reader, path: str, mmap: bool) -> None:
+        self.reader = reader
+        self.path = path
+        self.mmap = mmap
+        self._raw: dict[str, tuple[bytes, str]] = {}
+        self._maps: dict[tuple, np.ndarray] = {}
+
+    @staticmethod
+    def parse(name: str, meta: dict) -> tuple[str, int, str, np.dtype, tuple]:
+        try:
+            member = meta["file"]
+            nbytes = int(meta["nbytes"])
+            digest = meta["sha256"]
+            dtype = np.dtype(meta["dtype"])
+            shape = tuple(int(s) for s in meta["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactFormatError(
+                f"malformed payload index entry for {name!r}: {exc!r}"
+            ) from exc
+        return member, nbytes, digest, dtype, shape
+
+    def load(self, name: str, meta: dict) -> np.ndarray:
+        if meta.get("zeros"):
+            # Elided all-zero payload: no member file exists; the entry's
+            # dtype + shape fully determine the content.
+            try:
+                dtype = np.dtype(meta["dtype"])
+                shape = tuple(int(s) for s in meta["shape"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ArtifactFormatError(
+                    f"malformed payload index entry for {name!r}: {exc!r}"
+                ) from exc
+            return np.zeros(shape, dtype=dtype)
+        member, nbytes, digest, dtype, shape = self.parse(name, meta)
+        if self.mmap:
+            return self._load_mmap(name, member, nbytes, dtype, shape)
+        data, found = self._member_bytes(member)
+        if len(data) != nbytes:
+            raise ArtifactIntegrityError(
+                f"payload {name!r}: {len(data)} bytes on disk, manifest "
+                f"says {nbytes}"
+            )
+        if found != digest:
+            raise ArtifactIntegrityError(
+                f"payload {name!r} content hash mismatch — artifact is corrupted"
+            )
+        try:
+            arr = np.frombuffer(data, dtype=dtype).reshape(shape)
+        except (TypeError, ValueError) as exc:
+            raise ArtifactFormatError(
+                f"payload {name!r} has inconsistent dtype/shape metadata: {exc}"
+            ) from exc
+        # frombuffer views are read-only; serving scratch paths may write.
+        return arr.copy()
+
+    def _member_bytes(self, member: str) -> tuple[bytes, str]:
+        hit = self._raw.get(member)
+        if hit is None:
+            data = self.reader.read(member)
+            hit = self._raw[member] = (data, _sha256(data))
+        return hit
+
+    def _load_mmap(self, name: str, member: str, nbytes: int,
+                   dtype: np.dtype, shape: tuple) -> np.ndarray:
+        key = (member, dtype.str, shape)
+        hit = self._maps.get(key)
+        if hit is not None:
+            return hit
+        if int(np.prod(shape, dtype=np.int64)) * dtype.itemsize != nbytes:
+            raise ArtifactFormatError(
+                f"payload {name!r} has inconsistent dtype/shape metadata: "
+                f"{shape} × {dtype} != {nbytes} bytes"
+            )
+        full = os.path.join(self.path, member)
+        try:
+            size = os.path.getsize(full)
+        except OSError:
+            raise ArtifactIntegrityError(
+                f"artifact member {member!r} missing from {self.path!r}"
+            ) from None
+        if size != nbytes:
+            raise ArtifactIntegrityError(
+                f"payload {name!r}: {size} bytes on disk, manifest says {nbytes}"
+            )
+        if nbytes == 0:
+            arr: np.ndarray = np.zeros(shape, dtype=dtype)
+        else:
+            try:
+                arr = np.memmap(full, dtype=dtype, mode="r", shape=shape, order="C")
+            except (OSError, ValueError) as exc:
+                raise ArtifactIntegrityError(
+                    f"cannot map payload {name!r} from {member!r}: {exc}"
+                ) from exc
+        self._maps[key] = arr
+        return arr
+
+
+# -- delta resolution --------------------------------------------------------------
+
+
+def _resolve_parent_path(ref: str, delta_path: str) -> str | None:
+    """Where a delta's parent lives: as recorded, else beside the delta.
+
+    The beside-the-delta fallback is what makes a directory of chained
+    artifacts relocatable as a unit — ship the folder, the chain holds.
+    Resolution can never adopt a wrong parent: whatever path wins must
+    still match the recorded manifest hash.
+    """
+    beside = os.path.dirname(os.path.abspath(delta_path))
+    candidates = [ref]
+    if os.path.isabs(ref):
+        candidates.append(os.path.join(beside, os.path.basename(ref.rstrip("/\\"))))
+    else:
+        candidates.append(os.path.join(beside, ref))
+    for cand in candidates:
+        if os.path.exists(cand):
+            return cand
+    return None
+
+
+def _load_delta_parent(delta: dict, path: str, mmap: bool, depth: int) -> "ModelArtifact":
+    if depth + 1 > _MAX_DELTA_DEPTH:
+        raise ArtifactFormatError(
+            f"delta chain from {path!r} exceeds depth {_MAX_DELTA_DEPTH} "
+            "(cyclic or hand-damaged provenance)"
+        )
+    try:
+        ref = delta["parent"]
+        recorded = delta["parent_manifest_sha256"]
+    except (KeyError, TypeError) as exc:
+        raise ArtifactFormatError(f"malformed delta section in {path!r}: {exc!r}") from exc
+    parent_path = _resolve_parent_path(ref, path)
+    if parent_path is None:
+        raise ArtifactIntegrityError(
+            f"delta parent {ref!r} not found (as recorded, or beside {path!r}) "
+            "— the chain is broken"
+        )
+    try:
+        raw = _read_raw_manifest(parent_path)
+    except ArtifactError as exc:
+        raise ArtifactIntegrityError(
+            f"delta parent at {parent_path!r} is unreadable: {exc}"
+        ) from exc
+    if _sha256(raw) != recorded:
+        raise ArtifactIntegrityError(
+            f"delta parent manifest at {parent_path!r} does not match the "
+            "recorded provenance hash — the chain is broken"
+        )
+    # A zip parent cannot mmap; its arrays load eagerly and are shared by
+    # reference into the child's view, which is still zero extra copies.
+    return load_artifact(parent_path, mmap=mmap and os.path.isdir(parent_path),
+                         _depth=depth + 1)
+
+
+def _require_parent(parent: "ModelArtifact | None", name: str, path: str) -> "ModelArtifact":
+    if parent is None:
+        raise ArtifactFormatError(
+            f"payload {name!r} is parent-sourced but {path!r} has no delta section"
+        )
+    return parent
+
+
+def _from_parent(parent: "ModelArtifact | None", name: str, meta: dict,
+                 path: str) -> np.ndarray:
+    parent = _require_parent(parent, name, path)
+    parent_meta = parent.manifest["payloads"].get(name)
+    if parent_meta is None:
+        raise ArtifactIntegrityError(
+            f"delta payload {name!r} is parent-sourced but the parent at "
+            f"{parent.path!r} has no such payload — the chain is broken"
+        )
+    if parent_meta.get("sha256") != meta.get("sha256"):
+        raise ArtifactIntegrityError(
+            f"delta payload {name!r}: parent content does not match the "
+            "recorded sha256 — the chain is broken"
+        )
+    return parent.array(name)
+
+
+def _patch_rows(parent: "ModelArtifact | None", name: str, meta: dict,
+                loader: _PayloadLoader, path: str) -> np.ndarray:
+    parent = _require_parent(parent, name, path)
+    try:
+        rows_meta, values_meta = meta["rows"], meta["values"]
+        digest = meta["sha256"]
+        dtype = np.dtype(meta["dtype"])
+        shape = tuple(int(s) for s in meta["shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactFormatError(
+            f"malformed row-patch entry for {name!r}: {exc!r}"
+        ) from exc
+    rows = loader.load(f"{name}(rows)", rows_meta)
+    values = loader.load(f"{name}(values)", values_meta)
+    try:
+        base = parent.array(name)
+    except ArtifactFormatError:
+        raise ArtifactIntegrityError(
+            f"row-patched payload {name!r} missing from the delta parent at "
+            f"{parent.path!r} — the chain is broken"
+        ) from None
+    if tuple(base.shape) != shape or base.dtype != dtype:
+        raise ArtifactIntegrityError(
+            f"row-patched payload {name!r}: parent is {base.shape}/{base.dtype}, "
+            f"manifest expects {shape}/{dtype} — the chain is broken"
+        )
+    if rows.ndim != 1 or values.shape != (rows.size,) + shape[1:]:
+        raise ArtifactFormatError(
+            f"row patch for {name!r} is malformed: {rows.shape} indices vs "
+            f"{values.shape} replacement rows"
+        )
+    if rows.size and (int(rows.min()) < 0 or int(rows.max()) >= shape[0]):
+        raise ArtifactIntegrityError(
+            f"row patch for {name!r} addresses rows outside [0, {shape[0]})"
+        )
+    out = np.array(base, dtype=dtype, copy=True)  # materialize (parent may be mmap)
+    out[np.asarray(rows, dtype=np.int64)] = values
+    if _sha256_array(out) != digest:
+        raise ArtifactIntegrityError(
+            f"row-patched payload {name!r} does not reconstruct to the "
+            "manifest's sha256 — the delta chain is corrupted"
+        )
+    return out
+
+
 # -- the artifact object ----------------------------------------------------------
 
 
@@ -321,15 +658,21 @@ class ModelArtifact:
     by :meth:`repro.serve.ServeSession.load`.  The arrays here are the
     *storage* forms — FP32 state tensors, or int8/int4 codes plus scales —
     and :meth:`serving_embedding` / :meth:`tower_plan` reconstitute the
-    serving-side objects from them.
+    serving-side objects from them.  A delta artifact's arrays are already
+    chain-resolved: they are the full target state.
     """
 
     def __init__(self, manifest: dict, arrays: dict[str, np.ndarray], path: str,
-                 manifest_nbytes: int) -> None:
+                 manifest_nbytes: int, *, mmap_backed: bool = False,
+                 delta_chain: tuple[str, ...] = ()) -> None:
         self.manifest = manifest
         self.path = path
         self._arrays = arrays
         self._manifest_nbytes = int(manifest_nbytes)
+        #: arrays are read-only np.memmaps over the container (v3 dir loads)
+        self.mmap_backed = bool(mmap_backed)
+        #: resolved parent paths, root first; empty for a full artifact
+        self.delta_chain = tuple(delta_chain)
 
     # -- metadata ---------------------------------------------------------------
 
@@ -351,8 +694,13 @@ class ModelArtifact:
 
     @property
     def has_checkpoint(self) -> bool:
-        """Whether this container carries resumable-training state (v2)."""
+        """Whether this container carries resumable-training state (v2+)."""
         return "checkpoint" in self.manifest
+
+    @property
+    def is_delta(self) -> bool:
+        """Whether this container stores changes against a parent artifact."""
+        return "delta" in self.manifest
 
     def checkpoint_meta(self) -> dict:
         """The checkpoint's JSON metadata (epoch, RNG states, history, …)."""
@@ -378,12 +726,29 @@ class ModelArtifact:
         return {name: self.array(_CHECKPOINT_PREFIX + name) for name in names}
 
     def payload_bytes(self) -> int:
-        """Raw tensor bytes (what dominates the shipped size)."""
+        """*Logical* tensor bytes — what the payloads decompress to.  With
+        aliasing/deltas the on-disk container can be much smaller; see
+        :meth:`stored_bytes`."""
         return int(sum(p["nbytes"] for p in self.manifest["payloads"].values()))
 
     def total_bytes(self) -> int:
-        """Shipped container size: payloads plus the manifest itself."""
+        """Logical container size: payloads plus the manifest itself."""
         return self.payload_bytes() + self._manifest_nbytes
+
+    def stored_bytes(self) -> int:
+        """Bytes this container actually occupies on disk.
+
+        For an alias-free full artifact this equals :meth:`total_bytes`
+        (modulo filesystem rounding); aliasing collapses duplicate payloads
+        and a delta stores only patches, so the ratio
+        ``stored_bytes / total_bytes`` is the dedup/delta win.
+        """
+        if os.path.isdir(self.path):
+            total = 0
+            for root, _dirs, files in os.walk(self.path):
+                total += sum(os.path.getsize(os.path.join(root, f)) for f in files)
+            return total
+        return os.path.getsize(self.path)
 
     def array(self, name: str) -> np.ndarray:
         try:
@@ -400,11 +765,18 @@ class ModelArtifact:
         return TowerPlan(tower["kind"], int(tower["pool"]), meta=meta, arrays=arrays)
 
     def _module_from_state(self, spec: dict, prefix: str):
-        emb = build_embedding_from_spec(spec)
+        # lazy=True: every parameter is replaced by the state load two lines
+        # down, so random-filling a vocab-size table first is pure waste —
+        # and would materialize the very pages an mmap load avoids touching.
+        emb = build_embedding_from_spec(spec, lazy=True)
         state_keys = self.manifest["embedding"]["state"]
         state = {key: self.array(f"{prefix}{key}") for key in state_keys}
         try:
-            emb.load_state_dict(state)
+            # mmap arrays are adopted without copying (copy=False) — the
+            # zero-copy chain artifact → module → engine; eager arrays are
+            # already this artifact's own copies but stay owned by it, so
+            # they are copied into the module as before.
+            emb.load_state_dict(state, copy=not self.mmap_backed)
         except (KeyError, ValueError) as exc:
             raise ArtifactFormatError(
                 f"embedding state does not fit spec {spec.get('class')!r}: {exc}"
@@ -451,11 +823,16 @@ class ModelArtifact:
     def describe(self) -> str:
         """One-paragraph human summary (the CLI's post-export report)."""
         kind = f"int{self.bits}" if self.bits != 32 else "fp32"
+        extra = ""
+        if self.is_delta:
+            extra = f", delta of {self.delta_chain[-1] if self.delta_chain else '?'}"
+        if self.mmap_backed:
+            extra += ", mmap"
         return (
             f"ModelArtifact[{self.architecture}/{self.technique} {kind}] "
             f"v{self.manifest['format_version']} at {self.path}: "
             f"{len(self.manifest['payloads'])} payloads, "
-            f"{self.total_bytes():,} bytes"
+            f"{self.total_bytes():,} bytes{extra}"
         )
 
     def __repr__(self) -> str:
@@ -465,29 +842,37 @@ class ModelArtifact:
 # -- save / load ------------------------------------------------------------------
 
 
-def save_artifact(
+class PendingArtifact:
+    """A collected-but-unwritten artifact: manifest skeleton + snapshots.
+
+    :func:`collect_artifact` does all the model reads synchronously —
+    state dicts, tower snapshots, quantization — so :meth:`write` touches
+    only these frozen arrays.  That split is what makes async
+    checkpointing safe: training may mutate the model while the write
+    thread serializes the snapshot.
+    """
+
+    def __init__(self, manifest: dict, store: _Store) -> None:
+        self.manifest = manifest
+        self._store = store
+
+    def write(self, path: str) -> ModelArtifact:
+        manifest = dict(self.manifest)  # the writer adds "payloads"
+        manifest_nbytes = _write_container(path, manifest, self._store)
+        return ModelArtifact(manifest, dict(self._store.arrays), path, manifest_nbytes)
+
+
+def collect_artifact(
     model,
-    path: str,
     bits: int = 32,
     percentile: float | None = None,
     checkpoint: tuple[dict, dict] | None = None,
-) -> ModelArtifact:
-    """Export ``model`` as a serving artifact at ``path`` (dir, or ``*.zip``).
+) -> PendingArtifact:
+    """Snapshot ``model`` into a :class:`PendingArtifact` (no disk I/O).
 
-    ``bits=32`` stores the FP32 embedding state plus its rebuild spec;
-    ``bits ∈ {8, 4}`` calibrates through :func:`repro.quant.quantize_embedding`
-    (optionally percentile-clipped) and stores the integer codes + scales.
-    The tower is stored FP32 in all cases — the paper's on-device setting
-    quantizes storage, not arithmetic.
-
-    ``checkpoint`` — a ``(meta, arrays)`` pair as produced by
-    :func:`repro.train.checkpoint.capture_state` — additionally embeds the
-    resumable-training state (format v2).  Checkpoint tensors ride the same
-    sha256-verified payload index as the serving tensors, so a truncated or
-    flipped checkpoint byte raises :class:`ArtifactIntegrityError` on load.
-    A checkpointed artifact is still a complete serving artifact:
-    ``ServeSession.load`` simply ignores the extra section.  Checkpoints
-    require ``bits=32`` — training state is FP32 by definition.
+    This is the read-the-model half of :func:`save_artifact`; see there
+    for the contract.  Callers that must not block on disk (async
+    checkpoints) collect here and ``write`` elsewhere.
     """
     if bits not in (32, 8, 4):
         raise ValueError(f"artifact bits must be 32, 8 or 4, got {bits}")
@@ -563,62 +948,234 @@ def save_artifact(
         for name, arr in ckpt_arrays.items():
             store.add(_CHECKPOINT_PREFIX + name, np.asarray(arr))
         manifest["checkpoint"] = {"meta": ckpt_meta, "arrays": sorted(ckpt_arrays)}
-    manifest_nbytes = _write_container(path, manifest, store)
-    return ModelArtifact(manifest, dict(store.arrays), path, manifest_nbytes)
+    return PendingArtifact(manifest, store)
 
 
-def load_artifact(path: str) -> ModelArtifact:
+def save_artifact(
+    model,
+    path: str,
+    bits: int = 32,
+    percentile: float | None = None,
+    checkpoint: tuple[dict, dict] | None = None,
+) -> ModelArtifact:
+    """Export ``model`` as a serving artifact at ``path`` (dir, or ``*.zip``).
+
+    ``bits=32`` stores the FP32 embedding state plus its rebuild spec;
+    ``bits ∈ {8, 4}`` calibrates through :func:`repro.quant.quantize_embedding`
+    (optionally percentile-clipped) and stores the integer codes + scales.
+    The tower is stored FP32 in all cases — the paper's on-device setting
+    quantizes storage, not arithmetic.
+
+    ``checkpoint`` — a ``(meta, arrays)`` pair as produced by
+    :func:`repro.train.checkpoint.capture_state` — additionally embeds the
+    resumable-training state (format v2+).  Checkpoint tensors ride the same
+    sha256-verified payload index as the serving tensors, so a truncated or
+    flipped checkpoint byte raises :class:`ArtifactIntegrityError` on load.
+    A checkpointed artifact is still a complete serving artifact:
+    ``ServeSession.load`` simply ignores the extra section.  Checkpoints
+    require ``bits=32`` — training state is FP32 by definition.  Under v3
+    aliasing the checkpoint's duplicate table bytes (serving copy, model
+    copy, best copy) are stored exactly once.
+    """
+    return collect_artifact(model, bits=bits, percentile=percentile,
+                            checkpoint=checkpoint).write(path)
+
+
+def save_delta(
+    model,
+    path: str,
+    parent: str,
+    touched_rows=None,
+    *,
+    bits: int = 32,
+    percentile: float | None = None,
+    checkpoint: tuple[dict, dict] | None = None,
+) -> ModelArtifact:
+    """Export ``model`` as a **delta artifact** against ``parent``.
+
+    The container stores only what changed since the parent export:
+    payloads whose bytes are identical become parent references, 2-D+
+    payloads with sparse row changes become row patches (changed indices +
+    replacement rows), and anything else — new, reshaped, or mostly
+    rewritten — is stored outright.  The manifest is the *complete*
+    manifest of the target state (full shapes and full-content sha256 per
+    payload) plus a ``delta`` provenance section naming the parent and the
+    sha256 of its manifest; :func:`load_artifact` resolves the chain
+    transparently and re-verifies every reconstructed payload, so a
+    corrupted or missing link raises :class:`ArtifactIntegrityError`.
+
+    ``touched_rows`` (optional row indices) is a producer-side assertion:
+    if any payload's rows changed *outside* this set, the save fails with
+    ``ValueError`` — the online trainer's claim about what it touched is
+    checked against the actual diff, never trusted.
+
+    The parent must share the model contract (architecture, input length,
+    storage width).  ``parent`` is recorded as given; on load it is
+    resolved as recorded or beside the delta, so a directory of chained
+    artifacts can be shipped as a unit.
+    """
+    pending = collect_artifact(model, bits=bits, percentile=percentile,
+                               checkpoint=checkpoint)
+    manifest = pending.manifest
+    parent_art = load_artifact(parent, mmap=os.path.isdir(parent))
+    if (
+        parent_art.manifest["model"] != manifest["model"]
+        or parent_art.technique != manifest["embedding"]["technique"]
+        or parent_art.bits != int(bits)
+    ):
+        raise ValueError(
+            f"delta parent at {parent!r} does not share the model contract "
+            f"({parent_art.architecture}/{parent_art.technique}/int{parent_art.bits} "
+            f"vs {manifest['model']['architecture']}/"
+            f"{manifest['embedding']['technique']}/int{bits})"
+        )
+    parent_index = parent_art.manifest["payloads"]
+    parent_depth = int(parent_art.manifest.get("delta", {}).get("depth", 0))
+    touched = (
+        None if touched_rows is None
+        else np.unique(np.asarray(touched_rows, dtype=np.int64))
+    )
+
+    delta_store = _Store()
+    sources: dict[str, str] = {}
+    targets: dict[str, dict] = {}
+    from_parent = patched = 0
+    for name, arr in pending._store.arrays.items():
+        digest = _sha256_array(arr)
+        targets[name] = {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "nbytes": int(arr.nbytes),
+            "sha256": digest,
+        }
+        pmeta = parent_index.get(name)
+        if pmeta is not None and pmeta.get("sha256") == digest:
+            sources[name] = "parent"
+            from_parent += 1
+            continue
+        row_patchable = (
+            pmeta is not None
+            and arr.ndim >= 2
+            and pmeta.get("dtype") == arr.dtype.str
+            and [int(s) for s in pmeta.get("shape", [])] == list(arr.shape)
+        )
+        if row_patchable:
+            base = parent_art.array(name)
+            changed = np.flatnonzero(
+                (arr != base).any(axis=tuple(range(1, arr.ndim)))
+            ).astype(np.int64)
+            if touched is not None:
+                stray = np.setdiff1d(changed, touched)
+                if stray.size:
+                    raise ValueError(
+                        f"payload {name!r}: rows {stray[:8].tolist()}"
+                        f"{'…' if stray.size > 8 else ''} changed since the "
+                        "parent but are not in touched_rows"
+                    )
+            if changed.size and changed.size <= _DELTA_ROW_FRACTION * arr.shape[0]:
+                delta_store.add(f"{_DELTA_PREFIX}{name}.rows", changed)
+                delta_store.add(f"{_DELTA_PREFIX}{name}.values", arr[changed])
+                sources[name] = "rows"
+                patched += 1
+                continue
+        delta_store.add(name, arr)
+        sources[name] = "self"
+
+    parent_path = _resolve_parent_path(parent, path) or parent
+    manifest["delta"] = {
+        "parent": parent,
+        "parent_manifest_sha256": _sha256(_read_raw_manifest(parent_path)),
+        "depth": parent_depth + 1,
+        "payloads_from_parent": from_parent,
+        "payloads_patched": patched,
+    }
+
+    def finalize(index: dict) -> dict:
+        out = {}
+        for name, src in sources.items():
+            if src == "self":
+                out[name] = index[name]
+            elif src == "parent":
+                out[name] = {"source": "parent", **targets[name]}
+            else:
+                out[name] = {
+                    "source": "rows",
+                    **targets[name],
+                    "rows": index[f"{_DELTA_PREFIX}{name}.rows"],
+                    "values": index[f"{_DELTA_PREFIX}{name}.values"],
+                }
+        return out
+
+    manifest_nbytes = _write_container(path, manifest, delta_store,
+                                       finalize_index=finalize)
+    # The returned artifact is the *resolved* view: full target arrays,
+    # exactly what load_artifact(path) reconstructs.
+    return ModelArtifact(
+        manifest, dict(pending._store.arrays), path, manifest_nbytes,
+        delta_chain=parent_art.delta_chain + (parent_art.path,),
+    )
+
+
+def load_artifact(path: str, mmap: bool = False, *, _depth: int = 0) -> ModelArtifact:
     """Open, validate and integrity-check an artifact written by
-    :func:`save_artifact`.
+    :func:`save_artifact` / :func:`save_delta`.
+
+    ``mmap=True`` (directory containers only) maps payloads as read-only
+    ``np.memmap`` arrays instead of reading them: load time and resident
+    memory become O(manifest), and table rows page in on demand.  Member
+    sizes are still checked; the per-payload sha256 pass is skipped (it
+    would read every byte).  Delta chains resolve transparently in either
+    mode — parent-sourced payloads are shared from the parent's view,
+    row-patched payloads are materialized and re-verified against their
+    recorded full-content hash.
 
     Raises :class:`ArtifactFormatError` for malformed containers,
     :class:`ArtifactVersionError` for unreadable format versions, and
     :class:`ArtifactIntegrityError` when any payload's bytes disagree with
-    the manifest's sha256 (or are missing).
+    the manifest's sha256 (or are missing), or when a delta chain is
+    broken — missing/substituted parent, damaged patch, bad reconstruction.
     """
     reader = _Reader(path)
     try:
-        raw_manifest = reader.read(_MANIFEST)
-    except ArtifactIntegrityError:
-        reader.close()
-        raise ArtifactFormatError(f"{path!r} has no {_MANIFEST}") from None
-    try:
+        try:
+            raw_manifest = reader.read(_MANIFEST)
+        except ArtifactIntegrityError:
+            raise ArtifactFormatError(f"{path!r} has no {_MANIFEST}") from None
         manifest = _check_manifest(raw_manifest, path)
+        if mmap and not reader.is_dir:
+            raise ArtifactFormatError(
+                f"mmap loading requires a directory-form artifact; {path!r} "
+                "is a zip container (extract it, or load with mmap=False)"
+            )
+        parent: ModelArtifact | None = None
+        delta_chain: tuple[str, ...] = ()
+        if "delta" in manifest:
+            parent = _load_delta_parent(manifest["delta"], path, mmap, _depth)
+            delta_chain = parent.delta_chain + (parent.path,)
         payload_index = manifest["payloads"]
         if not isinstance(payload_index, dict):
             raise ArtifactFormatError("manifest 'payloads' must be an object")
+        loader = _PayloadLoader(reader, path, mmap)
         arrays: dict[str, np.ndarray] = {}
         for name, meta in payload_index.items():
-            try:
-                member = meta["file"]
-                nbytes = int(meta["nbytes"])
-                digest = meta["sha256"]
-                dtype, shape = meta["dtype"], meta["shape"]
-            except (KeyError, TypeError, ValueError) as exc:
+            if not isinstance(meta, dict):
                 raise ArtifactFormatError(
-                    f"malformed payload index entry for {name!r}: {exc!r}"
-                ) from exc
-            data = reader.read(member)
-            if len(data) != nbytes:
-                raise ArtifactIntegrityError(
-                    f"payload {name!r}: {len(data)} bytes on disk, manifest "
-                    f"says {nbytes}"
+                    f"malformed payload index entry for {name!r}: not an object"
                 )
-            if _sha256(data) != digest:
-                raise ArtifactIntegrityError(
-                    f"payload {name!r} content hash mismatch — artifact is corrupted"
-                )
-            try:
-                arr = np.frombuffer(data, dtype=np.dtype(dtype))
-                arr = arr.reshape([int(s) for s in shape])
-            except (TypeError, ValueError) as exc:
+            source = meta.get("source", "self")
+            if source == "self":
+                arrays[name] = loader.load(name, meta)
+            elif source == "parent":
+                arrays[name] = _from_parent(parent, name, meta, path)
+            elif source == "rows":
+                arrays[name] = _patch_rows(parent, name, meta, loader, path)
+            else:
                 raise ArtifactFormatError(
-                    f"payload {name!r} has inconsistent dtype/shape metadata: {exc}"
-                ) from exc
-            # frombuffer views are read-only; serving scratch paths may write.
-            arrays[name] = arr.copy()
+                    f"payload {name!r} has unknown source {source!r}"
+                )
     except ArtifactError:
         reader.close()
         raise
     reader.close()
-    return ModelArtifact(manifest, arrays, path, len(raw_manifest))
+    return ModelArtifact(manifest, arrays, path, len(raw_manifest),
+                         mmap_backed=mmap, delta_chain=delta_chain)

@@ -33,4 +33,9 @@ class ArtifactVersionError(ArtifactError):
 
 class ArtifactIntegrityError(ArtifactError):
     """A payload's bytes do not match the manifest's content hash, or a
-    payload file named by the manifest is missing entirely."""
+    payload file named by the manifest is missing entirely.
+
+    Delta chains fail here too: a missing or substituted parent artifact,
+    a parent whose manifest hash disagrees with the recorded provenance,
+    or a row patch that does not reconstruct to its recorded full-content
+    hash — anything where the *bytes on disk* betray the manifest."""

@@ -46,6 +46,7 @@ from repro.core.tt_rec import TTRecEmbedding
 from repro.models.classifier import EmbeddingClassifier
 from repro.models.pointwise import PointwiseRanker
 from repro.models.ranknet import RankNet
+from repro.nn.init import lazy_init
 
 from repro.artifact.errors import ArtifactFormatError
 
@@ -286,8 +287,15 @@ def embedding_spec(emb: CompressedEmbedding) -> dict:
     return spec
 
 
-def build_embedding_from_spec(spec: dict) -> CompressedEmbedding:
-    """Instantiate the spec'd class (rng=0 — real values come from state)."""
+def build_embedding_from_spec(spec: dict, lazy: bool = False) -> CompressedEmbedding:
+    """Instantiate the spec'd class (rng=0 — real values come from state).
+
+    ``lazy=True`` constructs under :func:`repro.nn.init.lazy_init`: random
+    parameter fills become untouched zero pages.  Correct whenever the
+    caller immediately strict-loads a full state dict (the artifact path) —
+    the initial values are dead on arrival, and skipping them keeps an
+    mmap-backed load from materializing table-sized scratch.
+    """
     try:
         cls_name = spec["class"]
     except (KeyError, TypeError):
@@ -297,6 +305,9 @@ def build_embedding_from_spec(spec: dict) -> CompressedEmbedding:
         raise ArtifactFormatError(f"unknown embedding class {cls_name!r} in spec")
     kwargs = {k: v for k, v in spec.items() if k not in ("class", "technique")}
     try:
+        if lazy:
+            with lazy_init():
+                return cls(**kwargs, rng=0)
         return cls(**kwargs, rng=0)
     except (TypeError, ValueError) as exc:
         raise ArtifactFormatError(

@@ -144,6 +144,19 @@ def build_parser() -> argparse.ArgumentParser:
     pp_export.add_argument("--percentile", type=float, default=None)
     pp_export.set_defaults(func=_cmd_pipeline_export)
 
+    p_art = sub.add_parser(
+        "artifact",
+        help="inspect on-disk artifacts: format, payload/alias table, "
+        "delta provenance, checkpoint",
+    )
+    art_sub = p_art.add_subparsers(dest="artifact_command", required=True)
+    pa_inspect = art_sub.add_parser(
+        "inspect", help="print an artifact's manifest: payloads, aliases, "
+        "delta chain, checkpoint — without loading any table"
+    )
+    pa_inspect.add_argument("path", help="artifact path (dir or *.zip)")
+    pa_inspect.set_defaults(func=_cmd_artifact_inspect)
+
     p_export = sub.add_parser(
         "export-artifact",
         help="export a model as a versioned on-disk serving artifact "
@@ -553,6 +566,106 @@ def _cmd_pipeline_export(args: argparse.Namespace) -> int:
         f"{session.architecture})"
     )
     return _export_and_verify(session, args.out, args.bits, percentile=args.percentile)
+
+
+def _cmd_artifact_inspect(args: argparse.Namespace) -> int:
+    import os as _os
+
+    from repro.artifact.container import (
+        _read_raw_manifest,
+        _resolve_parent_path,
+        _sha256,
+        read_manifest,
+    )
+    from repro.artifact.errors import ArtifactError
+
+    try:
+        manifest, manifest_nbytes = read_manifest(args.path)
+    except ArtifactError as exc:
+        print(f"repro artifact inspect: error: {exc}", file=sys.stderr)
+        return 2
+
+    form = "directory" if _os.path.isdir(args.path) else "zip"
+    print(f"artifact: {args.path} ({form}, format v{manifest['format_version']})")
+    model = manifest.get("model", {})
+    print(
+        f"model: {model.get('architecture', '?')} · "
+        f"{manifest.get('embedding', {}).get('technique', '?')} · "
+        f"{'fp32' if manifest.get('bits') == 32 else 'int' + str(manifest.get('bits', '?'))} · "
+        f"input_length={model.get('input_length', '?')}"
+    )
+
+    payloads = manifest.get("payloads", {})
+    rows = []
+    logical = stored_payload = 0
+    for name, meta in sorted(payloads.items()):
+        nbytes = int(meta.get("nbytes", 0))
+        logical += nbytes
+        source = meta.get("source", "self")
+        if source == "parent":
+            where = "parent"
+        elif source == "rows":
+            nrows = meta.get("rows", {}).get("shape", ["?"])[0]
+            where = f"rows({nrows})"
+            for part in ("rows", "values"):
+                sub = meta.get(part, {})
+                if not sub.get("zeros") and "alias" not in sub:
+                    stored_payload += int(sub.get("nbytes", 0))
+        elif meta.get("zeros"):
+            where = "zeros (elided)"
+        elif "alias" in meta:
+            where = f"alias → {meta['alias']}"
+        else:
+            where = meta.get("file", "?")
+            stored_payload += nbytes
+        shape = "×".join(str(s) for s in meta.get("shape", []))
+        rows.append((name, meta.get("dtype", "?"), shape or "scalar", nbytes, where))
+
+    wname = max((len(r[0]) for r in rows), default=4)
+    print(f"payloads: {len(rows)}")
+    print(f"  {'name':<{wname}} {'dtype':>6} {'shape':>12} {'nbytes':>10}  stored-as")
+    for name, dtype, shape, nbytes, where in rows:
+        print(f"  {name:<{wname}} {dtype:>6} {shape:>12} {nbytes:>10,}  {where}")
+    stored = stored_payload + manifest_nbytes
+    ratio = stored / (logical + manifest_nbytes) if logical else 1.0
+    print(
+        f"bytes: logical {logical + manifest_nbytes:,} · stored {stored:,} "
+        f"(ratio {ratio:.3f})"
+    )
+
+    delta = manifest.get("delta")
+    if delta is not None:
+        print(
+            f"delta: depth {delta.get('depth', '?')} · "
+            f"{delta.get('payloads_from_parent', 0)} from parent · "
+            f"{delta.get('payloads_patched', 0)} row-patched"
+        )
+        ref, at = delta.get("parent", "?"), args.path
+        while ref is not None:
+            resolved = _resolve_parent_path(ref, at)
+            if resolved is None:
+                print(f"  parent {ref!r}: MISSING")
+                break
+            recorded = delta.get("parent_manifest_sha256")
+            try:
+                actual = _sha256(_read_raw_manifest(resolved))
+                pmanifest, _ = read_manifest(resolved)
+            except ArtifactError as exc:
+                print(f"  parent {resolved}: UNREADABLE ({exc})")
+                break
+            verdict = "ok" if actual == recorded else "HASH MISMATCH"
+            print(f"  parent {resolved}: manifest sha256 {verdict}")
+            delta = pmanifest.get("delta")
+            ref, at = (delta.get("parent"), resolved) if delta else (None, at)
+
+    ckpt = manifest.get("checkpoint")
+    if ckpt is None:
+        print("checkpoint: none (serving-only export)")
+    else:
+        train_state = ckpt.get("meta", {}).get("train_state", {})
+        epoch = train_state.get("epoch", "?")
+        print(f"checkpoint: present · epoch {epoch} · {len(ckpt.get('arrays', []))} tensors")
+    return 0
 
 
 def _build_export_model(args: argparse.Namespace):

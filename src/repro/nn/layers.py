@@ -129,7 +129,14 @@ class Module:
             state[name] = b.copy()
         return state
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: dict[str, np.ndarray], copy: bool = True) -> None:
+        """Strict-load ``state`` (exact key match, exact shapes).
+
+        ``copy=False`` adopts matching-dtype arrays by reference instead of
+        copying — the zero-copy path for mmap-backed artifact loads, where
+        the arrays are read-only views over the container file.  Only pass
+        it when the module will not be trained (eval-mode serving rebuilds).
+        """
         own_params = dict(self.named_parameters())
         own_buffers = dict(self.named_buffers())
         own = own_params.keys() | own_buffers.keys()
@@ -145,7 +152,9 @@ class Module:
                 raise ValueError(
                     f"parameter {name!r}: shape {value.shape} != expected {p.data.shape}"
                 )
-            p.data = value.astype(p.data.dtype)
+            if copy or value.dtype != p.data.dtype:
+                value = value.astype(p.data.dtype)  # astype copies
+            p.data = value
         for name, current in own_buffers.items():
             value = np.asarray(state[name])
             if value.shape != current.shape:

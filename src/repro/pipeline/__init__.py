@@ -12,6 +12,6 @@ artifact container the serving stack loads (DESIGN.md §9).
 """
 
 from repro.pipeline.spec import ARCHITECTURES, PipelineSpec
-from repro.pipeline.session import TrainSession
+from repro.pipeline.session import CheckpointWrite, TrainSession
 
-__all__ = ["ARCHITECTURES", "PipelineSpec", "TrainSession"]
+__all__ = ["ARCHITECTURES", "CheckpointWrite", "PipelineSpec", "TrainSession"]

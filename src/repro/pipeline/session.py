@@ -25,22 +25,66 @@ and the training state rides the same sha256-verified payload index
 
 from __future__ import annotations
 
+import glob
 import os
 import shutil
+import threading
 
 import numpy as np
 
-from repro.artifact.container import ModelArtifact, load_artifact, save_artifact
-from repro.artifact.errors import ArtifactFormatError
+from repro.artifact.container import (
+    ModelArtifact,
+    collect_artifact,
+    load_artifact,
+    read_manifest,
+    save_artifact,
+    save_delta,
+)
+from repro.artifact.errors import ArtifactError, ArtifactFormatError
 from repro.data.synthetic import Dataset, PairwiseDataset
 from repro.metrics.evaluator import evaluate_classification, evaluate_ranking
 from repro.pipeline.spec import PipelineSpec
 from repro.train.checkpoint import capture_state, restore_state
 from repro.train.trainer import History, TrainState
 
-__all__ = ["TrainSession"]
+__all__ = ["CheckpointWrite", "TrainSession"]
 
 _TASK_OF = {"classifier": "classification", "pointwise": "ranking", "ranknet": "pairwise"}
+
+
+def _remove_path(path: str) -> None:
+    """Delete a checkpoint artifact — dir or zip — if present."""
+    if os.path.isdir(path):
+        shutil.rmtree(path)
+    elif os.path.exists(path):
+        os.remove(path)
+
+
+class CheckpointWrite:
+    """Handle to an in-flight asynchronous checkpoint write.
+
+    Returned by ``save_checkpoint(..., blocking=False)``.  The model was
+    already snapshotted synchronously (the expensive serialization and
+    disk I/O are what run in the background), so training may mutate the
+    model freely while this is pending.  :meth:`wait` joins the writer and
+    either returns the published artifact or re-raises the write's error.
+    """
+
+    def __init__(self, thread: threading.Thread, box: dict) -> None:
+        self._thread = thread
+        self._box = box
+
+    @property
+    def done(self) -> bool:
+        return not self._thread.is_alive()
+
+    def wait(self, timeout: float | None = None) -> ModelArtifact:
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("checkpoint write still in flight")
+        if "error" in self._box:
+            raise self._box["error"]
+        return self._box["artifact"]
 
 
 class TrainSession:
@@ -66,6 +110,7 @@ class TrainSession:
         self.model = spec.build_model(self.data.spec)
         self.trainer = spec.build_trainer(callbacks)
         self._state: TrainState | None = None
+        self._ckpt_write: CheckpointWrite | None = None
 
     # -- introspection ----------------------------------------------------------
 
@@ -97,6 +142,8 @@ class TrainSession:
         checkpoint_path: str | None = None,
         checkpoint_every: int = 1,
         stop_after_epoch: int | None = None,
+        checkpoint_keep: int = 3,
+        checkpoint_blocking: bool = True,
     ) -> History:
         """Train (or continue training) per the spec; returns the history.
 
@@ -105,6 +152,12 @@ class TrainSession:
         ``stop_after_epoch`` cuts the run after that many *total* epochs
         without marking it finished — call ``fit`` again (or
         :meth:`resume` the checkpoint) to continue.
+
+        ``checkpoint_keep`` bounds the rotated-checkpoint history (see
+        :meth:`save_checkpoint`); ``checkpoint_blocking=False`` overlaps
+        checkpoint I/O with the next epoch's training — the final write is
+        always waited out before ``fit`` returns, so a completed ``fit``
+        means a durable checkpoint.
         """
         if checkpoint_every <= 0:
             raise ValueError(f"checkpoint_every must be positive, got {checkpoint_every}")
@@ -122,7 +175,10 @@ class TrainSession:
                     not state.finished(total) and state.epoch % checkpoint_every == 0
                 ) or (stop_after_epoch is not None and state.epoch >= stop_after_epoch)
                 if due:
-                    self.save_checkpoint(checkpoint_path, state=state)
+                    self.save_checkpoint(
+                        checkpoint_path, state=state,
+                        keep=checkpoint_keep, blocking=checkpoint_blocking,
+                    )
 
         d = self.data
         x_val = y_val = None
@@ -144,7 +200,10 @@ class TrainSession:
             # Post-finalization write: the model now holds the best weights
             # (when early stopping restored them), so ServeSession.load on a
             # finished checkpoint serves exactly what the session serves.
-            self.save_checkpoint(checkpoint_path)
+            self.save_checkpoint(
+                checkpoint_path, keep=checkpoint_keep, blocking=checkpoint_blocking
+            )
+        self.wait_for_checkpoints()
         return history
 
     def _run_fit(self, x, y, x_val, y_val, **kwargs) -> History:
@@ -165,7 +224,14 @@ class TrainSession:
 
     # -- persistence ------------------------------------------------------------
 
-    def save_checkpoint(self, path: str, state: TrainState | None = None) -> ModelArtifact:
+    def save_checkpoint(
+        self,
+        path: str,
+        state: TrainState | None = None,
+        *,
+        keep: int = 3,
+        blocking: bool = True,
+    ) -> ModelArtifact | CheckpointWrite:
         """Write a durable, resumable checkpoint artifact at ``path``.
 
         The container is a complete FP32 serving artifact plus the
@@ -177,40 +243,119 @@ class TrainSession:
         temporary path and is swapped in only once fully written, so a
         kill mid-save never destroys the previous good checkpoint (the
         exact scenario checkpoints exist for).
+
+        **Rotation** — ``path`` always holds the newest checkpoint; the
+        checkpoint it displaces is rolled to a ``<path>.keep-<epoch>``
+        sibling, and only the ``keep`` most recent survive (``keep=1``
+        keeps just ``path`` itself).  Any rotated sibling resumes exactly
+        like the primary.
+
+        **Async** — ``blocking=False`` snapshots the model synchronously
+        (cheap: array copies) and runs serialization + disk I/O on a
+        background thread, returning a :class:`CheckpointWrite` handle;
+        training continues while the bytes land.  Writes are serialized:
+        a new save first waits out the previous one, and any background
+        failure surfaces at that point (or at :meth:`wait_for_checkpoints`)
+        rather than being swallowed.
         """
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
         state = state if state is not None else self._state
         if state is None:
             raise ValueError("nothing to checkpoint yet — call fit() first")
+        # One writer at a time: surfaces a prior async failure and keeps
+        # two writes from racing on the same rotation siblings.
+        self.wait_for_checkpoints()
         meta, arrays = capture_state(self.trainer, self.model, state)
         ckpt_meta = {"spec": self.spec.to_manifest(), "train_state": meta}
-        # save_artifact flips the model to eval mode while snapshotting the
-        # tower; a mid-fit checkpoint must hand the loop back unchanged.
+        # collect_artifact flips the model to eval mode while snapshotting
+        # the tower; a mid-fit checkpoint must hand the loop back unchanged.
         was_training = self.model.training
-        # The container writer picks zip-vs-dir off the path suffix, so the
-        # temporary path must keep it.
-        tmp = path[:-4] + ".tmp.zip" if path.endswith(".zip") else path + ".tmp"
-        if os.path.isdir(tmp):
-            shutil.rmtree(tmp)
         try:
-            artifact = save_artifact(
-                self.model, tmp, bits=32, checkpoint=(ckpt_meta, arrays)
+            pending = collect_artifact(
+                self.model, bits=32, checkpoint=(ckpt_meta, arrays)
             )
         finally:
             self.model.train(was_training)
+        # Everything past this line touches only the frozen snapshot.
+        if blocking:
+            return self._publish_checkpoint(pending, path, keep)
+        box: dict = {}
+
+        def run() -> None:
+            try:
+                box["artifact"] = self._publish_checkpoint(pending, path, keep)
+            except BaseException as exc:  # noqa: BLE001 — surfaced at wait()
+                box["error"] = exc
+
+        thread = threading.Thread(
+            target=run, name="repro-checkpoint-writer", daemon=True
+        )
+        thread.start()
+        self._ckpt_write = CheckpointWrite(thread, box)
+        return self._ckpt_write
+
+    def wait_for_checkpoints(self) -> ModelArtifact | None:
+        """Block until the in-flight async checkpoint (if any) is published.
+
+        Returns its artifact, or None when nothing was pending.  Re-raises
+        the background error if the write failed.
+        """
+        write, self._ckpt_write = self._ckpt_write, None
+        if write is None:
+            return None
+        return write.wait()
+
+    @staticmethod
+    def _rotated_path(path: str, epoch: int) -> str:
+        if path.endswith(".zip"):
+            return f"{path[:-4]}.keep-{epoch:05d}.zip"
+        return f"{path}.keep-{epoch:05d}"
+
+    @staticmethod
+    def _rotation_pattern(path: str) -> str:
+        base = path[:-4] if path.endswith(".zip") else path
+        return glob.escape(base) + ".keep-*" + (".zip" if path.endswith(".zip") else "")
+
+    def _rotate_checkpoint(self, path: str, keep: int) -> None:
+        """Roll the checkpoint being displaced at ``path`` aside; prune.
+
+        The displaced checkpoint moves to ``<path>.keep-<epoch>`` (its own
+        epoch read from its manifest — no payloads touched), and rotated
+        siblings beyond the ``keep - 1`` newest are deleted.  An unreadable
+        displaced checkpoint (torn by an unclean kill) is deleted rather
+        than archived — rotation keeps good history, not wreckage.
+        """
+        if os.path.exists(path):
+            if keep == 1:
+                _remove_path(path)
+            else:
+                try:
+                    manifest, _ = read_manifest(path)
+                    epoch = int(manifest["checkpoint"]["meta"]["train_state"]["epoch"])
+                except (ArtifactError, KeyError, TypeError, ValueError):
+                    _remove_path(path)
+                else:
+                    rotated = self._rotated_path(path, epoch)
+                    _remove_path(rotated)  # same-epoch re-save: replace
+                    os.rename(path, rotated)
+        siblings = sorted(glob.glob(self._rotation_pattern(path)))
+        for stale in siblings[: max(0, len(siblings) - (keep - 1))]:
+            _remove_path(stale)
+
+    def _publish_checkpoint(
+        self, pending, path: str, keep: int
+    ) -> ModelArtifact:
+        # The container writer picks zip-vs-dir off the path suffix, so the
+        # temporary path must keep it.
+        tmp = path[:-4] + ".tmp.zip" if path.endswith(".zip") else path + ".tmp"
+        _remove_path(tmp)
+        artifact = pending.write(tmp)
+        self._rotate_checkpoint(path, keep)
         if path.endswith(".zip"):
             os.replace(tmp, path)  # atomic file swap
         else:
-            # Directory swap: move the old checkpoint aside, the new one in,
-            # then drop the old.  A crash in the (tiny) rename window leaves
-            # a complete checkpoint at ``path + ".old"`` or ``tmp``.
-            old = path + ".old"
-            if os.path.isdir(old):
-                shutil.rmtree(old)
-            if os.path.exists(path):
-                os.rename(path, old)
-            os.rename(tmp, path)
-            if os.path.isdir(old):
-                shutil.rmtree(old)
+            os.rename(tmp, path)  # rotation just vacated ``path``
         artifact.path = path
         return artifact
 
@@ -279,6 +424,42 @@ class TrainSession:
                 original_emb = self.model.embedding
                 shard_model(self.model, self.spec.shards)
             return save_artifact(self.model, path, bits=bits, percentile=percentile)
+        finally:
+            if original_emb is not None:
+                self.model.embedding = original_emb
+            self.model.train(was_training)
+
+    def export_delta(
+        self,
+        path: str,
+        parent: str,
+        touched_rows=None,
+        bits: int | None = None,
+        percentile: float | None = None,
+    ) -> ModelArtifact:
+        """Export only what changed since the ``parent`` export.
+
+        The continuous-deployment step: after more training, ship a delta
+        artifact instead of the full table — unchanged payloads become
+        parent references, sparse row changes become patches
+        (:func:`repro.artifact.save_delta`), and a serving session adopts
+        the result via ``ServeSession.hot_swap(path)``.  Same
+        sharding-for-export semantics as :meth:`export`.
+        """
+        from repro.models.builder import shard_model
+
+        bits = self.spec.bits if bits is None else bits
+        percentile = self.spec.percentile if percentile is None else percentile
+        original_emb = None
+        was_training = self.model.training
+        try:
+            if self.spec.shards:
+                original_emb = self.model.embedding
+                shard_model(self.model, self.spec.shards)
+            return save_delta(
+                self.model, path, parent, touched_rows,
+                bits=bits, percentile=percentile,
+            )
         finally:
             if original_emb is not None:
                 self.model.embedding = original_emb

@@ -83,6 +83,18 @@ class _RowScratch:
         return self._arr[:n]
 
 
+def _snapshot(arr: np.ndarray) -> np.ndarray:
+    """Freeze-copy ``arr`` — unless it is already frozen.
+
+    The engine copies model arrays so later training cannot mutate the
+    serving plan.  A *read-only* array (an mmap-backed artifact payload)
+    cannot belong to a live training model and cannot be mutated by anyone,
+    so it is its own snapshot: copying it would materialize the exact bytes
+    the zero-copy load exists not to read.
+    """
+    return arr if not arr.flags.writeable else arr.copy()
+
+
 def _freeze_table(table) -> "callable":
     """Row getter over a snapshot of a Parameter or ShardedTable.
 
@@ -92,7 +104,7 @@ def _freeze_table(table) -> "callable":
     gather yields.
     """
     if isinstance(table, ShardedTable):
-        shards = [p.data.copy() for p in table.shards]
+        shards = [_snapshot(p.data) for p in table.shards]
         shard_of = table._shard_of.copy()
         local_of = table._local_of.copy()
         dim = table.num_cols
@@ -110,7 +122,7 @@ def _freeze_table(table) -> "callable":
             return out
 
         return take
-    arr = table.data.copy()
+    arr = _snapshot(table.data)
 
     def take_dense(ids: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         return arr.take(ids, axis=0, out=out)
@@ -302,7 +314,7 @@ class InferenceEngine:
         output is not per-id (the hashed one-hot 'matrix approach').
         """
         if isinstance(emb, MEmComEmbedding):
-            shared = emb.shared.data.copy()
+            shared = _snapshot(emb.shared.data)
             m = emb.num_hash_embeddings
             take_mult = _freeze_table(emb.multiplier)
             take_bias = _freeze_table(emb.bias_table) if emb.bias_table is not None else None

@@ -106,10 +106,12 @@ class Supervisor:
         faults: dict[int, FaultSpec] | None,
         faults_persist: bool,
         qos: QoSStats,
+        mmap: bool = False,
     ) -> None:
         self.artifact_path = artifact_path
         self._bits = bits
         self._percentile = calibration_percentile
+        self._mmap = mmap
         self._hb_interval = heartbeat_interval_s
         self._faults_persist = faults_persist
         self._qos = qos
@@ -136,6 +138,7 @@ class Supervisor:
             args=(
                 w.id, self.artifact_path, self._bits, self._percentile,
                 w.request_q, self.responses, fault, self._hb_interval,
+                self._mmap,
             ),
             name=f"repro-shard-worker-{w.id}",
             daemon=True,
@@ -240,6 +243,7 @@ class ServingRuntime:
         heartbeat_interval_s: float = 0.25,
         faults_persist: bool = False,
         start_timeout_s: float = 60.0,
+        mmap: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -248,10 +252,13 @@ class ServingRuntime:
                 f"heartbeat_interval_s must be positive, got {heartbeat_interval_s}"
             )
         self.retry = (retry if retry is not None else RetryPolicy()).validate()
+        self._mmap = bool(mmap)
         self._engine = (
             engine
             if engine is not None
-            else engine_from_artifact(artifact_path, bits, calibration_percentile)
+            else engine_from_artifact(
+                artifact_path, bits, calibration_percentile, mmap=mmap
+            )
         )
         if not self._engine.per_id_composable:
             raise ValueError(
@@ -263,6 +270,7 @@ class ServingRuntime:
         self.qos = QoSStats()
         self.requests_served = 0
         self.batches_served = 0
+        self.swaps = 0
         self._hb_interval = float(heartbeat_interval_s)
         self._seq = 0
         self._closed = False
@@ -275,6 +283,7 @@ class ServingRuntime:
             faults=faults,
             faults_persist=faults_persist,
             qos=self.qos,
+            mmap=mmap,
         )
         self._workers = self.supervisor.workers
         self._responses = self.supervisor.responses
@@ -559,6 +568,42 @@ class ServingRuntime:
             "silent": silent,
         }
 
+    # -- live deployment --------------------------------------------------------
+
+    def hot_swap(
+        self, artifact_path: str, engine: InferenceEngine, timeout_s: float = 60.0
+    ) -> None:
+        """Re-point the whole worker plane at a new artifact.
+
+        ``engine`` is the already-built local engine over the *new*
+        artifact (the session builds it before calling, so a bad artifact
+        fails before any worker is touched).  Every shard worker — healthy
+        or previously degraded — is respawned from the new path through the
+        normal Supervisor respawn machinery, then the call blocks until all
+        are ready again.  The caller drains its batcher first, so no
+        in-flight request ever spans the generation boundary.
+        """
+        if self._closed:
+            raise RuntimeError("serving runtime is closed")
+        if not engine.per_id_composable:
+            raise ValueError(
+                f"{engine.model_name}'s pooled embedding is not per-id "
+                "decomposable into shard operators; cannot hot-swap it into "
+                "a multi-process runtime"
+            )
+        self._engine = engine
+        self.artifact_path = artifact_path
+        self.supervisor.artifact_path = artifact_path
+        self.swaps += 1
+        for w in self._workers:
+            # A degraded shard gets a clean slate: degradation was a verdict
+            # on the *old* artifact/process, and the new generation starts
+            # from a fresh respawn source.
+            w.degraded = False
+            w.spawn_failed = False
+            self.supervisor.respawn(w)
+        self._wait_until_ready(timeout_s)
+
     # -- accounting / lifecycle -------------------------------------------------
 
     def stats(self) -> dict:
@@ -572,6 +617,7 @@ class ServingRuntime:
             "workers_degraded": sum(1 for w in self._workers if w.degraded),
             "requests_served": self.requests_served,
             "batches_served": self.batches_served,
+            "hot_swaps": self.swaps,
         }
         out.update(self.qos.snapshot())
         return out

@@ -55,6 +55,7 @@ def engine_from_artifact(
     cache_rows: int | None = None,
     cache_min_count: int = 1,
     cache_ttl: int | None = None,
+    mmap: bool = False,
 ) -> InferenceEngine:
     """Open ``path`` and rebuild the serving plan — the (re)spawn source.
 
@@ -62,10 +63,14 @@ def engine_from_artifact(
     operator engine here, and the parent builds its fallback engine through
     the same helper so both sides provably run the same floats.  Raises the
     typed :mod:`repro.artifact.errors` when the artifact is damaged.
+
+    ``mmap=True`` maps the payloads instead of reading them — with n shard
+    workers over one artifact, the table's pages are shared by the page
+    cache instead of copied n+1 times into private heaps.
     """
     from repro.artifact.container import load_artifact
 
-    artifact = load_artifact(path)
+    artifact = load_artifact(path, mmap=mmap)
     return InferenceEngine.from_parts(
         artifact.serving_embedding(),
         artifact.tower_plan(),
@@ -88,6 +93,7 @@ def shard_worker_main(
     response_q,
     fault,
     heartbeat_interval_s: float,
+    mmap: bool = False,
 ) -> None:
     """Process entry point: load the artifact, then serve row sub-requests.
 
@@ -95,7 +101,9 @@ def shard_worker_main(
     — production workers run with ``None``; chaos tests arm exactly one.
     """
     try:
-        engine = engine_from_artifact(artifact_path, bits, calibration_percentile)
+        engine = engine_from_artifact(
+            artifact_path, bits, calibration_percentile, mmap=mmap
+        )
     except BaseException as exc:  # noqa: BLE001 — report, then die loudly
         try:
             response_q.put(("spawn-failed", worker_id, f"{type(exc).__name__}: {exc}"))

@@ -83,6 +83,14 @@ class ServeConfig:
         The runtime's failure budget (timeout / backoff / max attempts);
         ``None`` uses ``RetryPolicy()`` defaults.  Only meaningful with
         ``workers >= 1``.
+    mmap:
+        Zero-copy loading: payloads of a *directory-form* artifact are
+        memory-mapped read-only instead of read and copied, so ``load()``
+        over a multi-GB table returns in milliseconds and rows page in on
+        demand through the normal gather path.  Requires
+        :meth:`ServeSession.load` (a live model has no file to map) and a
+        directory container (zip members cannot be mapped).  ``workers >=
+        1`` shard workers map the artifact the same way.
     """
 
     bits: int | None = None
@@ -94,6 +102,7 @@ class ServeConfig:
     max_delay_ms: float | None = None
     workers: int = 0
     retry: RetryPolicy | None = None
+    mmap: bool = False
 
     def validate(self) -> "ServeConfig":
         """Fail fast, before any table is snapshotted or calibrated.
@@ -176,6 +185,8 @@ class ServeSession:
         )
         self._source_model = source_model
         self.artifact = artifact
+        #: completed hot_swap() calls (the deployment plane's generation counter)
+        self.swaps = 0
 
     @property
     def _predictor(self):
@@ -195,6 +206,11 @@ class ServeSession:
                 "workers >= 1 needs an on-disk artifact as the workers' "
                 "(re)spawn source; save() the model and use "
                 "ServeSession.load(path, workers=...)"
+            )
+        if config.mmap:
+            raise ValueError(
+                "mmap loading needs an on-disk artifact; a live model has "
+                "no file to map — use ServeSession.load(path, mmap=True)"
             )
         engine = InferenceEngine(
             model,
@@ -220,25 +236,11 @@ class ServeSession:
         of an already-quantized one.
         """
         config = _resolve_config(config, overrides)
-        artifact = path if isinstance(path, ModelArtifact) else load_artifact(path)
-        embedding = artifact.serving_embedding()
-        if isinstance(embedding, QuantizedEmbedding):
-            if config.bits is not None and config.bits != embedding.bits:
-                raise ArtifactFormatError(
-                    f"artifact stores int{embedding.bits} codes; cannot serve it "
-                    f"at bits={config.bits} (re-export from the FP32 model instead)"
-                )
-        engine = InferenceEngine.from_parts(
-            embedding,
-            artifact.tower_plan(),
-            input_length=artifact.input_length,
-            model_name=artifact.architecture,
-            cache_rows=config.cache_rows,
-            bits=config.bits,
-            calibration_percentile=config.calibration_percentile,
-            cache_min_count=config.cache_min_count,
-            cache_ttl=config.cache_ttl_batches,
-        )
+        if isinstance(path, ModelArtifact):
+            artifact = path
+        else:
+            artifact = load_artifact(path, mmap=config.mmap)
+        engine = cls._build_engine(artifact, config)
         runtime = None
         if config.workers > 0:
             from repro.serve.runtime.supervisor import ServingRuntime
@@ -250,8 +252,31 @@ class ServeSession:
                 engine=engine,
                 bits=config.bits,
                 calibration_percentile=config.calibration_percentile,
+                mmap=config.mmap,
             )
         return cls(engine, config, artifact=artifact, runtime=runtime)
+
+    @staticmethod
+    def _build_engine(artifact: ModelArtifact, config: ServeConfig) -> InferenceEngine:
+        """Artifact → engine, under ``config`` (the load/hot-swap shared half)."""
+        embedding = artifact.serving_embedding()
+        if isinstance(embedding, QuantizedEmbedding):
+            if config.bits is not None and config.bits != embedding.bits:
+                raise ArtifactFormatError(
+                    f"artifact stores int{embedding.bits} codes; cannot serve it "
+                    f"at bits={config.bits} (re-export from the FP32 model instead)"
+                )
+        return InferenceEngine.from_parts(
+            embedding,
+            artifact.tower_plan(),
+            input_length=artifact.input_length,
+            model_name=artifact.architecture,
+            cache_rows=config.cache_rows,
+            bits=config.bits,
+            calibration_percentile=config.calibration_percentile,
+            cache_min_count=config.cache_min_count,
+            cache_ttl=config.cache_ttl_batches,
+        )
 
     # -- persistence ------------------------------------------------------------
 
@@ -274,6 +299,46 @@ class ServeSession:
             bits=bits,
             percentile=self.config.calibration_percentile,
         )
+
+    # -- live deployment --------------------------------------------------------
+
+    def hot_swap(self, path: str | ModelArtifact) -> ModelArtifact:
+        """Adopt a new artifact mid-traffic without dropping a request.
+
+        The swap protocol, in order:
+
+        1. **Build first.**  The replacement artifact is loaded (delta
+           chains resolve, mmap per config) and its engine fully built
+           while the old plan keeps serving.  Any failure — missing file,
+           broken chain, incompatible width — raises *before* anything is
+           touched: a failed swap leaves the session exactly as it was.
+        2. **Drain.**  Pending batcher requests are flushed against the
+           *old* plan — every request answered by the model that was live
+           when it was submitted; nothing is dropped or re-scored.
+        3. **Cut over.**  ``workers >= 1`` runtimes respawn every shard
+           worker from the new artifact (the same Supervisor respawn path
+           that heals crashes), then the session's engine/artifact
+           references flip.  Subsequent submits hit the new plan; post-swap
+           predictions are bit-identical to a cold load of the new
+           artifact (``tests/serve/test_hot_swap.py``).
+
+        Works on full and delta artifacts alike.  Returns the adopted
+        :class:`~repro.artifact.ModelArtifact`.
+        """
+        artifact = (
+            path if isinstance(path, ModelArtifact)
+            else load_artifact(path, mmap=self.config.mmap)
+        )
+        engine = self._build_engine(artifact, self.config)
+        self.batcher.flush()  # drain in-flight against the outgoing plan
+        if self.runtime is not None:
+            self.runtime.hot_swap(artifact.path, engine)
+        self.engine = engine
+        self.batcher.engine = self._predictor
+        self.artifact = artifact
+        self._source_model = None  # the artifact, not the old model, is live now
+        self.swaps += 1
+        return artifact
 
     # -- serving passthroughs ---------------------------------------------------
 
@@ -318,6 +383,7 @@ class ServeSession:
             "table_resident_bytes": engine.table_resident_bytes(),
             "pending_requests": len(self.batcher),
             "auto_flushes": self.batcher.auto_flushes,
+            "hot_swaps": self.swaps,
         }
         if self.runtime is not None:
             # Latency percentiles + failure/recovery counters (DESIGN.md §10).

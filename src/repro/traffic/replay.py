@@ -86,6 +86,12 @@ class ReplayReport:
     #: SHA-256 over (ids, predictions) — the determinism fingerprint
     checksum: str
     spec: dict = field(default_factory=dict)
+    #: split fingerprints around ``swap_step`` (None when no split was asked):
+    #: ``checksum_post`` of a hot-swapped run must equal ``checksum_post`` of
+    #: a cold-load run of the swapped-in artifact over the same stream.
+    checksum_pre: str | None = None
+    checksum_post: str | None = None
+    swap_step: int | None = None
 
     # Rollup conveniences (what SLOSpec.check reads).
     @property
@@ -117,7 +123,7 @@ class ReplayReport:
         return self.overall.distinct_users
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "requests": self.requests,
             "distinct_users": self.distinct_users,
             "p50_ms": round(self.p50_ms, 4),
@@ -128,6 +134,11 @@ class ReplayReport:
             "checksum": self.checksum,
             "phases": [p.to_dict() for p in self.phases],
         }
+        if self.swap_step is not None:
+            out["swap_step"] = self.swap_step
+            out["checksum_pre"] = self.checksum_pre
+            out["checksum_post"] = self.checksum_post
+        return out
 
     def summary(self) -> str:
         lines = [
@@ -182,11 +193,34 @@ class _PhaseAccumulator:
         )
 
 
+def _settle(deferred: list, total: _PhaseAccumulator) -> None:
+    """Fold resolved requests into checksums and latency books, in stream
+    order.  Every request must have a result by now — a ``None`` means the
+    serving plane dropped it, which a replay treats as a hard failure."""
+    while deferred:
+        acc, hashers, requests_blob, pending = deferred.pop(0)
+        for h in hashers:
+            h.update(requests_blob)
+        for req in pending:
+            if req.result is None:
+                raise RuntimeError(
+                    "replay dropped a request: unresolved after flush"
+                )
+            blob = np.ascontiguousarray(req.result).tobytes()
+            for h in hashers:
+                h.update(blob)
+        for a in (acc, total):
+            a.latencies.extend(req.latency_ms for req in pending)
+
+
 def replay(
     session,
     model: TrafficModel,
     slo: SLOSpec | None = None,
     baseline: dict | None = None,
+    *,
+    swap_path=None,
+    swap_step: int | None = None,
 ) -> ReplayReport:
     """Stream ``model``'s traffic through ``session``; measure per phase.
 
@@ -195,41 +229,89 @@ def replay(
     report is asserted against it (and optionally against ``baseline``)
     before returning, raising :class:`~repro.traffic.slo.SLOViolation` on
     any miss — a replay is then an executable service-level test.
+
+    When the session's batcher has a ``max_delay_ms`` deadline, the harness
+    stops force-flushing every step and lets the deadline drive batching —
+    requests settle whenever their batch fills or ages out, and the books
+    are balanced at drain points.  The checksum is byte-identical to the
+    per-step-flush mode: same stream, same predictions, same hash order.
+
+    ``swap_path`` (with ``swap_step``) hot-swaps the session onto a new
+    artifact *mid-stream*, right before step ``swap_step`` — in-flight
+    requests drain against the old plan, later steps serve from the new
+    one, and nothing is dropped.  ``swap_step`` alone just splits the
+    checksum at that boundary: replaying the swapped-in artifact cold with
+    the same ``swap_step`` must yield an equal ``checksum_post``.
     """
+    if swap_path is not None and swap_step is None:
+        raise ValueError("swap_path requires swap_step")
     # The multi-process runtime serves cache-less; the hit-rate column only
     # means something when the single-process engine's cache is in the path.
     cache = session.engine.cache if session.runtime is None else None
+    deadline = getattr(session.batcher, "max_delay_ms", None) is not None
     sha = hashlib.sha256()
+    split = (hashlib.sha256(), hashlib.sha256()) if swap_step is not None else None
     accs = {p: _PhaseAccumulator(p) for p in range(model.spec.num_phases)}
     total = _PhaseAccumulator(-1)
+    deferred: list = []
+    swapped = False
+    last_acc = total
 
-    for step in model.stream():
+    for step_index, step in enumerate(model.stream()):
+        if swap_path is not None and step_index == swap_step and not swapped:
+            # Drains everything in flight against the old plan, then adopts
+            # the new artifact — deferred books settle afterwards, in order.
+            session.hot_swap(swap_path)
+            swapped = True
         if step.requests.shape[0] == 0:
             continue
-        acc = accs[step.phase]
+        acc = last_acc = accs[step.phase]
         for a in (acc, total):
             if cache is not None and a.batches == 0:
                 a.hits0, a.misses0 = cache.hits, cache.misses
         start = time.perf_counter()
         pending = [session.submit(ids) for ids in step.requests]
-        session.flush()
+        if not deadline:
+            session.flush()
         elapsed = time.perf_counter() - start
-        sha.update(np.ascontiguousarray(step.requests).tobytes())
-        for req in pending:
-            sha.update(np.ascontiguousarray(req.result).tobytes())
+        hashers = [sha]
+        if split is not None:
+            hashers.append(split[0] if step_index < swap_step else split[1])
+        # Hashing is deferred with the results so both flush modes produce
+        # the identical (requests, results) interleaving per step.
+        deferred.append(
+            (acc, hashers, np.ascontiguousarray(step.requests).tobytes(), pending)
+        )
         for a in (acc, total):
             a.batches += 1
             a.elapsed_s += elapsed
-            a.latencies.extend(req.latency_ms for req in pending)
             a.users.update(step.users.tolist())
             if cache is not None:
                 a.hits1, a.misses1 = cache.hits, cache.misses
+        if not deadline:
+            _settle(deferred, total)
+
+    if swap_path is not None and not swapped:
+        raise RuntimeError(
+            f"swap_step {swap_step} is beyond the end of the stream — "
+            "the hot swap never happened"
+        )
+    if deadline:
+        start = time.perf_counter()
+        session.flush()
+        drain = time.perf_counter() - start
+        for a in (last_acc, total) if last_acc is not total else (total,):
+            a.elapsed_s += drain
+        _settle(deferred, total)
 
     report = ReplayReport(
         phases=[accs[p].report() for p in sorted(accs)],
         overall=total.report(),
         checksum=sha.hexdigest(),
         spec=model.spec.to_dict(),
+        checksum_pre=split[0].hexdigest() if split else None,
+        checksum_post=split[1].hexdigest() if split else None,
+        swap_step=swap_step,
     )
     if slo is not None:
         slo.assert_ok(report, baseline)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the v3 artifact-plane tests.
+
+``downgrade`` materializes the v1/v2-equivalent of a v3 container — every
+payload expanded into its own member file, no aliases, no zero elision, no
+delta section — which is both the back-compat fixture (old readers wrote
+exactly this layout) and the size baseline the v3 dedup gate measures
+against.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.artifact import load_artifact
+
+
+def downgrade(src: str, dst: str, version: int) -> str:
+    """Write the v1/v2-equivalent container of the v3 artifact at ``src``.
+
+    v2 = same content, one member file per payload, no aliasing/zeros/delta.
+    v1 additionally predates checkpoints: the checkpoint section and its
+    payloads are dropped (v1 writers never produced them).
+    """
+    assert version in (1, 2)
+    art = load_artifact(src)
+    manifest = json.loads(json.dumps(art.manifest))  # deep copy
+    manifest["format_version"] = version
+    manifest.pop("delta", None)
+    if version == 1:
+        manifest.pop("checkpoint", None)
+
+    os.makedirs(os.path.join(dst, "payloads"))
+    index = {}
+    for name, meta in art.manifest["payloads"].items():
+        if version == 1 and name.startswith("checkpoint/"):
+            continue
+        member = os.path.join("payloads", name.replace("/", ".") + ".bin")
+        arr = np.ascontiguousarray(art.array(name))
+        with open(os.path.join(dst, member), "wb") as fh:
+            fh.write(arr.tobytes())
+        index[name] = {
+            "file": member,
+            "dtype": meta["dtype"],
+            "shape": list(meta["shape"]),
+            "nbytes": int(meta["nbytes"]),
+            "sha256": meta["sha256"],
+        }
+    manifest["payloads"] = index
+    with open(os.path.join(dst, "manifest.json"), "w") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+    return dst

@@ -1,0 +1,187 @@
+"""Delta artifacts: store what changed, resolve to the full state, fail
+loudly when the chain is damaged.
+
+``save_delta(model, path, parent)`` diffs against the parent export —
+unchanged payloads become references, sparse row changes become patches —
+and ``load_artifact`` walks the provenance chain back to a full view that
+must be *bytes-identical* to a plain full export of the same model.  The
+corruption matrix at the bottom covers every way a chain can lie: missing
+parent, substituted parent, damaged patch bytes.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.artifact import load_artifact, save_artifact, save_delta
+from repro.artifact.errors import ArtifactIntegrityError
+
+VOCAB, DIM, LENGTH, CATALOG = 200, 8, 6, 10
+
+
+def _model(seed=0, technique="full"):
+    from repro.models.builder import build_pointwise_ranker
+
+    hyper = {"memcom": {"num_hash_embeddings": 32}}.get(technique, {})
+    return build_pointwise_ranker(
+        technique, VOCAB, CATALOG, input_length=LENGTH, embedding_dim=DIM,
+        rng=seed, **hyper,
+    )
+
+
+def _touch_rows(model, rows, bump=0.5):
+    model.embedding.table.data[rows] += bump
+    return rows
+
+
+@pytest.fixture
+def chain(tmp_path):
+    """model + full parent export + rows touched since."""
+    model = _model()
+    parent = str(tmp_path / "parent")
+    save_artifact(model, parent)
+    rows = _touch_rows(model, [3, 17, 42])
+    return model, parent, rows
+
+
+class TestDeltaSave:
+    def test_sources_recorded_per_payload(self, chain, tmp_path):
+        model, parent, rows = chain
+        art = save_delta(model, str(tmp_path / "d"), parent, touched_rows=rows)
+        index = art.manifest["payloads"]
+        assert index["embedding/table"]["source"] == "rows"
+        untouched = [
+            n for n, m in index.items() if m.get("source", "self") == "parent"
+        ]
+        assert untouched, "tower payloads did not change — must reference parent"
+        delta = art.manifest["delta"]
+        assert delta["depth"] == 1
+        assert delta["payloads_patched"] == 1
+        assert delta["payloads_from_parent"] == len(untouched)
+
+    def test_resolves_bytes_identical_to_full_export(self, chain, tmp_path):
+        model, parent, rows = chain
+        save_delta(model, str(tmp_path / "d"), parent, touched_rows=rows)
+        full = save_artifact(model, str(tmp_path / "full"))
+        loaded = load_artifact(str(tmp_path / "d"))
+        assert loaded.manifest["payloads"].keys() == full.manifest["payloads"].keys()
+        for name in full.manifest["payloads"]:
+            assert np.array_equal(loaded.array(name), full.array(name)), name
+
+    def test_delta_is_much_smaller_than_full(self, chain, tmp_path):
+        model, parent, rows = chain
+        art = save_delta(model, str(tmp_path / "d"), parent, touched_rows=rows)
+        full = save_artifact(model, str(tmp_path / "full"))
+        assert art.stored_bytes() < 0.5 * full.stored_bytes()
+
+    def test_touched_rows_understatement_raises(self, chain, tmp_path):
+        model, parent, _rows = chain
+        with pytest.raises(ValueError, match="not in touched_rows"):
+            save_delta(model, str(tmp_path / "d"), parent, touched_rows=[3, 17])
+
+    def test_touched_rows_superset_is_fine(self, chain, tmp_path):
+        model, parent, rows = chain
+        art = save_delta(
+            model, str(tmp_path / "d"), parent, touched_rows=rows + [99, 150]
+        )
+        assert art.manifest["payloads"]["embedding/table"]["source"] == "rows"
+
+    def test_mostly_rewritten_table_stored_outright(self, tmp_path):
+        model = _model()
+        parent = str(tmp_path / "parent")
+        save_artifact(model, parent)
+        _touch_rows(model, list(range(VOCAB * 3 // 4)))  # > _DELTA_ROW_FRACTION
+        art = save_delta(model, str(tmp_path / "d"), parent)
+        assert art.manifest["payloads"]["embedding/table"].get("source", "self") == "self"
+
+    def test_contract_mismatch_raises(self, chain, tmp_path):
+        model, parent, _rows = chain
+        other = _model(technique="memcom")
+        with pytest.raises(ValueError, match="model contract"):
+            save_delta(other, str(tmp_path / "d"), parent)
+        with pytest.raises(ValueError, match="model contract"):
+            save_delta(model, str(tmp_path / "d"), parent, bits=8)
+
+
+class TestDeltaChain:
+    def test_depth_two_resolves(self, chain, tmp_path):
+        model, parent, rows = chain
+        d1 = str(tmp_path / "d1")
+        save_delta(model, d1, parent, touched_rows=rows)
+        more = _touch_rows(model, [7, 8])
+        d2 = str(tmp_path / "d2")
+        save_delta(model, d2, d1, touched_rows=more)
+        loaded = load_artifact(d2)
+        assert loaded.manifest["delta"]["depth"] == 2
+        assert len(loaded.delta_chain) == 2
+        full = save_artifact(model, str(tmp_path / "full"))
+        for name in full.manifest["payloads"]:
+            assert np.array_equal(loaded.array(name), full.array(name)), name
+
+    def test_chain_resolves_when_shipped_as_a_directory(self, chain, tmp_path):
+        """Parent recorded under its original path, then the pair moved —
+        resolution falls back to beside-the-delta."""
+        model, parent, rows = chain
+        delta = str(tmp_path / "d")
+        save_delta(model, delta, parent, touched_rows=rows)
+        shipped = tmp_path / "shipped"
+        shipped.mkdir()
+        os.rename(parent, str(shipped / "parent"))
+        os.rename(delta, str(shipped / "d"))
+        loaded = load_artifact(str(shipped / "d"))
+        assert np.array_equal(
+            loaded.array("embedding/table"), model.embedding.table.data
+        )
+
+
+class TestCorruptionMatrix:
+    def test_missing_parent(self, chain, tmp_path):
+        model, parent, rows = chain
+        delta = str(tmp_path / "d")
+        save_delta(model, delta, parent, touched_rows=rows)
+        import shutil
+
+        shutil.rmtree(parent)
+        with pytest.raises(ArtifactIntegrityError, match="parent"):
+            load_artifact(delta)
+
+    def test_substituted_parent(self, chain, tmp_path):
+        model, parent, rows = chain
+        delta = str(tmp_path / "d")
+        save_delta(model, delta, parent, touched_rows=rows)
+        import shutil
+
+        shutil.rmtree(parent)
+        save_artifact(_model(seed=99), parent)  # different weights, same path
+        with pytest.raises(ArtifactIntegrityError, match="provenance hash"):
+            load_artifact(delta)
+
+    def test_damaged_patch_values(self, chain, tmp_path):
+        model, parent, rows = chain
+        delta = str(tmp_path / "d")
+        art = save_delta(model, delta, parent, touched_rows=rows)
+        member = art.manifest["payloads"]["embedding/table"]["values"]["file"]
+        full = os.path.join(delta, member)
+        blob = bytearray(open(full, "rb").read())
+        blob[0] ^= 0xFF
+        with open(full, "wb") as fh:
+            fh.write(bytes(blob))
+        with pytest.raises(ArtifactIntegrityError):
+            load_artifact(delta)
+
+    def test_tampered_reconstruction_hash(self, chain, tmp_path):
+        """Patch applies cleanly but the recorded full-content hash says the
+        result is wrong — the chain is corrupted, not merely damaged."""
+        import json
+
+        model, parent, rows = chain
+        delta = str(tmp_path / "d")
+        save_delta(model, delta, parent, touched_rows=rows)
+        mpath = os.path.join(delta, "manifest.json")
+        manifest = json.load(open(mpath))
+        manifest["payloads"]["embedding/table"]["sha256"] = "0" * 64
+        with open(mpath, "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(ArtifactIntegrityError, match="chain is corrupted"):
+            load_artifact(delta)

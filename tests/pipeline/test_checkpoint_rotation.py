@@ -1,0 +1,121 @@
+"""Checkpoint rotation + async writes: keep the last k, never lose the run.
+
+``TrainSession.save_checkpoint(path, keep=k)`` rotates the displaced
+checkpoint to ``<path>.keep-<epoch>`` siblings and prunes beyond ``k``
+total; every survivor — current or rotated — must resume bit-identically.
+``blocking=False`` moves the container write off the training thread
+behind a :class:`CheckpointWrite` handle.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.artifact import load_artifact
+from repro.pipeline import CheckpointWrite, TrainSession
+
+from pipeline_helpers import tiny_spec
+
+
+def _final_state(session, tmp_path, tag):
+    path = str(tmp_path / f"export-{tag}")
+    session.export(path)
+    art = load_artifact(path)
+    return {n: art.array(n) for n in art.manifest["payloads"]}
+
+
+class TestRotation:
+    def test_keeps_last_k_and_prunes_the_rest(self, tmp_path):
+        spec = tiny_spec(epochs=5)
+        session = TrainSession(spec)
+        ck = str(tmp_path / "ck")
+        session.fit(checkpoint_path=ck, checkpoint_keep=3)
+        siblings = sorted(glob.glob(ck + ".keep-*"))
+        # current + 2 rotated = 3 kept; epochs 1..5 checkpointed, 1-2 pruned
+        assert [os.path.basename(s) for s in siblings] == [
+            "ck.keep-00003", "ck.keep-00004",
+        ]
+        assert load_artifact(ck).checkpoint_meta()["train_state"]["epoch"] == 5
+        for sib, epoch in zip(siblings, (3, 4)):
+            assert (
+                load_artifact(sib).checkpoint_meta()["train_state"]["epoch"] == epoch
+            )
+
+    def test_keep_one_leaves_no_siblings(self, tmp_path):
+        session = TrainSession(tiny_spec(epochs=3))
+        ck = str(tmp_path / "ck")
+        session.fit(checkpoint_path=ck, checkpoint_keep=1)
+        assert glob.glob(ck + ".keep-*") == []
+        assert os.path.exists(ck)
+
+    def test_zip_rotation(self, tmp_path):
+        session = TrainSession(tiny_spec(epochs=3))
+        ck = str(tmp_path / "ck.zip")
+        session.fit(checkpoint_path=ck, checkpoint_keep=2)
+        siblings = glob.glob(str(tmp_path / "ck.keep-*.zip"))
+        assert len(siblings) == 1
+        assert load_artifact(siblings[0]).has_checkpoint
+
+    def test_rotated_sibling_resumes_bit_identical(self, tmp_path):
+        spec = tiny_spec(epochs=4)
+        baseline = TrainSession(spec)
+        baseline.fit()
+        want = _final_state(baseline, tmp_path, "base")
+
+        session = TrainSession(spec)
+        ck = str(tmp_path / "ck")
+        session.fit(checkpoint_path=ck, checkpoint_keep=3)
+        rotated = str(tmp_path / "ck.keep-00002")
+        assert os.path.exists(rotated)
+        resumed = TrainSession.resume(rotated)
+        resumed.fit()
+        got = _final_state(resumed, tmp_path, "resumed")
+        assert want.keys() == got.keys()
+        for name in want:
+            assert np.array_equal(want[name], got[name]), name
+
+    def test_keep_must_be_positive(self, tmp_path):
+        session = TrainSession(tiny_spec(epochs=1))
+        session.fit()
+        with pytest.raises(ValueError, match="keep"):
+            session.save_checkpoint(str(tmp_path / "ck"), keep=0)
+
+
+class TestAsyncWrites:
+    def test_nonblocking_save_returns_a_handle(self, tmp_path):
+        session = TrainSession(tiny_spec(epochs=2))
+        session.fit(stop_after_epoch=1)
+        ck = str(tmp_path / "ck")
+        handle = session.save_checkpoint(ck, blocking=False)
+        assert isinstance(handle, CheckpointWrite)
+        artifact = handle.wait()
+        assert handle.done
+        assert artifact.path == ck
+        assert load_artifact(ck).checkpoint_meta()["train_state"]["epoch"] == 1
+
+    def test_async_checkpoint_resumes_bit_identical(self, tmp_path):
+        spec = tiny_spec(epochs=3)
+        baseline = TrainSession(spec)
+        baseline.fit()
+        want = _final_state(baseline, tmp_path, "base")
+
+        session = TrainSession(spec)
+        ck = str(tmp_path / "ck")
+        session.fit(
+            checkpoint_path=ck, checkpoint_blocking=False, stop_after_epoch=2
+        )
+        resumed = TrainSession.resume(ck)
+        resumed.fit()
+        got = _final_state(resumed, tmp_path, "resumed")
+        for name in want:
+            assert np.array_equal(want[name], got[name]), name
+
+    def test_wait_for_checkpoints_is_idempotent(self, tmp_path):
+        session = TrainSession(tiny_spec(epochs=1))
+        session.fit()
+        session.save_checkpoint(str(tmp_path / "ck"), blocking=False)
+        session.wait_for_checkpoints()
+        session.wait_for_checkpoints()
+        assert load_artifact(str(tmp_path / "ck")).has_checkpoint

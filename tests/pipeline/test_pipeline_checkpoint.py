@@ -12,7 +12,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.artifact import load_artifact, save_artifact
+from repro.artifact import FORMAT_VERSION, load_artifact, save_artifact
 from repro.artifact.errors import (
     ArtifactFormatError,
     ArtifactIntegrityError,
@@ -186,13 +186,20 @@ class TestResumeVariants:
         session.fit(checkpoint_path=path, stop_after_epoch=1)
         good_epoch = TrainSession.resume(path).state.epoch
 
-        real_save = session_mod.save_artifact
+        real_collect = session_mod.collect_artifact
 
-        def dying_save(model, out, **kwargs):
-            real_save(model, out, **kwargs)  # bytes hit the temp path...
-            raise OSError("simulated kill mid-checkpoint")
+        def dying_collect(model, **kwargs):
+            pending = real_collect(model, **kwargs)
+            real_write = pending.write
 
-        monkeypatch.setattr(session_mod, "save_artifact", dying_save)
+            def dying_write(out):
+                real_write(out)  # bytes hit the temp path...
+                raise OSError("simulated kill mid-checkpoint")
+
+            pending.write = dying_write
+            return pending
+
+        monkeypatch.setattr(session_mod, "collect_artifact", dying_collect)
         with pytest.raises(OSError, match="simulated"):
             session.fit(checkpoint_path=path, stop_after_epoch=2)
         monkeypatch.undo()
@@ -245,9 +252,11 @@ class TestCheckpointErrors:
 
     def test_truncated_checkpoint_payload_is_typed(self, tmp_path, spec):
         path = self._checkpoint(tmp_path, spec)
+        # checkpoint/model/* aliases the serving payloads in v3, so only the
+        # optimizer slots are guaranteed their own member files.
         victim = next(
             f for f in sorted(os.listdir(os.path.join(path, "payloads")))
-            if f.startswith("checkpoint.model.")
+            if f.startswith("checkpoint.opt.")
         )
         full = os.path.join(path, "payloads", victim)
         blob = open(full, "rb").read()
@@ -291,7 +300,7 @@ class TestVersionCompat:
         session.export(path)
         manifest_path = os.path.join(path, "manifest.json")
         manifest = json.load(open(manifest_path))
-        assert manifest["format_version"] == 2
+        assert manifest["format_version"] == FORMAT_VERSION
         manifest["format_version"] = 1
         with open(manifest_path, "w") as fh:
             json.dump(manifest, fh)
@@ -317,8 +326,8 @@ class TestVersionCompat:
         with pytest.raises(ArtifactVersionError):
             load_artifact(path)
 
-    def test_new_exports_are_v2(self, tmp_path, spec):
+    def test_new_exports_are_current_version(self, tmp_path, spec):
         session = TrainSession(spec)
         session.fit()
         artifact = session.export(str(tmp_path / "a"))
-        assert artifact.manifest["format_version"] == 2
+        assert artifact.manifest["format_version"] == FORMAT_VERSION

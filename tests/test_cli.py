@@ -311,3 +311,53 @@ class TestArtifactBits:
         )
         assert code == 2
         assert "--percentile" in capsys.readouterr().err
+
+
+class TestArtifactInspect:
+    def _artifact(self, tmp_path, name="a"):
+        import numpy as np
+
+        from repro.artifact import save_artifact
+        from repro.models.builder import build_pointwise_ranker
+
+        model = build_pointwise_ranker(
+            "full", 200, 10, input_length=6, embedding_dim=8, rng=0
+        )
+        state = model.state_dict()
+        checkpoint = (
+            {"train_state": {"epoch": 2}},
+            {
+                **{f"model/{k}": v for k, v in state.items()},
+                "opt/velocity.0": np.zeros_like(model.embedding.table.data),
+            },
+        )
+        path = str(tmp_path / name)
+        save_artifact(model, path, checkpoint=checkpoint)
+        return model, path
+
+    def test_inspect_shows_payload_table_and_checkpoint(self, tmp_path, capsys):
+        _model, path = self._artifact(tmp_path)
+        assert main(["artifact", "inspect", path]) == 0
+        out = capsys.readouterr().out
+        assert "format v3" in out
+        assert "alias → embedding/table" in out
+        assert "zeros (elided)" in out
+        assert "epoch 2" in out
+
+    def test_inspect_walks_the_delta_chain(self, tmp_path, capsys):
+        from repro.artifact import save_delta
+
+        model, parent = self._artifact(tmp_path, "parent")
+        model.embedding.table.data[[1, 5]] += 0.5
+        delta = str(tmp_path / "delta")
+        save_delta(model, delta, parent, touched_rows=[1, 5])
+        assert main(["artifact", "inspect", delta]) == 0
+        out = capsys.readouterr().out
+        assert "depth 1" in out
+        assert "manifest sha256 ok" in out
+        assert "rows(2)" in out
+
+    def test_inspect_missing_artifact_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["artifact", "inspect", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "Traceback" not in err

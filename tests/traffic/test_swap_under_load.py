@@ -1,0 +1,118 @@
+"""The continuous-deployment scenario, end to end under live traffic.
+
+Train → export → train one more epoch → export a *delta* → replay traffic
+and ``hot_swap`` onto the delta mid-stream.  The acceptance contract: zero
+requests dropped, the pre-swap bytes match the old artifact, and the
+post-swap bytes are *identical* to a cold load of the new artifact over
+the same stream — for the single-process engine and the ``workers=2``
+runtime alike.  This is the same flow the ``artifact-plane`` CI job runs.
+"""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.artifact import load_artifact
+from repro.serve.session import ServeConfig, ServeSession
+from repro.traffic.model import TrafficModel, TrafficSpec
+from repro.traffic.replay import replay
+from repro.traffic.slo import SLOSpec
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "pipeline"))
+from pipeline_helpers import tiny_spec  # noqa: E402
+
+from repro.pipeline import TrainSession  # noqa: E402
+
+SWAP_STEP = 8
+
+
+@pytest.fixture(scope="module")
+def deployment(tmp_path_factory):
+    """old full export + delta export one epoch later + the traffic spec."""
+    td = tmp_path_factory.mktemp("cd")
+    spec = tiny_spec("full", optimizer="sgd", epochs=2)
+    session = TrainSession(spec)
+    session.fit(stop_after_epoch=1)
+    old = str(td / "old")
+    session.export(old)
+    session.fit()  # one more epoch
+    new = str(td / "new")
+    session.export_delta(new, parent=old)
+
+    art = load_artifact(old)
+    tspec = TrafficSpec(
+        vocab=int(art.manifest["embedding"]["vocab_size"]),
+        input_length=art.input_length, num_users=1_000, num_phases=2,
+        steps_per_phase=8, head_size=24, sessions_per_step=3.0, seed=13,
+    )
+    return old, new, tspec
+
+
+class TestSwapUnderLoad:
+    def test_delta_swap_serves_new_bytes_zero_drops(self, deployment):
+        old, new, tspec = deployment
+        with ServeSession.load(new) as cold:
+            want = replay(cold, TrafficModel(tspec), swap_step=SWAP_STEP)
+        with ServeSession.load(old) as cold_old:
+            before = replay(cold_old, TrafficModel(tspec), swap_step=SWAP_STEP)
+        with ServeSession.load(old) as session:
+            swapped = replay(
+                session, TrafficModel(tspec), swap_path=new, swap_step=SWAP_STEP
+            )
+            assert session.swaps == 1
+        # every request answered (replay raises on drops), the split halves
+        # each bit-identical to the artifact that served them
+        assert swapped.checksum_pre == before.checksum_pre
+        assert swapped.checksum_post == want.checksum_post
+        assert swapped.checksum != before.checksum
+        assert swapped.requests == before.requests
+
+    def test_workers_runtime_swaps_under_load(self, deployment):
+        old, new, tspec = deployment
+        with ServeSession.load(new) as cold:
+            want = replay(cold, TrafficModel(tspec), swap_step=SWAP_STEP)
+        config = ServeConfig(workers=2)
+        with ServeSession.load(old, config) as session:
+            swapped = replay(
+                session, TrafficModel(tspec), swap_path=new, swap_step=SWAP_STEP
+            )
+            assert session.runtime.stats()["hot_swaps"] == 1
+        assert swapped.checksum_post == want.checksum_post
+
+    def test_deadline_mode_swap(self, deployment):
+        old, new, tspec = deployment
+        with ServeSession.load(new) as cold:
+            want = replay(cold, TrafficModel(tspec), swap_step=SWAP_STEP)
+        config = ServeConfig(max_delay_ms=1.0, max_batch=16)
+        with ServeSession.load(old, config) as session:
+            swapped = replay(
+                session, TrafficModel(tspec), swap_path=new, swap_step=SWAP_STEP
+            )
+        assert swapped.checksum_post == want.checksum_post
+
+    def test_slo_holds_across_the_swap(self, deployment):
+        old, new, tspec = deployment
+        with ServeSession.load(old) as session:
+            report = replay(
+                session, TrafficModel(tspec),
+                slo=SLOSpec(max_p99_ms=5_000.0),
+                swap_path=new, swap_step=SWAP_STEP,
+            )
+        assert report.requests > 0
+
+    def test_swap_path_requires_swap_step(self, deployment):
+        old, new, tspec = deployment
+        with ServeSession.load(old) as session:
+            with pytest.raises(ValueError, match="swap_step"):
+                replay(session, TrafficModel(tspec), swap_path=new)
+
+    def test_swap_step_beyond_stream_raises(self, deployment):
+        old, new, tspec = deployment
+        with ServeSession.load(old) as session:
+            with pytest.raises(RuntimeError, match="beyond the end"):
+                replay(
+                    session, TrafficModel(tspec),
+                    swap_path=new, swap_step=10_000,
+                )
