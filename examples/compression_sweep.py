@@ -1,39 +1,84 @@
-"""Sweep every compression technique on one dataset and chart the tradeoff.
+"""Sweep compression techniques as a worker fleet and pick the device winner.
 
-A miniature of the paper's Figure 2 workflow using the public sweep API:
-``run_sweep`` trains the full (technique × hash-size) grid on a
-MovieLens-shaped dataset, then the result renders three ways — the full
-point table, per-technique series, and an ASCII chart of the headline
-curves (compression ratio vs. % nDCG loss, log x-axis, as the paper draws).
+The paper's production workflow end to end through ``repro.sweep``: one
+declarative :class:`SweepSpec` — a base pipeline, a (technique × hash-size
+× export-bits) grid, and an on-device byte budget — fans out across worker
+processes with a shared dataset cache and a crash-safe ledger, then the
+consolidated report ranks every artifact by nDCG-per-byte and names the
+best model that fits on the device.  Kill it mid-run and re-run: the
+ledger resumes, completing only the unfinished points, and the final
+report is byte-identical to an uninterrupted run.
 
 Run:  python examples/compression_sweep.py
 """
 
 from __future__ import annotations
 
-from repro.experiments.report import render_sweep, render_sweep_plot
-from repro.experiments.runner import ExperimentConfig, run_sweep
+import os
+import tempfile
+
+from repro.pipeline import PipelineSpec
+from repro.sweep import SweepIncompleteError, SweepSpec, build_report, resume, run
+from repro.train.trainer import TrainConfig
 from repro.utils import set_verbose
 
 
 def main() -> None:
     set_verbose(True)
-    config = ExperimentConfig(
+    base = PipelineSpec(
+        dataset="movielens",
+        technique="memcom",
+        hyper={"num_hash_embeddings": 256},
         embedding_dim=32,
-        epochs=4,
-        grid_points=3,
+        train=TrainConfig(epochs=4, batch_size=128, lr=2e-3),
+        scale=0.02,
         cap_train=3000,
         cap_eval=800,
+        monitor=False,
     )
-    result = run_sweep("movielens", "pointwise", config, rng=0)
+    sweep = SweepSpec(
+        base=base,
+        points=(
+            {"technique": "full", "hyper": {}},
+            {"technique": "memcom", "hyper.num_hash_embeddings": 256},
+            {"technique": "memcom", "hyper.num_hash_embeddings": 64},
+            {"technique": "hash", "hyper.num_hash_embeddings": 256},
+            {"technique": "hash", "hyper.num_hash_embeddings": 64},
+            {"technique": "memcom", "hyper.num_hash_embeddings": 256, "bits": 8},
+        ),
+        budget_bytes=256 * 1024,  # what fits in the device's embedding budget
+    )
+
+    out = os.path.join(tempfile.mkdtemp(prefix="repro-sweep-"), "movielens")
+    try:
+        run(sweep, out, workers=2)
+    except SweepIncompleteError:
+        resume(out, workers=2)  # a killed worker only costs its in-flight point
+    report = build_report(out)
 
     print()
-    print(render_sweep(result))
+    header = f"{'technique':14} {'hyper':24} {'bits':>4} {'KiB':>8} {'ndcg':>8} {'ndcg/MiB':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in report.rows:
+        hyper = ",".join(f"{k}={v}" for k, v in sorted(row["hyper"].items())) or "-"
+        marker = " <- winner" if row["point_id"] == report.winner else (
+            "" if row["within_budget"] else "  (over budget)"
+        )
+        print(
+            f"{row['technique']:14} {hyper:24} {row['bits']:>4} "
+            f"{row['device_bytes'] / 1024:>8.1f} {row['metric']:>8.4f} "
+            f"{row['metric_per_mib']:>9.4f}{marker}"
+        )
+    winner = report.winner_row()
     print()
-    print(render_sweep_plot(result, techniques=("memcom", "hash", "double_hash", "qr_mult")))
-    print()
-    best = result.best_technique_at(min_ratio=3.0)
-    print(f"lowest-loss technique at ≥3x compression: {best}")
+    if winner is None:
+        print("no artifact fits the device budget — loosen it or compress harder")
+    else:
+        print(
+            f"ship {winner['technique']} ({winner['device_bytes']} bytes ≤ "
+            f"{report.budget_bytes}): {out}/{winner['artifact']}"
+        )
 
 
 if __name__ == "__main__":

@@ -144,6 +144,77 @@ def build_parser() -> argparse.ArgumentParser:
     pp_export.add_argument("--percentile", type=float, default=None)
     pp_export.set_defaults(func=_cmd_pipeline_export)
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="grid sweeps as a worker fleet: run / resume / report "
+        "(shared dataset cache, crash-safe ledger, accuracy-per-byte winner)",
+    )
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+
+    ps_run = sweep_sub.add_parser(
+        "run", help="start a sweep: fan the grid out across worker processes"
+    )
+    ps_run.add_argument("out", help="sweep directory (ledger + artifacts; must be fresh)")
+    ps_run.add_argument("--dataset", choices=sorted(DATASETS), default="movielens")
+    ps_run.add_argument(
+        "--techniques", default="memcom,hash",
+        help="comma-separated technique list (default: memcom,hash)",
+    )
+    ps_run.add_argument(
+        "--fractions", default="16",
+        help="comma-separated hash fractions; each technique sweeps "
+        "hash/keep size = vocab / fraction (default: 16)",
+    )
+    ps_run.add_argument(
+        "--bits", default="32",
+        help="comma-separated export widths from {32,8,4} (default: 32)",
+    )
+    ps_run.add_argument(
+        "--budget-kb", type=float, default=None, metavar="KB",
+        help="on-device byte budget the report's winner must fit (KiB)",
+    )
+    ps_run.add_argument("--workers", type=int, default=2,
+                        help="worker processes (0 = serial in-process)")
+    ps_run.add_argument("--scale", type=float, default=1.0, help="bench-scale multiplier")
+    ps_run.add_argument("--epochs", type=int, default=4)
+    ps_run.add_argument("--batch-size", type=int, default=128)
+    ps_run.add_argument("--lr", type=float, default=2e-3)
+    ps_run.add_argument("--embedding-dim", type=int, default=32)
+    ps_run.add_argument("--seed", type=int, default=0)
+    ps_run.add_argument(
+        "--distill", action="store_true",
+        help="train every point as a student of a shared full-table teacher "
+        "(the teacher trains once, in the parent, before fan-out)",
+    )
+    ps_run.add_argument("--distill-alpha", type=float, default=0.5,
+                        help="soft-target blend weight (with --distill)")
+    ps_run.add_argument("--distill-temperature", type=float, default=2.0,
+                        help="distillation temperature (with --distill)")
+    ps_run.set_defaults(func=_cmd_sweep_run)
+
+    ps_resume = sweep_sub.add_parser(
+        "resume", help="complete an interrupted sweep (only unfinished points re-run)"
+    )
+    ps_resume.add_argument("out", help="sweep directory of the interrupted run")
+    ps_resume.add_argument("--workers", type=int, default=2,
+                          help="worker processes (0 = serial in-process)")
+    ps_resume.set_defaults(func=_cmd_sweep_resume)
+
+    ps_report = sweep_sub.add_parser(
+        "report", help="rank a completed sweep by metric-per-byte; name the winner"
+    )
+    ps_report.add_argument("out", help="sweep directory")
+    ps_report.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the deterministic report JSON here",
+    )
+    ps_report.add_argument(
+        "--export-winner", default=None, metavar="PATH",
+        help="copy the budget winner's serving artifact to PATH "
+        "(exit 1 when nothing fits the budget)",
+    )
+    ps_report.set_defaults(func=_cmd_sweep_report)
+
     p_art = sub.add_parser(
         "artifact",
         help="inspect on-disk artifacts: format, payload/alias table, "
@@ -284,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also bench the fault-tolerant multi-process runtime with this "
         "many supervised shard workers (requires --artifact — the workers' "
         "respawn source; 0 = single-process only)",
+    )
+    p_serve.add_argument(
+        "--smoke", action="store_true",
+        help="clamp the workload to a few batches — a seconds-cheap "
+        "does-it-serve check (CI gates sweep winners with this)",
     )
     p_serve.add_argument(
         "--chaos", default=None,
@@ -568,6 +644,210 @@ def _cmd_pipeline_export(args: argparse.Namespace) -> int:
     return _export_and_verify(session, args.out, args.bits, percentile=args.percentile)
 
 
+def _parse_csv(raw: str, kind: str, cast) -> list:
+    try:
+        values = [cast(v.strip()) for v in raw.split(",") if v.strip()]
+    except ValueError:
+        raise ValueError(f"--{kind} must be a comma-separated list, got {raw!r}") from None
+    if not values:
+        raise ValueError(f"--{kind} must list at least one value, got {raw!r}")
+    return values
+
+
+def _validate_sweep_run_args(args: argparse.Namespace) -> str | None:
+    """First invalid `sweep run` argument as a one-line message (None = good)."""
+    for flag, value in (
+        ("--scale", args.scale),
+        ("--epochs", args.epochs),
+        ("--batch-size", args.batch_size),
+        ("--lr", args.lr),
+        ("--embedding-dim", args.embedding_dim),
+        ("--distill-temperature", args.distill_temperature),
+    ):
+        if value <= 0:
+            return f"{flag} must be positive, got {value}"
+    if args.workers < 0:
+        return f"--workers must be >= 0 (0 = serial), got {args.workers}"
+    if args.budget_kb is not None and args.budget_kb <= 0:
+        return f"--budget-kb must be positive, got {args.budget_kb}"
+    if not 0.0 <= args.distill_alpha <= 1.0:
+        return f"--distill-alpha must be in [0, 1], got {args.distill_alpha}"
+    try:
+        techniques = _parse_csv(args.techniques, "techniques", str)
+        fractions = _parse_csv(args.fractions, "fractions", int)
+        bits = _parse_csv(args.bits, "bits", int)
+    except ValueError as exc:
+        return str(exc)
+    for tech in techniques:
+        if tech not in available_techniques():
+            return (
+                f"unknown technique {tech!r} in --techniques; "
+                f"available: {', '.join(available_techniques())}"
+            )
+    for fraction in fractions:
+        if fraction <= 0:
+            return f"--fractions entries must be positive, got {fraction}"
+    for b in bits:
+        if b not in (32, 8, 4):
+            return f"--bits entries must be from {{32, 8, 4}}, got {b}"
+    return None
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    error = _validate_sweep_run_args(args)
+    if error is not None:
+        print(f"repro sweep run: error: {error}", file=sys.stderr)
+        return 2
+    # Imports after validation: the sweep stack is the full training stack.
+    from repro.experiments.runner import BENCH_SCALES, ExperimentConfig
+    from repro.pipeline import PipelineSpec
+    from repro.sweep import SweepError, SweepIncompleteError, SweepSpec
+    from repro.sweep import run as sweep_run
+    from repro.train.distill import DistillConfig
+    from repro.train.trainer import TrainConfig
+
+    set_verbose(True)
+    techniques = _parse_csv(args.techniques, "techniques", str)
+    fractions = _parse_csv(args.fractions, "fractions", int)
+    bits_axis = _parse_csv(args.bits, "bits", int)
+    bench = ExperimentConfig()
+    distill = None
+    if args.distill:
+        distill = DistillConfig(
+            temperature=args.distill_temperature, alpha=args.distill_alpha
+        )
+    try:
+        base = PipelineSpec(
+            dataset=args.dataset,
+            technique=techniques[0],
+            embedding_dim=args.embedding_dim,
+            scale=BENCH_SCALES[args.dataset] * args.scale,
+            cap_train=bench.cap_train,
+            cap_eval=bench.cap_eval,
+            train=TrainConfig(
+                epochs=args.epochs, batch_size=args.batch_size, lr=args.lr,
+                seed=args.seed,
+            ),
+            distill=distill,
+            seed=args.seed,
+            monitor=False,
+        )
+        vocab = base.data_spec().input_vocab
+        points = [
+            {
+                "technique": tech,
+                "hyper": _default_hyper(tech, vocab, args.embedding_dim, fraction),
+                "bits": b,
+            }
+            for tech in techniques
+            for fraction in fractions
+            for b in bits_axis
+        ]
+        budget = None if args.budget_kb is None else int(args.budget_kb * 1024)
+        sweep = SweepSpec(base=base, points=tuple(points), budget_bytes=budget)
+    except (KeyError, ValueError, SweepError) as exc:
+        print(f"repro sweep run: error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        records = sweep_run(sweep, args.out, workers=args.workers)
+    except SweepIncompleteError as exc:
+        print(f"repro sweep run: error: {exc}", file=sys.stderr)
+        return 1
+    except SweepError as exc:
+        print(f"repro sweep run: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"\nsweep complete: {len(records)} points at {args.out}")
+    print(f"rank them with: repro sweep report {args.out}")
+    return 0
+
+
+def _cmd_sweep_resume(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepError, SweepIncompleteError
+    from repro.sweep import resume as sweep_resume
+
+    if args.workers < 0:
+        print(
+            f"repro sweep resume: error: --workers must be >= 0 (0 = serial), "
+            f"got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    set_verbose(True)
+    try:
+        records = sweep_resume(args.out, workers=args.workers)
+    except SweepIncompleteError as exc:
+        print(f"repro sweep resume: error: {exc}", file=sys.stderr)
+        return 1
+    except SweepError as exc:
+        print(f"repro sweep resume: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"\nsweep complete: {len(records)} points at {args.out}")
+    return 0
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    import os
+    import shutil
+
+    from repro.sweep import SweepError, build_report
+
+    try:
+        report = build_report(args.out)
+    except SweepError as exc:
+        print(f"repro sweep report: error: {exc}", file=sys.stderr)
+        return 2
+    budget = (
+        "unconstrained" if report.budget_bytes is None
+        else f"{report.budget_bytes:,} bytes"
+    )
+    rows = [
+        (
+            "*" if row["point_id"] == report.winner
+            else ("" if row["within_budget"] else "x"),
+            row["technique"],
+            ",".join(f"{k}={v}" for k, v in sorted(row["hyper"].items())) or "-",
+            row["bits"],
+            f"{row['device_bytes'] / 1024:.1f}",
+            f"{row['metric']:.4f}",
+            f"{row['metric_per_mib']:.4f}",
+        )
+        for row in report.rows
+    ]
+    print(format_table(
+        ["", "technique", "hyper", "bits", "KiB", report.metric_name,
+         f"{report.metric_name}/MiB"],
+        rows,
+        title=f"sweep report: {len(report.rows)} points, budget {budget} "
+        f"(* winner, x over budget)",
+    ))
+    if args.json is not None:
+        report.save(args.json)
+        print(f"wrote {os.path.abspath(args.json)}")
+    winner = report.winner_row()
+    if winner is None:
+        print(
+            "repro sweep report: error: no artifact fits the device budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"\nwinner: {winner['technique']} ({winner['device_bytes']:,} device "
+        f"bytes, {report.metric_name}={winner['metric']:.4f})"
+    )
+    if args.export_winner is not None:
+        src = os.path.join(args.out, winner["artifact"])
+        if os.path.exists(args.export_winner):
+            print(
+                f"repro sweep report: error: --export-winner target "
+                f"{args.export_winner!r} already exists",
+                file=sys.stderr,
+            )
+            return 2
+        shutil.copytree(src, args.export_winner)
+        print(f"exported winner artifact to {args.export_winner}")
+    return 0
+
+
 def _cmd_artifact_inspect(args: argparse.Namespace) -> int:
     import os as _os
 
@@ -813,6 +1093,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if error is not None:
         print(f"repro serve-bench: error: {error}", file=sys.stderr)
         return 2
+    if args.smoke:
+        # A handful of batches: enough to exercise load → plan → predict,
+        # cheap enough for a per-PR CI gate.  Same shapes, fewer requests.
+        args.requests = min(args.requests, 8 * args.batch_size)
     if args.chaos is not None:
         return _cmd_serve_chaos(args)
 

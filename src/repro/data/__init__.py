@@ -13,6 +13,7 @@ from repro.data.datasets import (
     load_pairwise,
     table2_rows,
 )
+from repro.data.cache import DatasetCache
 from repro.data.loader import iterate_batches, num_batches
 from repro.data.spec import DatasetSpec
 from repro.data.synthetic import (
@@ -36,6 +37,7 @@ __all__ = [
     "CLASSIFICATION_DATASETS",
     "DATASETS",
     "Dataset",
+    "DatasetCache",
     "DatasetSpec",
     "PairwiseDataset",
     "RANKING_DATASETS",

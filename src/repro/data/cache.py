@@ -1,0 +1,104 @@
+"""Shared on-disk dataset cache for multi-process sweeps.
+
+A grid sweep fans N grid points out across W worker processes, and many
+points share the same dataset (same preset, scale, caps, and seed — only
+the model-side knobs differ).  Regenerating the data N times is pure
+waste; worse, it makes each worker's startup cost scale with dataset
+size.  :class:`DatasetCache` materializes each distinct dataset **exactly
+once** as an ``.npz`` under a cache root, keyed by a content hash of the
+complete generation recipe, and every later request — same process or
+not — loads the arrays from disk.
+
+Writes are crash-safe: the file lands at a per-process temporary path and
+is :func:`os.replace`-d into place, so two workers racing to materialize
+the same key both end up with a complete file and a torn write is never
+visible.  Because generation is deterministic in ``(spec, pairwise,
+seed)``, the racers produce identical bytes and the race is benign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.data.spec import DatasetSpec
+from repro.data.synthetic import (
+    Dataset,
+    PairwiseDataset,
+    generate_dataset,
+    generate_pairwise,
+)
+from repro.utils.rng import ensure_rng
+
+__all__ = ["DatasetCache"]
+
+_DATASET_FIELDS = ("x_train", "y_train", "x_eval", "y_eval")
+_PAIRWISE_FIELDS = (
+    "x_train", "pos_train", "neg_train", "x_eval", "pos_eval", "neg_eval",
+)
+
+
+class DatasetCache:
+    """Content-addressed ``.npz`` store of generated datasets.
+
+    ``root`` is created on first use.  The cache is keyed on the complete
+    generation recipe — the :class:`DatasetSpec`'s full field set, the
+    pairwise flag, and the seed — so two recipes that could ever produce
+    different arrays can never collide on a key.
+    """
+
+    def __init__(self, root: str) -> None:
+        if not root or not isinstance(root, str):
+            raise ValueError("cache root must be a non-empty path")
+        self.root = root
+
+    @staticmethod
+    def key(spec: DatasetSpec, pairwise: bool, seed: int) -> str:
+        """Stable content key for one generation recipe."""
+        if not isinstance(spec, DatasetSpec):
+            raise TypeError(f"spec must be a DatasetSpec, got {type(spec).__name__}")
+        recipe = {"spec": asdict(spec), "pairwise": bool(pairwise), "seed": int(seed)}
+        blob = json.dumps(recipe, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def path_for(self, spec: DatasetSpec, pairwise: bool, seed: int) -> str:
+        return os.path.join(self.root, self.key(spec, pairwise, seed) + ".npz")
+
+    def materialize(self, spec: DatasetSpec, pairwise: bool, seed: int) -> str:
+        """Generate-if-missing; returns the cached file's path."""
+        path = self.path_for(spec, pairwise, seed)
+        if os.path.exists(path):
+            return path
+        os.makedirs(self.root, exist_ok=True)
+        rng = ensure_rng(int(seed))
+        data = generate_pairwise(spec, rng) if pairwise else generate_dataset(spec, rng)
+        fields = _PAIRWISE_FIELDS if pairwise else _DATASET_FIELDS
+        payload = {name: getattr(data, name) for name in fields}
+        payload["spec_json"] = np.frombuffer(
+            json.dumps(asdict(spec), sort_keys=True).encode(), dtype=np.uint8
+        )
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **payload)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+        return path
+
+    def load(
+        self, spec: DatasetSpec, pairwise: bool, seed: int
+    ) -> Dataset | PairwiseDataset:
+        """The recipe's dataset, generated at most once per cache root."""
+        path = self.materialize(spec, pairwise, seed)
+        with np.load(path) as archive:
+            if pairwise:
+                return PairwiseDataset(
+                    spec, *(archive[name] for name in _PAIRWISE_FIELDS)
+                )
+            return Dataset(spec, *(archive[name] for name in _DATASET_FIELDS))

@@ -22,7 +22,7 @@ from repro.data.datasets import get_spec
 from repro.data.spec import DatasetSpec
 from repro.data.synthetic import Dataset, PairwiseDataset, generate_dataset, generate_pairwise
 from repro.metrics.accuracy import relative_loss_percent
-from repro.pipeline import PipelineSpec, TrainSession
+from repro.pipeline import PipelineSpec
 from repro.train.trainer import TrainConfig
 from repro.utils.logging import log
 from repro.utils.rng import ensure_rng
@@ -263,19 +263,21 @@ def train_point(
 ) -> tuple[float, int]:
     """Train one sweep point; returns (metric, parameter count).
 
-    One :class:`~repro.pipeline.TrainSession` per seed over the shared
-    ``data``; with ``config.num_seeds > 1`` the metric is the mean over
-    independently seeded trainings on the same data.
+    Each seed executes through :func:`repro.sweep.runner.execute_point` —
+    the same front door the multi-process sweep fleet uses — over the
+    shared ``data``; with ``config.num_seeds > 1`` the metric is the mean
+    over independently seeded trainings on the same data.
     """
+    from repro.sweep.runner import execute_point
+
     metrics = []
     params = 0
     for i in range(max(1, config.num_seeds)):
         seed = config.seed + i
         spec = point_spec(architecture, technique, hyper, data.spec.name, config, seed)
-        session = TrainSession(spec, data=data)
-        session.fit()
-        metrics.append(session.evaluate()[session.metric_name])
-        params = session.model.num_parameters()
+        result = execute_point(spec, data)
+        metrics.append(result.metric)
+        params = result.params
     return float(np.mean(metrics)), params
 
 

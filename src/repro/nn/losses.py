@@ -19,6 +19,7 @@ from repro.nn.tensor import Tensor
 
 __all__ = [
     "softmax_cross_entropy",
+    "distillation_loss",
     "ranknet_loss",
     "binary_cross_entropy_with_logits",
     "mse_loss",
@@ -53,6 +54,81 @@ def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
         probs = np.exp(x - lse[:, None])
         probs[np.arange(b), labels] -= 1.0
         logits._accumulate((probs * (float(g) / b)).astype(x.dtype))
+
+    return Tensor._make(np.asarray(loss_val, dtype=x.dtype), (logits,), backward)
+
+
+def distillation_loss(
+    logits: Tensor,
+    teacher_logits: np.ndarray,
+    labels: np.ndarray,
+    temperature: float = 2.0,
+    alpha: float = 0.5,
+) -> Tensor:
+    """Hinton-style distillation: soft teacher targets blended with hard CE.
+
+    ``loss = α·T²·CE(softmax(t/T), softmax(x/T)) + (1-α)·CE(x, labels)``
+
+    where ``x`` are the student ``logits`` (B, C), ``t`` the frozen
+    ``teacher_logits`` (B, C — a constant, no gradient flows to the
+    teacher), ``T`` the ``temperature`` and ``α`` the soft/hard blend.  The
+    ``T²`` factor keeps the soft term's gradient magnitude independent of
+    the temperature (Hinton et al. 2015), so ``α`` means the same thing at
+    every ``T``.  Fused closed-form backward:
+
+    ``∂loss/∂x = [α·T·(softmax(x/T) − softmax(t/T))
+                  + (1−α)·(softmax(x) − onehot(labels))] / B``
+
+    At ``α = 0`` this is bit-identical to :func:`softmax_cross_entropy`.
+    """
+    labels = np.asarray(labels)
+    if labels.dtype.kind not in "iu":
+        raise TypeError(f"labels must be integers, got {labels.dtype}")
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (B, C), got {logits.shape}")
+    teacher = np.asarray(teacher_logits, dtype=logits.data.dtype)
+    if teacher.shape != logits.shape:
+        raise ValueError(
+            f"teacher logits shape {teacher.shape} != student shape {logits.shape}"
+        )
+    b, c = logits.shape
+    if labels.shape != (b,):
+        raise ValueError(f"labels shape {labels.shape} != ({b},)")
+    if labels.size and (labels.min() < 0 or labels.max() >= c):
+        raise IndexError(f"label out of range [0, {c})")
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+
+    x = logits.data
+    t_inv = 1.0 / temperature
+
+    # Hard term — same arithmetic as softmax_cross_entropy, so α = 0
+    # degenerates to it exactly.
+    x_max = x.max(axis=1, keepdims=True)
+    lse = np.log(np.exp(x - x_max).sum(axis=1)) + x_max[:, 0]
+    hard = (lse - x[np.arange(b), labels]).mean(dtype=np.float64)
+
+    # Soft term — cross-entropy of the temperature-softened distributions:
+    # mean_b[ lse(x/T) − Σ_c p_bc · x_bc/T ] with p = softmax(t/T) constant.
+    xt = x * t_inv
+    xt_max = xt.max(axis=1, keepdims=True)
+    lse_t = np.log(np.exp(xt - xt_max).sum(axis=1)) + xt_max[:, 0]
+    tt = teacher * t_inv
+    tt_max = tt.max(axis=1, keepdims=True)
+    p = np.exp(tt - tt_max)
+    p /= p.sum(axis=1, keepdims=True)
+    soft = (lse_t - (p * xt).sum(axis=1)).mean(dtype=np.float64)
+
+    loss_val = alpha * temperature**2 * soft + (1.0 - alpha) * hard
+
+    def backward(g: np.ndarray) -> None:
+        probs = np.exp(x - lse[:, None])
+        probs[np.arange(b), labels] -= 1.0
+        grad = (1.0 - alpha) * probs
+        grad += (alpha * temperature) * (np.exp(xt - lse_t[:, None]) - p)
+        logits._accumulate((grad * (float(g) / b)).astype(x.dtype))
 
     return Tensor._make(np.asarray(loss_val, dtype=x.dtype), (logits,), backward)
 

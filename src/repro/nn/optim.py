@@ -92,13 +92,44 @@ class Optimizer:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.params = params
         self.lr = lr
+        #: cumulative count of parameter rows the applied gradients touched —
+        #: a sparse batch advances this by its distinct embedding rows, a
+        #: dense gradient by the parameter's full first dimension.  Row-aware
+        #: warmup schedules (:class:`repro.nn.schedulers.RowWarmup`) read
+        #: this clock instead of counting steps.
+        self.rows_applied = 0
 
     def zero_grad(self) -> None:
         for p in self.params:
             p.zero_grad()
 
-    def step(self) -> None:  # pragma: no cover - interface
+    def step(self) -> None:
+        """Advance the row clock, then apply the subclass update."""
+        self.rows_applied += self._grad_rows()
+        self._apply_step()
+
+    def _apply_step(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def _grad_rows(self) -> int:
+        """Rows the pending gradients touch (first-axis convention).
+
+        Sparse grads count their distinct (coalesced) rows; a dense gradient
+        touches every row of its parameter — for a non-embedding parameter
+        (a tower weight matrix, a bias vector) that is its full first
+        dimension, which keeps the clock identical to a step counter scaled
+        by total rows when training is fully dense.
+        """
+        rows = 0
+        for p in self.params:
+            if p.raw_grad is None:
+                continue
+            sg = p.sparse_grad
+            if sg is not None:
+                rows += sg.nnz_rows
+            else:
+                rows += int(p.data.shape[0]) if p.data.ndim else 1
+        return rows
 
     # -- state (for resumable training checkpoints) ---------------------------
 
@@ -113,12 +144,16 @@ class Optimizer:
     def state_scalars(self) -> dict[str, float | int]:
         """Scalar state (step counters) serialized alongside the slots.
 
-        ``lr`` is included so a schedule-mutated rate survives a resume.
+        ``lr`` is included so a schedule-mutated rate survives a resume;
+        ``rows_applied`` keeps the row-warmup clock continuous.
         """
-        return {"lr": float(self.lr)}
+        return {"lr": float(self.lr), "rows_applied": int(self.rows_applied)}
 
     def load_state_scalars(self, scalars: dict) -> None:
         self.lr = float(scalars["lr"])
+        # Checkpoints from before the row clock existed carry no counter;
+        # resuming them starts the clock at zero rather than failing.
+        self.rows_applied = int(scalars.get("rows_applied", 0))
 
     def state_dict(self) -> dict[str, np.ndarray]:
         """Slot arrays keyed ``<slot>.<param index>`` — the layout a
@@ -186,7 +221,7 @@ class SGD(Optimizer):
     def state_slots(self) -> dict[str, list[np.ndarray] | None]:
         return {"velocity": self._velocity}
 
-    def step(self) -> None:
+    def _apply_step(self) -> None:
         for p, v in zip(self.params, self._velocity):
             if p.raw_grad is None:
                 continue
@@ -259,13 +294,13 @@ class Adam(Optimizer):
         return {"m": self._m, "v": self._v}
 
     def state_scalars(self) -> dict[str, float | int]:
-        return {"lr": float(self.lr), "t": int(self._t)}
+        return {**super().state_scalars(), "t": int(self._t)}
 
     def load_state_scalars(self, scalars: dict) -> None:
         super().load_state_scalars(scalars)
         self._t = int(scalars["t"])
 
-    def step(self) -> None:
+    def _apply_step(self) -> None:
         self._t += 1
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1**self._t
@@ -335,7 +370,7 @@ class Adagrad(Optimizer):
     def state_slots(self) -> dict[str, list[np.ndarray] | None]:
         return {"acc": self._acc}
 
-    def step(self) -> None:
+    def _apply_step(self) -> None:
         for p, acc in zip(self.params, self._acc):
             if p.raw_grad is None:
                 continue
@@ -385,7 +420,7 @@ class RMSProp(Optimizer):
     def state_slots(self) -> dict[str, list[np.ndarray] | None]:
         return {"sq": self._sq, "vel": self._vel}
 
-    def step(self) -> None:
+    def _apply_step(self) -> None:
         for i, (p, sq) in enumerate(zip(self.params, self._sq)):
             if p.raw_grad is None:
                 continue

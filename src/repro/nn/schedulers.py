@@ -21,6 +21,7 @@ __all__ = [
     "ExponentialDecay",
     "CosineAnnealing",
     "LinearWarmup",
+    "RowWarmup",
     "ReduceOnPlateau",
     "build_scheduler",
 ]
@@ -125,6 +126,59 @@ class LinearWarmup(Scheduler):
         return self.after.lr_at(t - self.warmup)
 
 
+class RowWarmup(Scheduler):
+    """Warmup driven by the optimizer's cumulative *touched-row* clock.
+
+    :class:`LinearWarmup` counts scheduler steps, which over-trusts early
+    steps under row-sparse training: a sparse batch updates only its touched
+    embedding rows, so after ``warmup`` steps most of the table has seen far
+    fewer updates than the step count suggests.  ``RowWarmup`` instead ramps
+    ``0 → lr₀`` as ``optimizer.rows_applied`` (advanced by every
+    ``Optimizer.step``) approaches ``row_target`` — the warmup ends when a
+    target *volume of row-updates* has actually been applied, not when a
+    step quota has elapsed.
+
+    At full density the two are identical: every step applies all ``R``
+    rows, so ``row_target = warmup · R`` reproduces ``LinearWarmup(warmup)``
+    exactly.  Under sparse batches the row clock advances slower and the
+    warmup holds the rate down until the same update volume has landed.
+
+    ``after`` delegates post-warmup, with its clock starting at the step
+    the row target was reached (mirroring ``LinearWarmup``).
+    """
+
+    def __init__(
+        self, optimizer: Optimizer, row_target: int, after: Scheduler | None = None
+    ) -> None:
+        super().__init__(optimizer)
+        if row_target <= 0:
+            raise ValueError("row_target must be positive")
+        if after is not None and after.optimizer is not optimizer:
+            raise ValueError("after-scheduler must wrap the same optimizer")
+        self.row_target = int(row_target)
+        self.after = after
+        #: step at which the row target was reached (None = still warming);
+        #: checkpointed so the after-schedule clock survives a resume.
+        self._done_t: int | None = None
+
+    def step(self, metric: float | None = None) -> float:
+        self.t += 1
+        if self._done_t is not None:
+            self.optimizer.lr = (
+                self.base_lr if self.after is None
+                else self.after.lr_at(self.t - self._done_t)
+            )
+        elif self.optimizer.rows_applied >= self.row_target:
+            self._done_t = self.t
+            self.optimizer.lr = self.base_lr
+        else:
+            self.optimizer.lr = self.base_lr * self.optimizer.rows_applied / self.row_target
+        return self.optimizer.lr
+
+    def lr_at(self, t: int) -> float:  # the row clock is stateful
+        return self.optimizer.lr
+
+
 class ReduceOnPlateau(Scheduler):
     """Multiply the rate by ``factor`` when the metric stalls.
 
@@ -169,11 +223,17 @@ class ReduceOnPlateau(Scheduler):
         return self.optimizer.lr
 
 
-def build_scheduler(name: str, optimizer: Optimizer, total_steps: int) -> Scheduler:
+def build_scheduler(
+    name: str,
+    optimizer: Optimizer,
+    total_steps: int,
+    row_target: int | None = None,
+) -> Scheduler:
     """Construct a schedule by name (the trainer's ``lr_schedule`` knob).
 
     ``total_steps`` sizes the horizon-dependent schedules (cosine's period,
-    step decay's interval).
+    step decay's interval); ``row_target`` is required by (and only by)
+    ``row_warmup`` — the cumulative touched-row volume that ends the warmup.
     """
     if name == "constant":
         return ConstantLR(optimizer)
@@ -185,6 +245,11 @@ def build_scheduler(name: str, optimizer: Optimizer, total_steps: int) -> Schedu
         return ExponentialDecay(optimizer, gamma=0.05 ** (1.0 / max(total_steps, 1)))
     if name == "plateau":
         return ReduceOnPlateau(optimizer)
+    if name == "row_warmup":
+        if row_target is None:
+            raise ValueError("lr schedule 'row_warmup' requires row_target (warmup_rows)")
+        return RowWarmup(optimizer, row_target=row_target)
     raise KeyError(
-        f"unknown lr schedule {name!r}; available: constant, cosine, step, exponential, plateau"
+        f"unknown lr schedule {name!r}; available: constant, cosine, step, "
+        "exponential, plateau, row_warmup"
     )

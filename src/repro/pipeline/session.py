@@ -52,6 +52,18 @@ __all__ = ["CheckpointWrite", "TrainSession"]
 _TASK_OF = {"classifier": "classification", "pointwise": "ranking", "ranknet": "pairwise"}
 
 
+def _artifact_logits(path: str, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
+    """Teacher logits over ``x`` from a frozen serving artifact at ``path``."""
+    from repro.serve.session import ServeSession
+
+    session = ServeSession.load(path)
+    chunks = [
+        session.predict(x[start : start + batch_size])
+        for start in range(0, len(x), batch_size)
+    ]
+    return np.concatenate(chunks, axis=0)
+
+
 def _remove_path(path: str) -> None:
     """Delete a checkpoint artifact — dir or zip — if present."""
     if os.path.isdir(path):
@@ -95,6 +107,7 @@ class TrainSession:
         spec: PipelineSpec,
         data: Dataset | PairwiseDataset | None = None,
         callbacks: list | None = None,
+        teacher_logits: np.ndarray | None = None,
     ) -> None:
         if not isinstance(spec, PipelineSpec):
             raise TypeError(f"spec must be a PipelineSpec, got {type(spec).__name__}")
@@ -107,8 +120,11 @@ class TrainSession:
                 f"architecture {self.architecture!r} "
                 f"{'requires' if needs_pairs else 'cannot train on'} pairwise data"
             )
+        if teacher_logits is not None and spec.distill is None:
+            raise ValueError("teacher_logits given but the spec has no distill config")
         self.model = spec.build_model(self.data.spec)
         self.trainer = spec.build_trainer(callbacks)
+        self._teacher_logits = teacher_logits
         self._state: TrainState | None = None
         self._ckpt_write: CheckpointWrite | None = None
 
@@ -116,6 +132,8 @@ class TrainSession:
 
     @property
     def task(self) -> str:
+        if self.spec.distill is not None:
+            return "distillation"
         return _TASK_OF[self.architecture]
 
     @property
@@ -192,9 +210,17 @@ class TrainSession:
         else:
             if spec.monitor:
                 x_val, y_val = d.x_eval, d.y_eval
+            distill_kwargs = {}
+            if spec.distill is not None:
+                distill_kwargs = dict(
+                    teacher=self.teacher_logits(),
+                    distill=spec.distill,
+                    hard_task=_TASK_OF[self.architecture],
+                )
             history = self._run_fit(
                 d.x_train, d.y_train, x_val, y_val,
                 epoch_hook=hook, max_epochs=stop_after_epoch,
+                **distill_kwargs,
             )
         if checkpoint_path is not None and self.finished:
             # Post-finalization write: the model now holds the best weights
@@ -213,6 +239,43 @@ class TrainSession:
         )
         self._state = self.trainer.last_state
         return history
+
+    def teacher_logits(self) -> np.ndarray:
+        """The frozen teacher's (N_train, C) logits for distillation.
+
+        Resolution order: logits injected at construction (the sweep runner
+        pre-trains one shared teacher per grid), else a frozen artifact at
+        ``distill.teacher_path`` served through ``ServeSession``, else a
+        full-table teacher trained inline from
+        :func:`repro.train.distill.teacher_spec_for` — deterministic in the
+        spec's seed either way, so a resumed student recomputes identical
+        logits and stays bit-identical to an uninterrupted run.
+        """
+        distill = self.spec.distill
+        if distill is None:
+            raise ValueError("spec carries no distillation config")
+        if self._teacher_logits is None:
+            if distill.teacher_path is not None:
+                self._teacher_logits = _artifact_logits(
+                    distill.teacher_path, self.data.x_train
+                )
+            else:
+                from repro.train.distill import teacher_spec_for
+
+                teacher = TrainSession(teacher_spec_for(self.spec), data=self.data)
+                teacher.fit()
+                from repro.metrics.evaluator import predict_scores
+
+                self._teacher_logits = predict_scores(
+                    teacher.model, self.data.x_train
+                )
+        logits = np.asarray(self._teacher_logits)
+        expected = (len(self.data.x_train), self.data.spec.output_vocab)
+        if logits.shape != expected:
+            raise ValueError(
+                f"teacher logits shape {logits.shape} != expected {expected}"
+            )
+        return logits
 
     def evaluate(self) -> dict[str, float]:
         """Held-out metrics for the task (accuracy family or nDCG family)."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
 
+from repro.train.distill import DistillConfig
 from repro.train.dp import DPConfig, DPTrainer
 from repro.train.trainer import TrainConfig, Trainer
 from repro.utils.rng import ensure_rng
@@ -53,6 +54,11 @@ class PipelineSpec:
     train / dp:
         The optimization loop config; setting ``dp`` trains with the
         DP-SGD gradient treatment (Appendix A.3).
+    distill:
+        Train the model as a *student* against a full-table teacher's
+        logits (:class:`~repro.train.distill.DistillConfig`); the session
+        acquires the teacher per the config.  Incompatible with the
+        pairwise ``ranknet`` architecture (no per-example logits).
     seed:
         Seeds both the data generator and the model initializer.
     monitor:
@@ -74,6 +80,7 @@ class PipelineSpec:
     input_length: int | None = None
     train: TrainConfig = field(default_factory=TrainConfig)
     dp: DPConfig | None = None
+    distill: DistillConfig | None = None
     seed: int = 0
     monitor: bool = True
     ndcg_k: int = 10
@@ -112,6 +119,14 @@ class PipelineSpec:
             raise ValueError("train must be a TrainConfig")
         if self.dp is not None and not isinstance(self.dp, DPConfig):
             raise ValueError("dp must be a DPConfig or None")
+        if self.distill is not None:
+            if not isinstance(self.distill, DistillConfig):
+                raise ValueError("distill must be a DistillConfig or None")
+            if self.architecture == "ranknet":
+                raise ValueError(
+                    "distillation requires per-example logits; the pairwise "
+                    "ranknet architecture has none"
+                )
         if self.ndcg_k <= 0:
             raise ValueError(f"ndcg_k must be positive, got {self.ndcg_k}")
         if self.bits not in _VALID_BITS:
@@ -215,6 +230,7 @@ class PipelineSpec:
         out["hyper"] = dict(self.hyper)
         out["train"] = asdict(self.train)
         out["dp"] = None if self.dp is None else asdict(self.dp)
+        out["distill"] = None if self.distill is None else asdict(self.distill)
         return out
 
     @classmethod
@@ -231,6 +247,8 @@ class PipelineSpec:
             train = TrainConfig(**payload.pop("train"))
             dp_data = payload.pop("dp", None)
             dp = None if dp_data is None else DPConfig(**dp_data)
-            return cls(train=train, dp=dp, **payload)
+            distill_data = payload.pop("distill", None)
+            distill = None if distill_data is None else DistillConfig(**distill_data)
+            return cls(train=train, dp=dp, distill=distill, **payload)
         except TypeError as exc:
             raise ValueError(f"malformed pipeline spec manifest: {exc}") from exc

@@ -1,0 +1,36 @@
+"""`repro.sweep` — fleet orchestration for compression grid sweeps.
+
+One declarative :class:`SweepSpec` (base pipeline + grid axes + device
+byte budget) fans out across worker processes, shares one dataset
+materialization per recipe, records progress in a crash-safe ledger, and
+consolidates into a deterministic accuracy-per-byte :class:`SweepReport`
+naming the artifact to ship.  ``repro sweep run/resume/report`` is the
+CLI surface.
+"""
+
+from repro.sweep.ledger import SweepLedger
+from repro.sweep.report import SweepReport, build_report
+from repro.sweep.runner import (
+    PointResult,
+    SweepIncompleteError,
+    device_bytes_for,
+    execute_point,
+    resume,
+    run,
+)
+from repro.sweep.spec import SweepError, SweepSpec, point_id_for
+
+__all__ = [
+    "PointResult",
+    "SweepError",
+    "SweepIncompleteError",
+    "SweepLedger",
+    "SweepReport",
+    "SweepSpec",
+    "build_report",
+    "device_bytes_for",
+    "execute_point",
+    "point_id_for",
+    "resume",
+    "run",
+]

@@ -1,0 +1,106 @@
+"""Crash-safe on-disk ledger of a sweep's progress.
+
+A sweep directory is the single source of truth for one grid run::
+
+    <dir>/sweep.json          the SweepSpec manifest (written once, at start)
+    <dir>/points/<id>.json    one completed point's result record
+    <dir>/datasets/           the shared DatasetCache
+    <dir>/teachers/           pre-computed distillation teacher logits
+    <dir>/artifacts/<id>/     each point's exported serving artifact
+
+A point's record file appears **only after** the point fully finished
+(train → evaluate → export): it is written to a temporary sibling and
+:func:`os.replace`-d into place, so a worker killed mid-point leaves no
+record and a resume re-runs exactly that point.  Per-point files (rather
+than one appended log) make concurrent workers trivially safe — no two
+workers ever write the same path.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+from repro.sweep.spec import SweepError, SweepSpec
+
+__all__ = ["SweepLedger"]
+
+_SWEEP_JSON = "sweep.json"
+_POINTS_DIR = "points"
+
+
+def _write_json_atomic(path: str, payload: dict) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=1)
+            fh.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+class SweepLedger:
+    """Reader/writer for one sweep directory's progress records."""
+
+    def __init__(self, root: str, spec: SweepSpec) -> None:
+        self.root = root
+        self.spec = spec
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @classmethod
+    def create(cls, root: str, spec: SweepSpec) -> "SweepLedger":
+        """Start a fresh sweep at ``root``; refuses to clobber an old one."""
+        marker = os.path.join(root, _SWEEP_JSON)
+        if os.path.exists(marker):
+            raise SweepError(
+                f"sweep directory {root!r} already holds a sweep — "
+                f"use resume to continue it, or pick a fresh directory"
+            )
+        os.makedirs(os.path.join(root, _POINTS_DIR), exist_ok=True)
+        _write_json_atomic(marker, spec.to_manifest())
+        return cls(root, spec)
+
+    @classmethod
+    def open(cls, root: str) -> "SweepLedger":
+        """Attach to an existing sweep directory."""
+        marker = os.path.join(root, _SWEEP_JSON)
+        if not os.path.exists(marker):
+            raise SweepError(f"no sweep found at {root!r} (missing {_SWEEP_JSON})")
+        with open(marker) as fh:
+            spec = SweepSpec.from_manifest(json.load(fh))
+        return cls(root, spec)
+
+    # -- records ----------------------------------------------------------------
+
+    def _point_path(self, point_id: str) -> str:
+        return os.path.join(self.root, _POINTS_DIR, f"{point_id}.json")
+
+    def record(self, point_id: str, result: dict) -> None:
+        """Durably mark ``point_id`` complete (atomic, concurrent-safe)."""
+        _write_json_atomic(self._point_path(point_id), result)
+
+    def result(self, point_id: str) -> dict | None:
+        path = self._point_path(point_id)
+        if not os.path.exists(path):
+            return None
+        with open(path) as fh:
+            return json.load(fh)
+
+    def completed_ids(self) -> set[str]:
+        pattern = os.path.join(glob.escape(self.root), _POINTS_DIR, "*.json")
+        return {
+            os.path.splitext(os.path.basename(p))[0] for p in glob.glob(pattern)
+        }
+
+    def records(self) -> dict[str, dict]:
+        """All completed point records, keyed by point id."""
+        out: dict[str, dict] = {}
+        for point_id in sorted(self.completed_ids()):
+            result = self.result(point_id)
+            if result is not None:
+                out[point_id] = result
+        return out

@@ -1,0 +1,112 @@
+"""Consolidated sweep report: accuracy-per-byte ranking and the winner.
+
+The production question the paper's Table 1 narrative asks — *which
+compressed artifact should ship to the device?* — has a mechanical
+answer once a sweep completes: rank every trained point by metric per
+on-device byte, then name the best-metric point that fits the budget.
+:func:`build_report` computes exactly that from a sweep directory's
+ledger, and :meth:`SweepReport.to_json` renders it **deterministically**
+(sorted keys, no wall-clock fields, no absolute paths), so two runs of
+the same sweep — serial or multi-process, interrupted-and-resumed or not
+— produce byte-identical report files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.sweep.ledger import SweepLedger
+from repro.sweep.runner import SweepIncompleteError
+
+__all__ = ["SweepReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """The ranked outcome of one completed sweep."""
+
+    metric_name: str
+    budget_bytes: int | None
+    #: per-point rows, best metric-per-byte first
+    rows: tuple = field(default_factory=tuple)
+    #: point_id of the best-metric row within budget (None: nothing fits)
+    winner: str | None = None
+
+    def winner_row(self) -> dict | None:
+        for row in self.rows:
+            if row["point_id"] == self.winner:
+                return row
+        return None
+
+    def to_json(self) -> str:
+        """Deterministic JSON rendering (the byte-identity surface)."""
+        payload = {
+            "metric_name": self.metric_name,
+            "budget_bytes": self.budget_bytes,
+            "winner": self.winner,
+            "rows": list(self.rows),
+        }
+        return json.dumps(payload, sort_keys=True, indent=1) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+
+def _row_from_record(record: dict, budget_bytes: int | None) -> dict:
+    spec = record["spec"]
+    device_bytes = int(record["device_bytes"])
+    return {
+        "point_id": record["point_id"],
+        "technique": spec["technique"],
+        "hyper": dict(spec["hyper"]),
+        "bits": int(spec["bits"]),
+        "metric": float(record["metric"]),
+        "metrics": {k: float(v) for k, v in record["metrics"].items()},
+        "params": int(record["params"]),
+        "embedding_params": int(record["embedding_params"]),
+        "device_bytes": device_bytes,
+        "metric_per_mib": float(record["metric"]) * (1 << 20) / device_bytes,
+        "within_budget": budget_bytes is None or device_bytes <= budget_bytes,
+        "artifact": record.get("artifact"),
+        "artifact_sha": record.get("artifact_sha"),
+        "distilled": spec.get("distill") is not None,
+    }
+
+
+def build_report(out_dir: str) -> SweepReport:
+    """Rank a completed sweep at ``out_dir``; raises if points are missing."""
+    ledger = SweepLedger.open(out_dir)
+    points = ledger.spec.expand()
+    records = ledger.records()
+    missing = [pid for pid, _ in points if pid not in records]
+    if missing:
+        raise SweepIncompleteError(
+            f"cannot report: {len(missing)} of {len(points)} points unfinished "
+            f"— run `repro sweep resume {out_dir}` first"
+        )
+    budget = ledger.spec.budget_bytes
+    metric_names = {records[pid]["metric_name"] for pid, _ in points}
+    if len(metric_names) != 1:
+        raise SweepIncompleteError(
+            f"sweep mixes metrics {sorted(metric_names)} — points are not "
+            f"comparable under one ranking"
+        )
+    rows = sorted(
+        (_row_from_record(records[pid], budget) for pid, _ in points),
+        key=lambda r: (-r["metric_per_mib"], r["device_bytes"], r["point_id"]),
+    )
+    eligible = [r for r in rows if r["within_budget"]]
+    winner = None
+    if eligible:
+        winner = min(
+            eligible,
+            key=lambda r: (-r["metric"], r["device_bytes"], r["point_id"]),
+        )["point_id"]
+    return SweepReport(
+        metric_name=metric_names.pop(),
+        budget_bytes=budget,
+        rows=tuple(rows),
+        winner=winner,
+    )

@@ -1,0 +1,196 @@
+"""Declarative grid sweeps over a base :class:`PipelineSpec`.
+
+A :class:`SweepSpec` is one *recipe for a fleet*: a fully validated base
+pipeline plus either declarative grid ``axes`` (field → list of values,
+expanded as a cartesian product) or explicit override ``points``.  Each
+expanded point is a complete :class:`~repro.pipeline.PipelineSpec` whose
+manifest hash is the point's stable identity — the same spec always gets
+the same ``point_id``, which is what makes the crash-safe ledger
+(:mod:`repro.sweep.ledger`) resumable and lets serial and multi-process
+runs agree point-for-point.
+
+Axis keys address nested configs with dots: ``technique`` and ``bits`` hit
+the spec directly, ``hyper.num_hash_embeddings`` lands in the hyper dict,
+``train.lr`` / ``distill.alpha`` are ``replace``-d into the nested config.
+Values must be JSON-able — the sweep spec itself round-trips through the
+ledger's ``sweep.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, fields, replace
+
+from repro.pipeline.spec import PipelineSpec
+from repro.train.distill import DistillConfig
+from repro.train.trainer import TrainConfig
+
+__all__ = ["SweepError", "SweepSpec", "point_id_for"]
+
+_SPEC_FIELDS = {f.name for f in fields(PipelineSpec)}
+_TRAIN_FIELDS = {f.name for f in fields(TrainConfig)}
+_DISTILL_FIELDS = {f.name for f in fields(DistillConfig)}
+
+
+class SweepError(Exception):
+    """A sweep-level configuration or orchestration failure."""
+
+
+def point_id_for(spec: PipelineSpec) -> str:
+    """Stable content id of one grid point (its manifest hash)."""
+    blob = json.dumps(spec.to_manifest(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+def _apply_overrides(base: PipelineSpec, overrides: dict) -> PipelineSpec:
+    """``base`` with one point's dotted overrides applied (validated)."""
+    updates: dict = {}
+    hyper = None
+    train_updates: dict = {}
+    distill_updates: dict = {}
+    for key, value in overrides.items():
+        if not isinstance(key, str):
+            raise SweepError(f"override keys must be strings, got {key!r}")
+        if key == "hyper":
+            if not isinstance(value, dict):
+                raise SweepError(f"'hyper' override must be a dict, got {value!r}")
+            hyper = dict(value)
+        elif key.startswith("hyper."):
+            if hyper is None:
+                hyper = dict(base.hyper)
+            hyper[key[len("hyper."):]] = value
+        elif key.startswith("train."):
+            name = key[len("train."):]
+            if name not in _TRAIN_FIELDS:
+                raise SweepError(f"unknown train field in override {key!r}")
+            train_updates[name] = value
+        elif key.startswith("distill."):
+            name = key[len("distill."):]
+            if name not in _DISTILL_FIELDS:
+                raise SweepError(f"unknown distill field in override {key!r}")
+            distill_updates[name] = value
+        elif key in _SPEC_FIELDS:
+            updates[key] = value
+        else:
+            raise SweepError(
+                f"unknown override {key!r}; use a PipelineSpec field, "
+                f"'hyper.<name>', 'train.<name>' or 'distill.<name>'"
+            )
+    if hyper is not None:
+        updates["hyper"] = hyper
+    if train_updates:
+        updates["train"] = replace(base.train, **train_updates)
+    if distill_updates:
+        if base.distill is None:
+            raise SweepError(
+                "distill.* overrides need a distill config on the base spec"
+            )
+        updates["distill"] = replace(base.distill, **distill_updates)
+    try:
+        return replace(base, **updates)
+    except (TypeError, ValueError) as exc:
+        raise SweepError(f"invalid sweep point {overrides!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of pipeline runs plus the device budget they compete under.
+
+    Parameters
+    ----------
+    base:
+        The pipeline every point starts from.
+    axes:
+        Grid axes: dotted field name → list of values; points are the
+        cartesian product in sorted-key order.  Mutually exclusive with
+        ``points``.
+    points:
+        Explicit per-point override dicts (same dotted keys), for grids
+        that are not a product — e.g. technique-specific hyperparameters.
+    budget_bytes:
+        The on-device byte budget artifacts compete under; the report's
+        winner is the best metric among points whose analytic device bytes
+        fit.  ``None`` = unconstrained.
+    """
+
+    base: PipelineSpec
+    axes: dict = field(default_factory=dict)
+    points: tuple = ()
+    budget_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, PipelineSpec):
+            raise SweepError(
+                f"base must be a PipelineSpec, got {type(self.base).__name__}"
+            )
+        if not isinstance(self.axes, dict):
+            raise SweepError(f"axes must be a dict, got {type(self.axes).__name__}")
+        for key, values in self.axes.items():
+            if not isinstance(key, str) or not key:
+                raise SweepError(f"axis names must be non-empty strings, got {key!r}")
+            if not isinstance(values, (list, tuple)) or not values:
+                raise SweepError(f"axis {key!r} must list at least one value")
+        object.__setattr__(self, "points", tuple(self.points))
+        for point in self.points:
+            if not isinstance(point, dict):
+                raise SweepError(f"points must be override dicts, got {point!r}")
+        if self.axes and self.points:
+            raise SweepError("give either axes or explicit points, not both")
+        if self.budget_bytes is not None and self.budget_bytes <= 0:
+            raise SweepError(
+                f"budget_bytes must be positive or None, got {self.budget_bytes}"
+            )
+
+    def expand(self) -> list[tuple[str, PipelineSpec]]:
+        """All ``(point_id, spec)`` grid points, deduped, in stable order.
+
+        Distinct override combinations can collapse to the same pipeline
+        (e.g. ``technique=full`` ignores a swept hash size); duplicates are
+        dropped by content id, so every returned spec trains exactly once.
+        Order is sorted by ``point_id`` — identical for every expansion of
+        the same sweep, which fixes the serial execution order.
+        """
+        if self.axes:
+            names = sorted(self.axes)
+            combos = [
+                dict(zip(names, values))
+                for values in itertools.product(*(self.axes[n] for n in names))
+            ]
+        elif self.points:
+            combos = [dict(p) for p in self.points]
+        else:
+            combos = [{}]
+        seen: dict[str, PipelineSpec] = {}
+        for overrides in combos:
+            spec = _apply_overrides(self.base, overrides)
+            seen.setdefault(point_id_for(spec), spec)
+        return sorted(seen.items())
+
+    # -- manifest round trip ----------------------------------------------------
+
+    def to_manifest(self) -> dict:
+        """Strict-JSON-able form stored in the sweep ledger."""
+        return {
+            "base": self.base.to_manifest(),
+            "axes": {k: list(v) for k, v in self.axes.items()},
+            "points": [dict(p) for p in self.points],
+            "budget_bytes": self.budget_bytes,
+        }
+
+    @classmethod
+    def from_manifest(cls, data: dict) -> "SweepSpec":
+        if not isinstance(data, dict):
+            raise SweepError(
+                f"sweep manifest must be a dict, got {type(data).__name__}"
+            )
+        try:
+            return cls(
+                base=PipelineSpec.from_manifest(data["base"]),
+                axes=dict(data.get("axes", {})),
+                points=tuple(dict(p) for p in data.get("points", [])),
+                budget_bytes=data.get("budget_bytes"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SweepError(f"malformed sweep manifest: {exc}") from exc

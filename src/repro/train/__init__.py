@@ -11,6 +11,7 @@ from repro.train.callbacks import (
     StopOnMetric,
 )
 from repro.train.checkpoint import capture_state, restore_state
+from repro.train.distill import DistillConfig, teacher_spec_for
 from repro.train.dp import DPConfig, DPTrainer, rdp_epsilon
 from repro.train.federated import FederatedConfig, federated_train, split_clients
 from repro.train.trainer import History, TrainConfig, Trainer, TrainState
@@ -21,6 +22,7 @@ __all__ = [
     "CheckpointBest",
     "DPConfig",
     "DPTrainer",
+    "DistillConfig",
     "EpochEvent",
     "FederatedConfig",
     "History",
@@ -34,4 +36,5 @@ __all__ = [
     "rdp_epsilon",
     "restore_state",
     "split_clients",
+    "teacher_spec_for",
 ]

@@ -52,6 +52,9 @@ def _scheduler_meta(scheduler) -> dict | None:
     if hasattr(scheduler, "_best"):
         meta["best"] = None if not np.isfinite(scheduler._best) else float(scheduler._best)
         meta["stale"] = int(scheduler._stale)
+    # RowWarmup remembers the step its row target was reached at.
+    if hasattr(scheduler, "_done_t"):
+        meta["done_t"] = None if scheduler._done_t is None else int(scheduler._done_t)
     return meta
 
 
@@ -61,6 +64,9 @@ def _restore_scheduler(scheduler, meta: dict) -> None:
         best = meta.get("best")
         scheduler._best = -np.inf if best is None else float(best)
         scheduler._stale = int(meta.get("stale", 0))
+    if hasattr(scheduler, "_done_t"):
+        done = meta.get("done_t")
+        scheduler._done_t = None if done is None else int(done)
 
 
 def capture_state(trainer: Trainer, model, state: TrainState) -> tuple[dict, dict]:

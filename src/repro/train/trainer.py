@@ -35,7 +35,7 @@ import numpy as np
 from repro.data.loader import iterate_batches
 from repro.metrics.evaluator import evaluate_classification, evaluate_ranking
 from repro.nn.layers import Module
-from repro.nn.losses import ranknet_loss, softmax_cross_entropy
+from repro.nn.losses import distillation_loss, ranknet_loss, softmax_cross_entropy
 from repro.nn.optim import SGD, Adagrad, Adam, Optimizer, RMSProp, clip_global_norm
 from repro.nn.schedulers import Scheduler, build_scheduler
 from repro.utils.logging import log
@@ -60,8 +60,12 @@ class TrainConfig:
     early_stopping_patience: int | None = None
     #: cap batches per epoch — lets sweeps subsample huge datasets
     max_batches_per_epoch: int | None = None
-    #: per-epoch LR schedule: constant | cosine | step | exponential | plateau
+    #: per-epoch LR schedule:
+    #: constant | cosine | step | exponential | plateau | row_warmup
     lr_schedule: str = "constant"
+    #: row_warmup's target: cumulative optimizer-touched rows that end the
+    #: warmup (required by, and only valid with, ``lr_schedule="row_warmup"``)
+    warmup_rows: int | None = None
     #: clip the global gradient norm each step (None = off)
     grad_clip_norm: float | None = None
     seed: int = 0
@@ -73,8 +77,15 @@ class TrainConfig:
             raise ValueError(f"unknown optimizer {self.optimizer!r}")
         if self.early_stopping_patience is not None and self.early_stopping_patience <= 0:
             raise ValueError("early_stopping_patience must be positive or None")
-        if self.lr_schedule not in ("constant", "cosine", "step", "exponential", "plateau"):
+        if self.lr_schedule not in (
+            "constant", "cosine", "step", "exponential", "plateau", "row_warmup"
+        ):
             raise ValueError(f"unknown lr_schedule {self.lr_schedule!r}")
+        if self.lr_schedule == "row_warmup":
+            if self.warmup_rows is None or self.warmup_rows <= 0:
+                raise ValueError("lr_schedule 'row_warmup' requires a positive warmup_rows")
+        elif self.warmup_rows is not None:
+            raise ValueError("warmup_rows is only valid with lr_schedule 'row_warmup'")
         if self.grad_clip_norm is not None and self.grad_clip_norm <= 0:
             raise ValueError("grad_clip_norm must be positive or None")
 
@@ -126,11 +137,13 @@ class TrainState:
 
 #: task name → (validation-metric name, needs-neg).  "ranking" is the
 #: historical name for the pointwise task; both spellings dispatch the same.
+#: "distillation" resolves its metric from the ``hard_task`` it wraps.
 _TASKS = {
     "classification": ("accuracy", False),
     "ranking": ("ndcg", False),
     "pointwise": ("ndcg", False),
     "pairwise": ("ndcg", True),
+    "distillation": (None, False),
 }
 
 
@@ -161,6 +174,9 @@ class Trainer:
         task: str = "classification",
         *,
         neg: np.ndarray | None = None,
+        teacher: np.ndarray | None = None,
+        distill=None,
+        hard_task: str = "classification",
         state: TrainState | None = None,
         epoch_hook=None,
         max_epochs: int | None = None,
@@ -173,7 +189,12 @@ class Trainer:
         * ``"ranking"`` / ``"pointwise"`` — softmax cross-entropy over the
           catalog, nDCG@10 (the softmax scores are the ranking scores, §5.2);
         * ``"pairwise"`` — RankNet logistic loss over ``(x, y=pos, neg)``
-          triples (Figure 3), nDCG@10 on ``(x_val, y_val)``.
+          triples (Figure 3), nDCG@10 on ``(x_val, y_val)``;
+        * ``"distillation"`` — temperature-scaled soft-target loss against
+          frozen ``teacher`` logits (one row per example, shuffled jointly
+          with ``x``/``y``), blended with the hard loss per ``distill``
+          (a :class:`~repro.train.distill.DistillConfig`); the validation
+          metric is ``hard_task``'s (accuracy or nDCG).
 
         ``state`` resumes a previous run (see :class:`TrainState`);
         ``epoch_hook(state)`` fires after every completed epoch;
@@ -197,6 +218,30 @@ class Trainer:
                 s_pos, s_neg = model.score_pair(xb, pb, nb)
                 return ranknet_loss(s_pos, s_neg)
 
+        elif task == "distillation":
+            if distill is None or teacher is None:
+                raise ValueError(
+                    "task 'distillation' requires a DistillConfig and teacher logits"
+                )
+            if hard_task not in ("classification", "ranking", "pointwise"):
+                raise ValueError(
+                    f"distillation cannot wrap hard task {hard_task!r}"
+                )
+            metric, _ = _TASKS[hard_task]
+            teacher = np.asarray(teacher)
+            if teacher.ndim != 2 or len(teacher) != len(x):
+                raise ValueError(
+                    f"teacher logits must be ({len(x)}, C), got {teacher.shape}"
+                )
+            arrays = (x, y, teacher)
+            temperature, blend = distill.temperature, distill.alpha
+
+            def batch_loss(batch):
+                xb, yb, tb = batch
+                return distillation_loss(
+                    model(xb), tb, yb, temperature=temperature, alpha=blend
+                )
+
         else:
             arrays = (x, y)
 
@@ -204,10 +249,12 @@ class Trainer:
                 xb, yb = batch
                 return softmax_cross_entropy(model(xb), yb)
 
+        eval_task = hard_task if task == "distillation" else task
+
         def eval_metric() -> float:
             if x_val is None or y_val is None:
                 return float("nan")
-            if task == "classification":
+            if eval_task == "classification":
                 return evaluate_classification(model, x_val, y_val)["accuracy"]
             return evaluate_ranking(model, x_val, y_val)["ndcg"]
 
@@ -239,7 +286,10 @@ class Trainer:
         opt = self._make_optimizer(model)
         scheduler: Scheduler | None = None
         if cfg.lr_schedule != "constant":
-            scheduler = build_scheduler(cfg.lr_schedule, opt, total_steps=cfg.epochs)
+            scheduler = build_scheduler(
+                cfg.lr_schedule, opt, total_steps=cfg.epochs,
+                row_target=cfg.warmup_rows,
+            )
         return TrainState(
             optimizer=opt, rng=ensure_rng(cfg.seed), history=History(), scheduler=scheduler
         )

@@ -5,6 +5,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.nn import ops
 from repro.nn.optim import SGD, RMSProp
 from repro.nn.schedulers import (
     ConstantLR,
@@ -12,9 +13,11 @@ from repro.nn.schedulers import (
     ExponentialDecay,
     LinearWarmup,
     ReduceOnPlateau,
+    RowWarmup,
     StepDecay,
     build_scheduler,
 )
+from repro.nn.sparse_grad import sparse_grads
 from repro.nn.tensor import Parameter
 
 
@@ -111,6 +114,127 @@ class TestReduceOnPlateau:
             ReduceOnPlateau(_opt()).step()
 
 
+V, E = 8, 3
+
+
+def _table_opt(lr=0.1):
+    """An SGD over one (V, E) embedding table — the row clock's substrate."""
+    table = Parameter(np.ones((V, E), dtype=np.float32), name="t")
+    return SGD([table], lr=lr), table
+
+
+def _train_step(opt, table, ids, sparse):
+    """One lookup → backward → step over ``ids`` (row clock advances)."""
+    with sparse_grads(sparse):
+        opt.zero_grad()
+        out = ops.embedding_lookup(table, np.asarray(ids, dtype=np.int64))
+        ops.sum(ops.mul(out, out)).backward()
+        opt.step()
+
+
+class TestRowWarmup:
+    def test_full_density_matches_linear_warmup(self):
+        """With every row touched every step, a row target of W·V steps
+        reproduces LinearWarmup(W) exactly — same ramp, same handoff to the
+        after-schedule, same post-warmup clock."""
+        warmup = 4
+        rates = {}
+        for kind in ("rows", "steps"):
+            opt, table = _table_opt(1.0)
+            after = ExponentialDecay(opt, gamma=0.5)
+            if kind == "rows":
+                sched = RowWarmup(opt, row_target=warmup * V, after=after)
+            else:
+                sched = LinearWarmup(opt, warmup=warmup, after=after)
+            seq = []
+            for _ in range(warmup + 3):
+                _train_step(opt, table, list(range(V)), sparse=False)
+                seq.append(sched.step())
+            rates[kind] = seq
+        assert rates["rows"] == rates["steps"]
+
+    def test_sparse_batches_hold_lr_down(self):
+        """The regression the row clock exists to fix: a step-counting
+        warmup exits after W steps no matter how few rows those steps
+        touched; the row clock keeps the rate ramping until the full row
+        volume has actually landed."""
+        warmup = 3
+        opt_s, table_s = _table_opt(1.0)
+        step_sched = LinearWarmup(opt_s, warmup=warmup)
+        opt_r, table_r = _table_opt(1.0)
+        row_sched = RowWarmup(opt_r, row_target=warmup * V)
+        step_rates, row_rates = [], []
+        for _ in range(warmup):
+            # Sparse batches touching 2 of the 8 rows.
+            _train_step(opt_s, table_s, [0, 3], sparse=True)
+            step_rates.append(step_sched.step())
+            _train_step(opt_r, table_r, [0, 3], sparse=True)
+            row_rates.append(row_sched.step())
+        # Step warmup declares itself done; the row clock knows only
+        # 2/8 of the row volume arrived per step.
+        assert step_rates[-1] == pytest.approx(1.0)
+        assert row_rates[-1] == pytest.approx(warmup * 2 / (warmup * V))
+        assert all(r < 1.0 for r in row_rates)
+
+    def test_reaches_base_exactly_when_rows_land(self):
+        opt, table = _table_opt(0.5)
+        sched = RowWarmup(opt, row_target=2 * V)
+        _train_step(opt, table, list(range(V)), sparse=False)
+        assert sched.step() == pytest.approx(0.25)
+        _train_step(opt, table, list(range(V)), sparse=False)
+        assert sched.step() == pytest.approx(0.5)
+        assert sched.step() == pytest.approx(0.5)  # stays at base
+
+    def test_after_clock_starts_at_row_target(self):
+        opt, table = _table_opt(1.0)
+        sched = RowWarmup(opt, row_target=V, after=ExponentialDecay(opt, gamma=0.5))
+        _train_step(opt, table, list(range(V)), sparse=False)
+        assert sched.step() == pytest.approx(1.0)  # warmup ends this step
+        assert sched.step() == pytest.approx(0.5)  # decay step 1
+        assert sched.step() == pytest.approx(0.25)
+
+    def test_checkpoint_meta_roundtrip(self):
+        """`_done_t` survives capture → restore, so a resumed run's
+        after-schedule clock continues where it stopped."""
+        from repro.train.checkpoint import _restore_scheduler, _scheduler_meta
+
+        opt, table = _table_opt(1.0)
+        sched = RowWarmup(opt, row_target=V, after=ExponentialDecay(opt, gamma=0.5))
+        _train_step(opt, table, list(range(V)), sparse=False)
+        sched.step()
+        sched.step()  # decay step 1 → lr 0.5
+        meta = _scheduler_meta(sched)
+
+        opt2, _ = _table_opt(1.0)
+        opt2.rows_applied = opt.rows_applied
+        fresh = RowWarmup(opt2, row_target=V, after=ExponentialDecay(opt2, gamma=0.5))
+        _restore_scheduler(fresh, meta)
+        assert fresh.step() == pytest.approx(0.25)  # continues the decay clock
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowWarmup(_opt(), row_target=0)
+        with pytest.raises(ValueError):
+            RowWarmup(_opt(), row_target=4, after=ConstantLR(_opt()))
+
+    def test_rows_applied_counts_distinct_rows(self):
+        opt, table = _table_opt()
+        _train_step(opt, table, [1, 1, 5, 5, 5], sparse=True)
+        assert opt.rows_applied == 2  # coalesced: 2 distinct rows
+        _train_step(opt, table, [2], sparse=True)
+        assert opt.rows_applied == 3
+        _train_step(opt, table, [0, 1], sparse=False)
+        assert opt.rows_applied == 3 + V  # dense grad = every row
+
+    def test_rows_applied_survives_state_scalars(self):
+        opt, table = _table_opt()
+        _train_step(opt, table, [0, 1], sparse=True)
+        scalars = opt.state_scalars()
+        opt2, _ = _table_opt()
+        opt2.load_state_scalars(scalars)
+        assert opt2.rows_applied == 2
+
+
 class TestBuildScheduler:
     @pytest.mark.parametrize("name", ["constant", "cosine", "step", "exponential", "plateau"])
     def test_builds_every_name(self, name):
@@ -127,6 +251,12 @@ class TestBuildScheduler:
     def test_unknown_name(self):
         with pytest.raises(KeyError):
             build_scheduler("linear", _opt(), 10)
+
+    def test_row_warmup_requires_row_target(self):
+        with pytest.raises(ValueError):
+            build_scheduler("row_warmup", _opt(), total_steps=10)
+        sched = build_scheduler("row_warmup", _opt(), total_steps=10, row_target=8)
+        assert isinstance(sched, RowWarmup)
 
 
 class TestRMSProp:

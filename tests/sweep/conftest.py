@@ -1,0 +1,13 @@
+"""Shared fixtures for the sweep subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+from sweep_helpers import sweep_base
+
+from repro.pipeline import PipelineSpec
+
+
+@pytest.fixture
+def base_spec() -> PipelineSpec:
+    return sweep_base()

@@ -1,0 +1,25 @@
+"""Shared sweep-test helper: a CPU-milliseconds base pipeline."""
+
+from __future__ import annotations
+
+from repro.pipeline import PipelineSpec
+from repro.train import TrainConfig
+
+
+def sweep_base(**overrides) -> PipelineSpec:
+    """A tiny, fast base pipeline every sweep test grids over."""
+    defaults = dict(
+        dataset="movielens",
+        technique="memcom",
+        hyper={"num_hash_embeddings": 32},
+        embedding_dim=8,
+        scale=0.01,
+        cap_train=512,
+        cap_eval=256,
+        input_length=16,
+        train=TrainConfig(epochs=1, batch_size=64, lr=3e-3, seed=0),
+        monitor=False,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return PipelineSpec(**defaults)

@@ -1,0 +1,84 @@
+"""DatasetCache: content keys, materialize-once, byte-faithful loads."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.data.cache import DatasetCache
+from repro.data.datasets import get_spec
+from repro.data.synthetic import (
+    PairwiseDataset,
+    generate_dataset,
+    generate_pairwise,
+)
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture
+def spec():
+    s = get_spec("movielens", 0.01)
+    return replace(s, num_train=256, num_eval=64)
+
+
+class TestKey:
+    def test_stable_across_calls(self, spec):
+        assert DatasetCache.key(spec, False, 0) == DatasetCache.key(spec, False, 0)
+
+    def test_sensitive_to_every_recipe_leg(self, spec):
+        base = DatasetCache.key(spec, False, 0)
+        assert DatasetCache.key(spec, True, 0) != base
+        assert DatasetCache.key(spec, False, 1) != base
+        assert DatasetCache.key(replace(spec, num_train=128), False, 0) != base
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(TypeError, match="DatasetSpec"):
+            DatasetCache.key({"name": "movielens"}, False, 0)
+
+
+class TestMaterialize:
+    def test_generates_exactly_once(self, tmp_path, spec):
+        cache = DatasetCache(str(tmp_path))
+        path = cache.materialize(spec, False, 0)
+        assert os.path.exists(path)
+        stamp = os.stat(path).st_mtime_ns
+        assert cache.materialize(spec, False, 0) == path
+        assert os.stat(path).st_mtime_ns == stamp  # untouched on the second call
+
+    def test_no_tmp_litter(self, tmp_path, spec):
+        cache = DatasetCache(str(tmp_path))
+        cache.materialize(spec, False, 0)
+        leftovers = [n for n in os.listdir(tmp_path) if ".tmp." in n]
+        assert leftovers == []
+
+    def test_rejects_empty_root(self):
+        with pytest.raises(ValueError, match="cache root"):
+            DatasetCache("")
+
+
+class TestLoad:
+    def test_arrays_match_direct_generation(self, tmp_path, spec):
+        cache = DatasetCache(str(tmp_path))
+        cached = cache.load(spec, False, 3)
+        direct = generate_dataset(spec, ensure_rng(3))
+        np.testing.assert_array_equal(cached.x_train, direct.x_train)
+        np.testing.assert_array_equal(cached.y_train, direct.y_train)
+        np.testing.assert_array_equal(cached.x_eval, direct.x_eval)
+        np.testing.assert_array_equal(cached.y_eval, direct.y_eval)
+
+    def test_pairwise_round_trip(self, tmp_path, spec):
+        cache = DatasetCache(str(tmp_path))
+        cached = cache.load(spec, True, 0)
+        assert isinstance(cached, PairwiseDataset)
+        direct = generate_pairwise(spec, ensure_rng(0))
+        np.testing.assert_array_equal(cached.neg_train, direct.neg_train)
+        np.testing.assert_array_equal(cached.pos_eval, direct.pos_eval)
+
+    def test_distinct_seeds_do_not_collide(self, tmp_path, spec):
+        cache = DatasetCache(str(tmp_path))
+        a = cache.load(spec, False, 0)
+        b = cache.load(spec, False, 1)
+        assert not np.array_equal(a.x_train, b.x_train)

@@ -1,0 +1,67 @@
+"""SweepLedger: create/open lifecycle and crash-safe point records."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sweep import SweepError, SweepLedger, SweepSpec
+
+
+@pytest.fixture
+def sweep(base_spec):
+    return SweepSpec(base=base_spec, axes={"bits": [32, 8]}, budget_bytes=1 << 20)
+
+
+class TestLifecycle:
+    def test_create_writes_manifest(self, tmp_path, sweep):
+        root = str(tmp_path / "s")
+        SweepLedger.create(root, sweep)
+        assert os.path.exists(os.path.join(root, "sweep.json"))
+
+    def test_create_refuses_existing_sweep(self, tmp_path, sweep):
+        root = str(tmp_path / "s")
+        SweepLedger.create(root, sweep)
+        with pytest.raises(SweepError, match="already holds a sweep"):
+            SweepLedger.create(root, sweep)
+
+    def test_open_round_trips_the_spec(self, tmp_path, sweep):
+        root = str(tmp_path / "s")
+        SweepLedger.create(root, sweep)
+        reopened = SweepLedger.open(root)
+        assert reopened.spec.to_manifest() == sweep.to_manifest()
+        assert [p for p, _ in reopened.spec.expand()] == [
+            p for p, _ in sweep.expand()
+        ]
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(SweepError, match="no sweep found"):
+            SweepLedger.open(str(tmp_path / "nowhere"))
+
+
+class TestRecords:
+    def test_record_then_read_back(self, tmp_path, sweep):
+        ledger = SweepLedger.create(str(tmp_path / "s"), sweep)
+        ledger.record("abc123", {"point_id": "abc123", "metric": 0.5})
+        assert ledger.result("abc123")["metric"] == 0.5
+        assert ledger.completed_ids() == {"abc123"}
+
+    def test_unknown_point_is_none(self, tmp_path, sweep):
+        ledger = SweepLedger.create(str(tmp_path / "s"), sweep)
+        assert ledger.result("missing") is None
+        assert ledger.completed_ids() == set()
+
+    def test_records_keyed_and_sorted(self, tmp_path, sweep):
+        ledger = SweepLedger.create(str(tmp_path / "s"), sweep)
+        ledger.record("bb", {"point_id": "bb"})
+        ledger.record("aa", {"point_id": "aa"})
+        records = ledger.records()
+        assert list(records) == ["aa", "bb"]
+
+    def test_no_tmp_litter_after_record(self, tmp_path, sweep):
+        root = str(tmp_path / "s")
+        ledger = SweepLedger.create(root, sweep)
+        ledger.record("abc", {"point_id": "abc"})
+        points_dir = os.path.join(root, "points")
+        assert all(".tmp." not in n for n in os.listdir(points_dir))

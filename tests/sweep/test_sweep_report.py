@@ -1,0 +1,143 @@
+"""SweepReport: accuracy-per-byte ranking, budget winner, deterministic JSON.
+
+These tests fabricate ledger records directly (no training) so every
+ranking rule is pinned against hand-computable numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    SweepIncompleteError,
+    SweepLedger,
+    SweepSpec,
+    build_report,
+)
+
+from sweep_helpers import sweep_base
+
+
+def _record(point_id, spec, metric, device_bytes, metric_name="ndcg"):
+    return {
+        "point_id": point_id,
+        "spec": spec.to_manifest(),
+        "metric_name": metric_name,
+        "metric": metric,
+        "metrics": {metric_name: metric},
+        "params": 1000,
+        "embedding_params": 400,
+        "device_bytes": device_bytes,
+        "seconds": 1.0,
+        "artifact": f"artifacts/{point_id}",
+        "artifact_sha": "0" * 64,
+    }
+
+
+def _ledger(tmp_path, budget_bytes, metrics_and_bytes, metric_name="ndcg"):
+    """A complete fake sweep: one grid point per (metric, bytes) pair."""
+    sweep = SweepSpec(
+        base=sweep_base(),
+        axes={"hyper.num_hash_embeddings": [2 * (i + 1) for i in range(len(metrics_and_bytes))]},
+        budget_bytes=budget_bytes,
+    )
+    ledger = SweepLedger.create(str(tmp_path / "s"), sweep)
+    points = sweep.expand()
+    assert len(points) == len(metrics_and_bytes)
+    for (pid, spec), (metric, nbytes) in zip(points, metrics_and_bytes):
+        name = metric_name if not callable(metric_name) else metric_name(pid)
+        ledger.record(pid, _record(pid, spec, metric, nbytes, name))
+    return ledger, points
+
+
+class TestRanking:
+    def test_rows_sorted_by_metric_per_byte(self, tmp_path):
+        ledger, _ = _ledger(
+            tmp_path, None, [(0.5, 1000), (0.5, 500), (0.2, 100)]
+        )
+        report = build_report(ledger.root)
+        per_mib = [row["metric_per_mib"] for row in report.rows]
+        assert per_mib == sorted(per_mib, reverse=True)
+        assert report.rows[0]["metric"] == 0.2  # 0.2/100B beats 0.5/500B
+
+    def test_winner_is_best_metric_within_budget(self, tmp_path):
+        ledger, points = _ledger(
+            tmp_path, 600, [(0.9, 1000), (0.7, 500), (0.6, 100)]
+        )
+        report = build_report(ledger.root)
+        # 0.9 is over budget; 0.7 is the best metric that fits.
+        winner = report.winner_row()
+        assert winner["metric"] == 0.7
+        assert winner["within_budget"]
+        over = [r for r in report.rows if not r["within_budget"]]
+        assert [r["metric"] for r in over] == [0.9]
+
+    def test_metric_tie_breaks_on_fewer_bytes(self, tmp_path):
+        ledger, _ = _ledger(tmp_path, None, [(0.5, 1000), (0.5, 500)])
+        assert build_report(ledger.root).winner_row()["device_bytes"] == 500
+
+    def test_nothing_fits_means_no_winner(self, tmp_path):
+        ledger, _ = _ledger(tmp_path, 50, [(0.9, 1000), (0.7, 500)])
+        report = build_report(ledger.root)
+        assert report.winner is None
+        assert report.winner_row() is None
+
+    def test_unconstrained_budget_admits_everything(self, tmp_path):
+        ledger, _ = _ledger(tmp_path, None, [(0.9, 10**9)])
+        report = build_report(ledger.root)
+        assert report.winner_row()["metric"] == 0.9
+        assert all(r["within_budget"] for r in report.rows)
+
+
+class TestFailureModes:
+    def test_missing_points_refuse_to_report(self, tmp_path, base_spec):
+        sweep = SweepSpec(base=base_spec, axes={"bits": [32, 8]})
+        SweepLedger.create(str(tmp_path / "s"), sweep)
+        with pytest.raises(SweepIncompleteError, match="unfinished"):
+            build_report(str(tmp_path / "s"))
+
+    def test_mixed_metrics_are_not_comparable(self, tmp_path):
+        seen = []
+
+        def alternating(pid):
+            seen.append(pid)
+            return "ndcg" if len(seen) % 2 else "accuracy"
+
+        ledger, _ = _ledger(
+            tmp_path, None, [(0.5, 100), (0.6, 100)], metric_name=alternating
+        )
+        with pytest.raises(SweepIncompleteError, match="mixes metrics"):
+            build_report(ledger.root)
+
+
+class TestDeterministicJson:
+    def test_json_round_trips_and_ends_with_newline(self, tmp_path):
+        ledger, _ = _ledger(tmp_path, 600, [(0.7, 500), (0.6, 100)])
+        report = build_report(ledger.root)
+        blob = report.to_json()
+        assert blob.endswith("\n")
+        payload = json.loads(blob)
+        assert payload["winner"] == report.winner
+        assert payload["budget_bytes"] == 600
+        assert len(payload["rows"]) == 2
+
+    def test_rebuild_is_byte_identical(self, tmp_path):
+        ledger, _ = _ledger(tmp_path, None, [(0.7, 500), (0.6, 100)])
+        assert build_report(ledger.root).to_json() == build_report(
+            ledger.root
+        ).to_json()
+
+    def test_save_writes_the_same_bytes(self, tmp_path):
+        ledger, _ = _ledger(tmp_path, None, [(0.7, 500)])
+        report = build_report(ledger.root)
+        path = tmp_path / "report.json"
+        report.save(str(path))
+        assert path.read_text() == report.to_json()
+
+    def test_no_absolute_paths_or_timestamps(self, tmp_path):
+        ledger, _ = _ledger(tmp_path, None, [(0.7, 500)])
+        blob = build_report(ledger.root).to_json()
+        assert str(tmp_path) not in blob
+        assert '"seconds"' not in blob

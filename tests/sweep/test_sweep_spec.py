@@ -1,0 +1,133 @@
+"""SweepSpec: declarative grids, dotted overrides, stable point identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import SweepError, SweepSpec, point_id_for
+from repro.train import DistillConfig
+
+from sweep_helpers import sweep_base
+
+
+class TestExpand:
+    def test_axes_cartesian_product(self, base_spec):
+        sweep = SweepSpec(
+            base=base_spec,
+            axes={"hyper.num_hash_embeddings": [16, 32], "bits": [32, 8]},
+        )
+        points = sweep.expand()
+        assert len(points) == 4
+        combos = {
+            (spec.hyper["num_hash_embeddings"], spec.bits) for _, spec in points
+        }
+        assert combos == {(16, 32), (16, 8), (32, 32), (32, 8)}
+
+    def test_expansion_sorted_by_point_id(self, base_spec):
+        sweep = SweepSpec(base=base_spec, axes={"bits": [32, 8, 4]})
+        ids = [pid for pid, _ in sweep.expand()]
+        assert ids == sorted(ids)
+
+    def test_explicit_points(self, base_spec):
+        sweep = SweepSpec(
+            base=base_spec,
+            points=(
+                {"technique": "full", "hyper": {}},
+                {"technique": "hash", "hyper.num_hash_embeddings": 16},
+            ),
+        )
+        techs = {spec.technique for _, spec in sweep.expand()}
+        assert techs == {"full", "hash"}
+
+    def test_duplicate_points_collapse(self, base_spec):
+        sweep = SweepSpec(
+            base=base_spec,
+            points=({"bits": 8}, {"bits": 8}, {"bits": 32}),
+        )
+        assert len(sweep.expand()) == 2
+
+    def test_no_axes_no_points_is_the_base_alone(self, base_spec):
+        points = SweepSpec(base=base_spec).expand()
+        assert len(points) == 1
+        assert points[0][0] == point_id_for(base_spec)
+
+    def test_train_override_routes_into_train_config(self, base_spec):
+        sweep = SweepSpec(base=base_spec, axes={"train.lr": [1e-3, 2e-3]})
+        lrs = sorted(spec.train.lr for _, spec in sweep.expand())
+        assert lrs == [1e-3, 2e-3]
+
+    def test_distill_override_routes_into_distill_config(self, base_spec):
+        base = sweep_base(distill=DistillConfig(alpha=0.5))
+        sweep = SweepSpec(base=base, axes={"distill.alpha": [0.2, 0.8]})
+        alphas = sorted(spec.distill.alpha for _, spec in sweep.expand())
+        assert alphas == [0.2, 0.8]
+
+    def test_whole_hyper_dict_override(self, base_spec):
+        sweep = SweepSpec(base=base_spec, points=({"hyper": {"num_hash_embeddings": 7}},))
+        [(_, spec)] = sweep.expand()
+        assert spec.hyper == {"num_hash_embeddings": 7}
+
+
+class TestValidation:
+    def test_axes_and_points_are_exclusive(self, base_spec):
+        with pytest.raises(SweepError, match="either axes or explicit points"):
+            SweepSpec(base=base_spec, axes={"bits": [8]}, points=({"bits": 32},))
+
+    def test_empty_axis_values(self, base_spec):
+        with pytest.raises(SweepError, match="at least one value"):
+            SweepSpec(base=base_spec, axes={"bits": []})
+
+    def test_base_must_be_pipeline_spec(self):
+        with pytest.raises(SweepError, match="PipelineSpec"):
+            SweepSpec(base={"dataset": "movielens"})
+
+    def test_budget_must_be_positive(self, base_spec):
+        with pytest.raises(SweepError, match="budget_bytes"):
+            SweepSpec(base=base_spec, budget_bytes=0)
+
+    def test_unknown_override_key(self, base_spec):
+        sweep = SweepSpec(base=base_spec, points=({"no_such_field": 1},))
+        with pytest.raises(SweepError, match="unknown override"):
+            sweep.expand()
+
+    def test_unknown_train_field(self, base_spec):
+        sweep = SweepSpec(base=base_spec, axes={"train.warp_speed": [9]})
+        with pytest.raises(SweepError, match="unknown train field"):
+            sweep.expand()
+
+    def test_distill_override_requires_base_config(self, base_spec):
+        sweep = SweepSpec(base=base_spec, axes={"distill.alpha": [0.5]})
+        with pytest.raises(SweepError, match="distill config on the base"):
+            sweep.expand()
+
+    def test_invalid_point_value_carries_context(self, base_spec):
+        sweep = SweepSpec(base=base_spec, points=({"bits": 13},))
+        with pytest.raises(SweepError, match="invalid sweep point"):
+            sweep.expand()
+
+
+class TestPointIdentity:
+    def test_same_spec_same_id(self, base_spec):
+        assert point_id_for(base_spec) == point_id_for(sweep_base())
+
+    def test_any_field_change_changes_id(self, base_spec):
+        assert point_id_for(base_spec) != point_id_for(sweep_base(seed=1))
+        assert point_id_for(base_spec) != point_id_for(sweep_base(bits=8))
+
+
+class TestManifest:
+    def test_round_trip_preserves_expansion(self, base_spec):
+        sweep = SweepSpec(
+            base=base_spec,
+            axes={"bits": [32, 8], "hyper.num_hash_embeddings": [16, 64]},
+            budget_bytes=4096,
+        )
+        clone = SweepSpec.from_manifest(sweep.to_manifest())
+        assert clone.budget_bytes == 4096
+        assert [pid for pid, _ in clone.expand()] == [pid for pid, _ in sweep.expand()]
+
+    def test_malformed_manifest(self):
+        with pytest.raises(SweepError, match="manifest"):
+            SweepSpec.from_manifest({"axes": {}})
+        with pytest.raises(SweepError, match="manifest"):
+            SweepSpec.from_manifest("not a dict")

@@ -361,3 +361,115 @@ class TestArtifactInspect:
         assert main(["artifact", "inspect", str(tmp_path / "nope")]) == 2
         err = capsys.readouterr().err
         assert "error" in err and "Traceback" not in err
+
+
+class TestSweepValidation:
+    """`repro sweep run` dies up front with a one-line message (exit 2)."""
+
+    def _run(self, capsys, *extra):
+        code = main(["sweep", "run", "/tmp/cli-sweep-validation", *extra])
+        return code, capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags, fragment",
+        [
+            (("--scale", "0"), "--scale"),
+            (("--epochs", "-1"), "--epochs"),
+            (("--batch-size", "0"), "--batch-size"),
+            (("--lr", "-0.1"), "--lr"),
+            (("--embedding-dim", "0"), "--embedding-dim"),
+            (("--workers", "-1"), "--workers"),
+            (("--budget-kb", "0"), "--budget-kb"),
+            (("--distill-alpha", "1.5"), "--distill-alpha"),
+            (("--distill-temperature", "0"), "--distill-temperature"),
+            (("--techniques", "warp_drive"), "unknown technique"),
+            (("--techniques", ""), "techniques"),
+            (("--fractions", "0"), "--fractions"),
+            (("--fractions", "eight"), "fractions"),
+            (("--bits", "16"), "--bits"),
+        ],
+    )
+    def test_each_bad_value_names_its_flag(self, capsys, flags, fragment):
+        code, err = self._run(capsys, *flags)
+        assert code == 2
+        assert fragment in err
+        assert "Traceback" not in err
+        assert err.startswith("repro sweep run: error:")
+
+    def test_unknown_dataset_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "run", "/tmp/x", "--dataset", "imagenet"])
+
+    def test_sweep_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_resume_rejects_negative_workers(self, capsys):
+        code = main(["sweep", "resume", "/tmp/nowhere", "--workers", "-2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err and "Traceback" not in err
+
+    def test_resume_missing_directory_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["sweep", "resume", str(tmp_path / "nope")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no sweep found" in err
+
+    def test_report_missing_directory_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["sweep", "report", str(tmp_path / "nope")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no sweep found" in err
+
+
+class TestSweepCommands:
+    def test_run_report_export_winner_loop(self, tmp_path, capsys):
+        out = str(tmp_path / "sweep")
+        code = main(
+            ["sweep", "run", out, "--dataset", "movielens", "--techniques",
+             "memcom", "--fractions", "8", "--bits", "32,8", "--budget-kb",
+             "64", "--workers", "0", "--scale", "0.5", "--epochs", "1",
+             "--embedding-dim", "8"]
+        )
+        assert code == 0
+        assert "sweep complete: 2 points" in capsys.readouterr().out
+
+        report_json = str(tmp_path / "report.json")
+        winner_dir = str(tmp_path / "winner")
+        code = main(
+            ["sweep", "report", out, "--json", report_json,
+             "--export-winner", winner_dir]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "winner" in printed
+        import json as _json
+        import os as _os
+
+        payload = _json.loads(open(report_json).read())
+        assert payload["winner"] is not None
+        assert len(payload["rows"]) == 2
+        assert _os.path.isdir(winner_dir)
+
+        # Re-running on the same directory refuses to clobber the ledger.
+        code = main(["sweep", "run", out, "--workers", "0"])
+        assert code == 2
+        assert "already holds a sweep" in capsys.readouterr().err
+
+        # Resume on the complete sweep is a no-op success.
+        assert main(["sweep", "resume", out, "--workers", "0"]) == 0
+
+    def test_export_winner_refuses_existing_target(self, tmp_path, capsys):
+        out = str(tmp_path / "sweep")
+        assert main(
+            ["sweep", "run", out, "--techniques", "memcom", "--fractions", "8",
+             "--workers", "0", "--scale", "0.5", "--epochs", "1",
+             "--embedding-dim", "8"]
+        ) == 0
+        capsys.readouterr()
+        target = tmp_path / "occupied"
+        target.mkdir()
+        code = main(["sweep", "report", out, "--export-winner", str(target)])
+        assert code == 2
+        assert "already exists" in capsys.readouterr().err
